@@ -1,0 +1,26 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench flips one modelling mechanism and shows the effect that
+mechanism is responsible for in the reproduced figures.
+"""
+
+import pytest
+
+from repro.core.ablations import ABLATIONS, run_all
+
+
+@pytest.mark.benchmark(group="ablations")
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def bench_ablation(benchmark, save_artifact, name):
+    result = benchmark.pedantic(ABLATIONS[name], rounds=1, iterations=1)
+    save_artifact(f"ablation_{name}", result.render())
+    assert result.baseline > 0 or result.ablated > 0
+    benchmark.extra_info["ratio"] = round(result.ratio, 4)
+
+
+@pytest.mark.benchmark(group="ablations")
+def bench_all_ablations_report(benchmark, save_artifact):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact("ablations_all",
+                  "\n\n".join(r.render() for r in results))
+    assert len(results) == len(ABLATIONS)

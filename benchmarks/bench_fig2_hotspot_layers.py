@@ -1,0 +1,29 @@
+"""Fig. 2 — runtime breakdown of GoogLeNet / VGG / OverFeat / AlexNet.
+
+Regenerates the per-layer-type shares of one training iteration and
+checks the paper's headline (convolution dominates, 86-94 %).
+"""
+
+import pytest
+
+from repro.core.hotspot_layers import hotspot_layer_analysis
+
+
+@pytest.mark.benchmark(group="fig2")
+def bench_fig2_runtime_breakdown(benchmark, save_artifact):
+    results = benchmark.pedantic(hotspot_layer_analysis, rounds=1,
+                                 iterations=1)
+    text = "\n\n".join(r.render() for r in results)
+    save_artifact("fig2_hotspot_layers", text)
+    for r in results:
+        assert r.conv_share >= 0.80
+    benchmark.extra_info["conv_shares"] = {
+        r.model: round(r.conv_share, 4) for r in results}
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("model", ["AlexNet", "GoogLeNet", "OverFeat", "VGG"])
+def bench_fig2_single_model(benchmark, model):
+    """Per-model timing of the breakdown itself (simulator cost)."""
+    results = benchmark(hotspot_layer_analysis, models=[model])
+    assert results[0].conv_share > 0.8

@@ -1,0 +1,62 @@
+"""Fig. 3 (a-e) — runtime of the seven implementations over the five
+one-parameter sweeps around (64, 128, 64, 11, 1).
+
+Each benchmark regenerates one panel, prints the series the paper
+plots and re-checks its headline observation.
+"""
+
+import pytest
+
+from repro.core.runtime_comparison import runtime_sweep
+
+PANELS = {
+    "a_batch": "batch",
+    "b_input": "input",
+    "c_filters": "filters",
+    "d_kernel": "kernel",
+    "e_stride": "stride",
+}
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def bench_fig3_sweep(benchmark, save_artifact, panel):
+    sweep = PANELS[panel]
+    result = benchmark.pedantic(runtime_sweep, args=(sweep,), rounds=1,
+                                iterations=1)
+    save_artifact(f"fig3{panel}", result.render())
+
+    winners = [result.fastest_at(i) for i in range(len(result.xs))]
+    if sweep in ("batch", "filters"):
+        assert set(winners) == {"fbfft"}
+    elif sweep == "kernel":
+        assert winners[0] == "cuDNN" and winners[-1] == "fbfft"
+    elif sweep == "stride":
+        assert winners[0] == "fbfft"
+        assert set(winners[1:]) == {"cuDNN"}
+    benchmark.extra_info["winners"] = winners
+
+
+@pytest.mark.benchmark(group="fig3")
+def bench_fig3_headline_speedups(benchmark, save_artifact):
+    """The summary numbers the paper quotes: fbfft's advantage range
+    on the batch sweep and the kernel-size crossover."""
+
+    def run():
+        batch = runtime_sweep("batch")
+        kernel = runtime_sweep("kernel")
+        ratios = [batch.speedup("fbfft", other, i)
+                  for i in range(len(batch.xs))
+                  for other in batch.times if other != "fbfft"
+                  if batch.speedup("fbfft", other, i) is not None]
+        crossover = next(k for i, k in enumerate(kernel.xs)
+                         if kernel.times["fbfft"][i] < kernel.times["cuDNN"][i])
+        return min(ratios), max(ratios), crossover
+
+    lo, hi, crossover = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (f"fbfft advantage over other implementations (batch sweep): "
+            f"{lo:.2f}x .. {hi:.2f}x  (paper: 1.4x .. 9.7x)\n"
+            f"cuDNN -> fbfft crossover kernel size: {crossover}  (paper: 7)")
+    save_artifact("fig3_headlines", text)
+    assert lo > 1.0
+    assert 4 <= crossover <= 8

@@ -1,0 +1,27 @@
+"""Fig. 7 — CPU-GPU data-transfer overhead over Conv1..Conv5."""
+
+import pytest
+
+from repro.core.transfer_overhead import (render_transfer_rows,
+                                          transfer_overhead_profile)
+
+
+@pytest.mark.benchmark(group="fig7")
+def bench_fig7_transfer_overhead(benchmark, save_artifact):
+    rows = benchmark(transfer_overhead_profile)
+    save_artifact("fig7_transfer_overhead", render_transfer_rows(rows))
+
+    frac = {}
+    for r in rows:
+        frac.setdefault(r.implementation, {})[r.config_name] = (
+            r.transfer_fraction)
+
+    # Prefetching implementations hide everything.
+    for name in ("Caffe", "cuDNN", "fbfft"):
+        assert all(v < 0.01 for v in frac[name].values())
+    # The Conv2 anomaly.
+    assert frac["Theano-CorrMM"]["Conv2"] > 0.5
+    assert all(v < 0.2 for c, v in frac["Theano-CorrMM"].items()
+               if c != "Conv2")
+    benchmark.extra_info["corrmm_conv2"] = round(
+        frac["Theano-CorrMM"]["Conv2"], 4)

@@ -1,0 +1,69 @@
+"""Wall-clock benchmarks of the *numerical* convolution strategies.
+
+Unlike the simulated experiments, these time the actual NumPy kernels
+on this host.  They demonstrate — with real silicon rather than the
+device model — the paper's core algorithmic claims:
+
+* FFT convolution's cost is nearly independent of kernel size, while
+  direct/unrolled convolution grows ~k^2 (the mechanism behind the
+  Fig. 3(d) crossover);
+* im2col+GEMM is the fastest spatial strategy on large shapes (why
+  the unrolling family exists at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv import (direct_forward, fft_forward, unrolled_forward)
+
+RNG = np.random.default_rng(42)
+
+
+def make(b, c, f, i, k):
+    x = RNG.standard_normal((b, c, i, i)).astype(np.float32)
+    w = RNG.standard_normal((f, c, k, k)).astype(np.float32)
+    return x, w
+
+
+SMALL_KERNEL = make(8, 3, 16, 64, 3)
+LARGE_KERNEL = make(8, 3, 16, 64, 13)
+
+
+@pytest.mark.benchmark(group="numeric-small-kernel")
+@pytest.mark.parametrize("strategy,fn", [
+    ("direct", direct_forward),
+    ("unrolled", unrolled_forward),
+    ("fft", fft_forward),
+])
+def bench_forward_small_kernel(benchmark, strategy, fn):
+    x, w = SMALL_KERNEL
+    y = benchmark(fn, x, w)
+    assert y.shape == (8, 16, 62, 62)
+
+
+@pytest.mark.benchmark(group="numeric-large-kernel")
+@pytest.mark.parametrize("strategy,fn", [
+    ("direct", direct_forward),
+    ("unrolled", unrolled_forward),
+    ("fft", fft_forward),
+])
+def bench_forward_large_kernel(benchmark, strategy, fn):
+    x, w = LARGE_KERNEL
+    y = benchmark(fn, x, w)
+    assert y.shape == (8, 16, 52, 52)
+
+
+@pytest.mark.benchmark(group="numeric-kernel-scaling")
+@pytest.mark.parametrize("k", [3, 7, 11])
+def bench_fft_flat_in_kernel_size(benchmark, k):
+    """FFT forward time should barely move with k (transform size is
+    set by the input)."""
+    x, w = make(4, 3, 8, 64, k)
+    benchmark(fft_forward, x, w)
+
+
+@pytest.mark.benchmark(group="numeric-kernel-scaling")
+@pytest.mark.parametrize("k", [3, 7, 11])
+def bench_unrolled_grows_with_kernel_size(benchmark, k):
+    x, w = make(4, 3, 8, 64, k)
+    benchmark(unrolled_forward, x, w)

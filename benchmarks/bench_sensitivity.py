@@ -1,0 +1,28 @@
+"""Cross-GPU sensitivity benches — how robust are the paper's
+conclusions to the hardware?"""
+
+import pytest
+
+from repro.core.sensitivity import (bandwidth_sensitivity, device_comparison,
+                                    render_device_comparison)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def bench_device_comparison(benchmark, save_artifact):
+    rows = benchmark.pedantic(device_comparison, rounds=1, iterations=1)
+    save_artifact("sensitivity_devices", render_device_comparison(rows))
+    # The qualitative conclusions are hardware-robust.
+    for r in rows:
+        assert r.base_winner == "fbfft"
+        assert r.memory_low == "cuda-convnet2"
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def bench_bandwidth_sensitivity(benchmark, save_artifact):
+    results = benchmark.pedantic(bandwidth_sensitivity, rounds=1,
+                                 iterations=1)
+    lines = [f"bandwidth x{r.scale:<4} -> crossover k = {r.kernel_crossover}"
+             for r in results]
+    save_artifact("sensitivity_bandwidth", "\n".join(lines))
+    crossovers = [r.kernel_crossover for r in results]
+    assert crossovers == sorted(crossovers, reverse=True)

@@ -1,0 +1,21 @@
+"""Tables I and II — the benchmark configurations and the per-thread
+register / per-block shared-memory usage."""
+
+import pytest
+
+from repro import run_experiment
+
+
+@pytest.mark.benchmark(group="tables")
+def bench_table1_configs(benchmark, save_artifact):
+    result, text = benchmark(run_experiment, "table1")
+    save_artifact("table1_configs", text)
+    assert result["Conv1"].tuple5 == (128, 128, 96, 11, 1)
+
+
+@pytest.mark.benchmark(group="tables")
+def bench_table2_resources(benchmark, save_artifact):
+    _, text = benchmark(run_experiment, "table2")
+    save_artifact("table2_resources", text)
+    assert "116" in text  # cuda-convnet2 registers (paper Table II)
+    assert "2" in text    # Theano-fft registers

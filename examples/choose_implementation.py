@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Scenario-driven implementation selection — the paper's stated goal.
+
+"The goal of this work is to assist practitioners identifying the
+implementations that best serve their CNN computation needs in
+different scenarios."  This example walks the advisor through four
+contrasting scenarios and shows how the recommendation flips exactly
+along the paper's summary lines: FFT for large kernels, cuDNN for
+small kernels and strides, direct convolution under tight memory.
+
+Run:  python examples/choose_implementation.py
+"""
+
+from repro import Advisor, ConvConfig
+
+SCENARIOS = [
+    ("Large-kernel first layer (AlexNet-style 11x11)",
+     ConvConfig(batch=128, input_size=128, filters=96, kernel_size=11,
+                stride=1, channels=3),
+     None),
+    ("Small-kernel deep layer (VGG-style 3x3)",
+     ConvConfig(batch=64, input_size=56, filters=256, kernel_size=3,
+                stride=1, channels=128),
+     None),
+    ("Strided detection layer (OverFeat-style stride 4)",
+     ConvConfig(batch=128, input_size=231, filters=96, kernel_size=11,
+                stride=4, channels=3),
+     None),
+    ("Embedded GPU with a 1 GB budget",
+     ConvConfig(batch=64, input_size=128, filters=64, kernel_size=11,
+                stride=1, channels=3),
+     1 * 2**30),
+]
+
+
+def main() -> None:
+    advisor = Advisor()
+    for title, config, budget in SCENARIOS:
+        print("=" * 72)
+        print(title)
+        if budget is not None:
+            print(f"(memory budget: {budget / 2**20:.0f} MB)")
+        print(advisor.recommend(config, memory_budget=budget).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

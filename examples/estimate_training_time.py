@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""How long does training really take?  (The paper's motivation.)
+
+Section I of the paper motivates the study with training cost:
+"training on those large-scale datasets requires significant runtime,
+and several weeks or months is not uncommon."  This example projects
+full training runs of the four profiled models on the simulated K40c,
+shows how the convolution implementation moves the bill, and extends
+the analysis to multi-GPU data parallelism.
+
+    python examples/estimate_training_time.py
+"""
+
+from repro.core.training_cost import estimate_training, multi_gpu_projection
+from repro.workloads.datasets import IMAGENET
+
+
+def main() -> None:
+    print("Projected 90-epoch ImageNet training on one simulated "
+          "Tesla K40c\n")
+    for model, batch in (("AlexNet", 128), ("OverFeat", 128),
+                         ("GoogLeNet", 128), ("VGG", 64)):
+        est = estimate_training(model, IMAGENET, batch=batch, epochs=90)
+        print(est.render())
+        for gpus in (2, 4, 8):
+            days, eff = multi_gpu_projection(est, gpus)
+            print(f"    {gpus} GPUs: {days:6.2f} days "
+                  f"(scaling efficiency {eff:.0%})")
+        print()
+
+    print("Implementation choice on AlexNet (1 epoch):")
+    for impl in ("cudnn", "caffe", "fbfft", "theano-fft"):
+        est = estimate_training("AlexNet", IMAGENET, batch=128, epochs=1,
+                                implementation=impl)
+        print(f"  {impl:12s} {est.epoch_time_s / 3600:6.2f} h/epoch")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate any table or figure of the paper from the command line.
+
+    python examples/reproduce_figure.py            # list experiments
+    python examples/reproduce_figure.py fig3d      # kernel-size sweep
+    python examples/reproduce_figure.py fig7       # transfer overhead
+    python examples/reproduce_figure.py all        # everything (slow)
+"""
+
+import sys
+
+from repro import EXPERIMENTS, run_experiment
+
+
+def list_experiments() -> None:
+    print("available experiments:")
+    for exp_id, exp in sorted(EXPERIMENTS.items()):
+        print(f"  {exp_id:8s} {exp.title}")
+
+
+def main(argv) -> int:
+    if not argv:
+        list_experiments()
+        return 0
+    targets = sorted(EXPERIMENTS) if argv[0] == "all" else argv
+    for exp_id in targets:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}\n")
+            list_experiments()
+            return 1
+        print("=" * 72)
+        print(f"{exp_id}: {EXPERIMENTS[exp_id].title}")
+        print("=" * 72)
+        _, text = run_experiment(exp_id)
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

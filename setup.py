@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work on environments whose
+setuptools predates PEP 660 editable installs (metadata lives in
+pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the reproducible experiments (tables/figures).
+``run <id> [...]``
+    Regenerate one or more experiments (``all`` for everything).
+``advise b i f k s [c] [--memory MB]``
+    Ask the advisor which implementation fits a configuration.
+``compare b i f k s [c]``
+    Head-to-head table for one configuration.
+``ablations``
+    Run the simulator design-choice ablations.
+``export <dir>``
+    Write the figure data as CSV files for external plotting.
+``devices``
+    Cross-GPU sensitivity: headline results on every modelled device.
+``audit b i f k s [c]``
+    Run the consistency audits on every implementation.
+``report <path>``
+    Regenerate the full study as one markdown document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import EXPERIMENTS, run_experiment
+from .config import ConvConfig
+from .core.ablations import run_all as run_ablations
+from .core.advisor import Advisor
+from .core.report import table
+from .frameworks.registry import all_implementations
+
+
+def _config_from_args(args) -> ConvConfig:
+    return ConvConfig(batch=args.b, input_size=args.i, filters=args.f,
+                      kernel_size=args.k, stride=args.s, channels=args.c)
+
+
+def cmd_list(_args) -> int:
+    for exp_id, exp in sorted(EXPERIMENTS.items()):
+        print(f"{exp_id:8s} {exp.title}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    targets = sorted(EXPERIMENTS) if "all" in args.ids else args.ids
+    for exp_id in targets:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}", file=sys.stderr)
+            return 1
+        print(f"== {exp_id}: {EXPERIMENTS[exp_id].title} ==")
+        _, text = run_experiment(exp_id)
+        print(text)
+        print()
+    return 0
+
+
+def cmd_advise(args) -> int:
+    config = _config_from_args(args)
+    budget = args.memory * 2**20 if args.memory else None
+    print(Advisor().recommend(config, memory_budget=budget).render())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = _config_from_args(args)
+    rows = []
+    for impl in all_implementations():
+        if not impl.supports(config):
+            rows.append([impl.paper_name, "-", "-"])
+            continue
+        p = impl.profile_iteration(config)
+        rows.append([impl.paper_name,
+                     f"{p.total_time_s * 1000:.2f}",
+                     f"{impl.peak_memory_bytes(config) / 2**20:.0f}"])
+    print(table(["Implementation", "Time (ms)", "Memory (MB)"], rows,
+                title=f"{config}"))
+    return 0
+
+
+def cmd_ablations(_args) -> int:
+    for r in run_ablations():
+        print(r.render())
+        print()
+    return 0
+
+
+def cmd_export(args) -> int:
+    import os
+
+    from .config import SWEEPS
+    from .core.export import (breakdown_csv, memory_sweep_csv, metrics_csv,
+                              runtime_sweep_csv, transfer_csv)
+    from .core.gpu_metrics import gpu_metric_profile
+    from .core.hotspot_layers import hotspot_layer_analysis
+    from .core.memory_comparison import memory_sweep
+    from .core.runtime_comparison import runtime_sweep
+    from .core.transfer_overhead import transfer_overhead_profile
+
+    os.makedirs(args.dir, exist_ok=True)
+    for sweep in SWEEPS:
+        runtime_sweep_csv(runtime_sweep(sweep),
+                          os.path.join(args.dir, f"fig3_{sweep}.csv"))
+        memory_sweep_csv(memory_sweep(sweep),
+                         os.path.join(args.dir, f"fig5_{sweep}.csv"))
+    breakdown_csv(hotspot_layer_analysis(),
+                  os.path.join(args.dir, "fig2_breakdown.csv"))
+    metrics_csv(gpu_metric_profile(),
+                os.path.join(args.dir, "fig6_metrics.csv"))
+    transfer_csv(transfer_overhead_profile(),
+                 os.path.join(args.dir, "fig7_transfers.csv"))
+    print(f"wrote 13 CSV files to {args.dir}")
+    return 0
+
+
+def cmd_devices(_args) -> int:
+    from .core.sensitivity import device_comparison, render_device_comparison
+
+    print(render_device_comparison(device_comparison()))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from .core.validation import audit_all
+
+    config = _config_from_args(args)
+    ok = True
+    for report in audit_all(config):
+        print(report.render())
+        ok = ok and report.ok
+    return 0 if ok else 1
+
+
+def cmd_report(args) -> int:
+    from .core.full_report import write_report
+
+    write_report(args.path, include_extensions=not args.no_extensions)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Performance Analysis of GPU-based "
+                    "Convolutional Neural Networks' (ICPP 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate experiments")
+    p_run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    p_run.set_defaults(fn=cmd_run)
+
+    for name, fn in (("advise", cmd_advise), ("compare", cmd_compare)):
+        p = sub.add_parser(name)
+        p.add_argument("b", type=int, help="mini-batch size")
+        p.add_argument("i", type=int, help="input size")
+        p.add_argument("f", type=int, help="filter count")
+        p.add_argument("k", type=int, help="kernel size")
+        p.add_argument("s", type=int, help="stride")
+        p.add_argument("c", type=int, nargs="?", default=3,
+                       help="input channels (default 3)")
+        if name == "advise":
+            p.add_argument("--memory", type=int, default=None,
+                           help="device memory budget in MB")
+        p.set_defaults(fn=fn)
+
+    sub.add_parser("ablations",
+                   help="run design-choice ablations").set_defaults(
+        fn=cmd_ablations)
+
+    p_export = sub.add_parser("export", help="write figure data as CSV")
+    p_export.add_argument("dir", help="output directory")
+    p_export.set_defaults(fn=cmd_export)
+
+    sub.add_parser("devices",
+                   help="headline results across modelled GPUs").set_defaults(
+        fn=cmd_devices)
+
+    p_audit = sub.add_parser(
+        "audit", help="run the consistency audits on every implementation")
+    for field, hint in (("b", "mini-batch size"), ("i", "input size"),
+                        ("f", "filter count"), ("k", "kernel size"),
+                        ("s", "stride")):
+        p_audit.add_argument(field, type=int, help=hint)
+    p_audit.add_argument("c", type=int, nargs="?", default=3,
+                         help="input channels (default 3)")
+    p_audit.set_defaults(fn=cmd_audit)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the full study as one markdown file")
+    p_report.add_argument("path", help="output markdown path")
+    p_report.add_argument("--no-extensions", action="store_true",
+                          help="paper artifacts only")
+    p_report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""Convolution-layer configurations and the paper's parameter space.
+
+The paper organises a convolutional layer's benchmark parameters into a
+5-tuple ``(b, i, f, k, s)`` — mini-batch size, (square) input size,
+filter count, (square) kernel size and stride — following Mathieu et
+al. [35].  :class:`ConvConfig` extends the tuple with the input channel
+count ``c`` and zero padding ``p`` (the paper holds both fixed per
+experiment; channels are needed to compute FLOPs and memory).
+
+This module also defines:
+
+* :data:`BASE_CONFIG` — the paper's base 5-tuple ``(64, 128, 64, 11, 1)``
+  used for Fig. 3, Fig. 4 and Fig. 5;
+* :data:`TABLE1_CONFIGS` — the five Conv1..Conv5 layers of Table I used
+  for Fig. 6 and Fig. 7;
+* the five one-parameter sweep generators of section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Tuple
+
+from .errors import ShapeError
+from .tensor.shapes import conv_output_size
+
+
+@dataclass(frozen=True)
+class ConvConfig:
+    """A single convolutional-layer benchmark configuration.
+
+    Attributes
+    ----------
+    batch:
+        Mini-batch size ``b``.
+    input_size:
+        Height and width ``i`` of the (square) input feature map.
+    filters:
+        Number of output feature maps ``f``.
+    kernel_size:
+        Height and width ``k`` of the (square) filter.
+    stride:
+        Convolution stride ``s`` (same in both dimensions).
+    channels:
+        Number of input feature maps ``c``.  The paper leaves this
+        implicit; defaults follow the convnet-benchmarks suite.
+    padding:
+        Zero padding ``p`` on each border.  The paper benchmarks
+        unpadded ("valid") convolutions, so the default is 0.
+    """
+
+    batch: int
+    input_size: int
+    filters: int
+    kernel_size: int
+    stride: int = 1
+    channels: int = 3
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("batch", "input_size", "filters", "kernel_size", "stride", "channels"):
+            v = getattr(self, name)
+            if not isinstance(v, (int,)) or isinstance(v, bool):
+                raise ShapeError(f"{name} must be an int, got {v!r}")
+            if v <= 0:
+                raise ShapeError(f"{name} must be positive, got {v}")
+        if not isinstance(self.padding, int) or isinstance(self.padding, bool):
+            raise ShapeError(f"padding must be an int, got {self.padding!r}")
+        if self.padding < 0:
+            raise ShapeError(f"padding must be non-negative, got {self.padding}")
+        if self.kernel_size > self.input_size + 2 * self.padding:
+            raise ShapeError(
+                f"kernel {self.kernel_size} exceeds padded input "
+                f"{self.input_size + 2 * self.padding}"
+            )
+
+    # -- derived geometry -------------------------------------------------
+
+    @property
+    def output_size(self) -> int:
+        """Spatial size ``o`` of each output feature map."""
+        return conv_output_size(self.input_size, self.kernel_size, self.stride, self.padding)
+
+    @property
+    def tuple5(self) -> Tuple[int, int, int, int, int]:
+        """The paper's ``(b, i, f, k, s)`` 5-tuple."""
+        return (self.batch, self.input_size, self.filters, self.kernel_size, self.stride)
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        """NCHW shape of the input batch."""
+        return (self.batch, self.channels, self.input_size, self.input_size)
+
+    @property
+    def weight_shape(self) -> Tuple[int, int, int, int]:
+        """``(f, c, k, k)`` filter-bank shape."""
+        return (self.filters, self.channels, self.kernel_size, self.kernel_size)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        """NCHW shape of the output batch."""
+        o = self.output_size
+        return (self.batch, self.filters, o, o)
+
+    # -- workload arithmetic ----------------------------------------------
+
+    @property
+    def forward_macs(self) -> int:
+        """Multiply-accumulate count of one *forward* pass (direct
+        algorithm): ``b * f * c * o^2 * k^2``."""
+        o = self.output_size
+        return (
+            self.batch * self.filters * self.channels * o * o
+            * self.kernel_size * self.kernel_size
+        )
+
+    @property
+    def forward_flops(self) -> int:
+        """FLOPs of one forward pass (2 per MAC)."""
+        return 2 * self.forward_macs
+
+    @property
+    def training_flops(self) -> int:
+        """FLOPs of one training iteration.
+
+        One iteration = forward + gradient w.r.t. input + gradient
+        w.r.t. weights; each of the two backward passes has the same
+        direct-algorithm MAC count as the forward pass.
+        """
+        return 3 * self.forward_flops
+
+    def scaled(self, **changes) -> "ConvConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConvConfig(b={self.batch}, i={self.input_size}, f={self.filters}, "
+            f"k={self.kernel_size}, s={self.stride}, c={self.channels}, p={self.padding})"
+        )
+
+
+#: The paper's base configuration for Figs. 3-5: (64, 128, 64, 11, 1).
+#: Channels = 3: the sweeps feed raw colour images (the paper's memory
+#: ceilings — cuda-convnet2 topping out near 2 GB and fbfft near 11 GB
+#: at batch 512 — are only consistent with 3 input channels).
+BASE_CONFIG = ConvConfig(batch=64, input_size=128, filters=64, kernel_size=11,
+                         stride=1, channels=3)
+
+#: Table I: the five representative configurations used for detailed
+#: profiling (Fig. 6, Fig. 7).  Channel counts follow convnet-benchmarks
+#: (the paper omits them); see DESIGN.md section 2.
+TABLE1_CONFIGS: Dict[str, ConvConfig] = {
+    "Conv1": ConvConfig(batch=128, input_size=128, filters=96, kernel_size=11,
+                        stride=1, channels=3),
+    "Conv2": ConvConfig(batch=128, input_size=128, filters=96, kernel_size=3,
+                        stride=1, channels=64),
+    "Conv3": ConvConfig(batch=128, input_size=32, filters=128, kernel_size=9,
+                        stride=1, channels=64),
+    "Conv4": ConvConfig(batch=128, input_size=16, filters=128, kernel_size=7,
+                        stride=1, channels=128),
+    "Conv5": ConvConfig(batch=128, input_size=13, filters=384, kernel_size=3,
+                        stride=1, channels=384),
+}
+
+
+# -- the five sweeps of section IV-B --------------------------------------
+
+def sweep_batch(start: int = 32, stop: int = 512, step: int = 32) -> Iterator[ConvConfig]:
+    """Fig. 3(a)/5(a): vary mini-batch, fix (b, 128, 64, 11, 1)."""
+    for b in range(start, stop + 1, step):
+        yield BASE_CONFIG.scaled(batch=b)
+
+
+def sweep_input(start: int = 32, stop: int = 256, step: int = 16) -> Iterator[ConvConfig]:
+    """Fig. 3(b)/5(b): vary input size, fix (64, i, 64, 11, 1)."""
+    for i in range(start, stop + 1, step):
+        yield BASE_CONFIG.scaled(input_size=i)
+
+
+def sweep_filters(start: int = 32, stop: int = 512, step: int = 16) -> Iterator[ConvConfig]:
+    """Fig. 3(c)/5(c): vary filter count, fix (64, 128, f, 11, 1)."""
+    for f in range(start, stop + 1, step):
+        yield BASE_CONFIG.scaled(filters=f)
+
+
+def sweep_kernel(start: int = 2, stop: int = 13, step: int = 1) -> Iterator[ConvConfig]:
+    """Fig. 3(d)/5(d): vary kernel size, fix (64, 128, 64, k, 1)."""
+    for k in range(start, stop + 1, step):
+        yield BASE_CONFIG.scaled(kernel_size=k)
+
+
+def sweep_stride(start: int = 1, stop: int = 4, step: int = 1) -> Iterator[ConvConfig]:
+    """Fig. 3(e)/5(e): vary stride, fix (64, 128, 64, 11, s)."""
+    for s in range(start, stop + 1, step):
+        yield BASE_CONFIG.scaled(stride=s)
+
+
+#: Sweep registry keyed by the parameter being varied; used by the
+#: runtime/memory comparison harnesses and their benches.
+SWEEPS = {
+    "batch": sweep_batch,
+    "input": sweep_input,
+    "filters": sweep_filters,
+    "kernel": sweep_kernel,
+    "stride": sweep_stride,
+}
+
+
+def sweep_configs(name: str) -> List[ConvConfig]:
+    """Materialise a named sweep (one of :data:`SWEEPS`)."""
+    try:
+        gen = SWEEPS[name]
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; options: {sorted(SWEEPS)}") from None
+    return list(gen())

@@ -1,0 +1,61 @@
+"""Shared validation and padding helpers for the conv strategies."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..tensor.shapes import conv_output_size
+
+
+def check_conv_args(x: np.ndarray, w: np.ndarray, stride: int, padding: int) -> Tuple[int, int]:
+    """Validate NCHW input against (f, c, k, k) filters.
+
+    Returns ``(oh, ow)``, the output spatial sizes.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"input must be NCHW (4-D), got ndim={x.ndim}")
+    if w.ndim != 4:
+        raise ShapeError(f"weights must be (f, c, kh, kw), got ndim={w.ndim}")
+    if x.shape[1] != w.shape[1]:
+        raise ShapeError(
+            f"channel mismatch: input has {x.shape[1]}, filters expect {w.shape[1]}"
+        )
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    if padding < 0:
+        raise ShapeError(f"padding must be non-negative, got {padding}")
+    _, _, ih, iw = x.shape
+    _, _, kh, kw = w.shape
+    oh = conv_output_size(ih, kh, stride, padding)
+    ow = conv_output_size(iw, kw, stride, padding)
+    return oh, ow
+
+
+def pad_input(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def unpad_input(dx: np.ndarray, padding: int) -> np.ndarray:
+    """Crop the padding back off a gradient w.r.t. the padded input."""
+    if padding == 0:
+        return dx
+    return dx[:, :, padding:-padding, padding:-padding]
+
+
+def add_bias(y: np.ndarray, bias) -> np.ndarray:
+    """Add a per-filter bias to an NCHW output, in place when safe."""
+    if bias is None:
+        return y
+    bias = np.asarray(bias)
+    if bias.ndim != 1 or bias.shape[0] != y.shape[1]:
+        raise ShapeError(
+            f"bias must have shape ({y.shape[1]},), got {bias.shape}"
+        )
+    y += bias[None, :, None, None]
+    return y

@@ -1,0 +1,78 @@
+"""Direct (sliding-window) convolution.
+
+The traditional strategy of section II-B: a window slides over the
+input and a dot product with the filter bank is taken at every
+position — the approach cuda-convnet2 and Theano-legacy implement in
+CUDA.  Here the sliding windows are materialised as *views* with
+``numpy.lib.stride_tricks.sliding_window_view`` (no copy, per the HPC
+guides) and the dot products collapse into one ``einsum``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .common import add_bias, check_conv_args, pad_input, unpad_input
+
+
+def _windows(xp: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """All (kh, kw) windows of an NCHW tensor at the given stride.
+
+    Returns a strided *view* of shape ``(b, c, oh, ow, kh, kw)``.
+    """
+    win = sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    return win[:, :, ::stride, ::stride]
+
+
+def forward(x: np.ndarray, w: np.ndarray, bias=None,
+            stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Direct cross-correlation forward pass."""
+    check_conv_args(x, w, stride, padding)
+    xp = pad_input(x, padding)
+    kh, kw = w.shape[2], w.shape[3]
+    win = _windows(xp, kh, kw, stride)
+    y = np.einsum("bchwij,fcij->bfhw", win, w, optimize=True)
+    return add_bias(y, bias)
+
+
+def backward_input(dy: np.ndarray, w: np.ndarray, input_hw,
+                   stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Gradient w.r.t. the input.
+
+    The adjoint of strided valid cross-correlation is a "full"
+    convolution with the spatially flipped filters applied to the
+    stride-dilated output gradient.  We dilate ``dy`` (insert
+    ``stride - 1`` zeros between elements), pad it by ``k - 1`` and run
+    a direct pass with flipped, channel-transposed filters.
+    """
+    ih, iw = input_hw
+    b, f, oh, ow = dy.shape
+    _, c, kh, kw = w.shape
+
+    ph, pw = ih + 2 * padding, iw + 2 * padding
+    # Dilate into the padded-input coordinate frame.
+    dyd = np.zeros((b, f, ph + kh - 1, pw + kw - 1), dtype=dy.dtype)
+    dyd[:, :, kh - 1:kh - 1 + (oh - 1) * stride + 1:stride,
+        kw - 1:kw - 1 + (ow - 1) * stride + 1:stride] = dy
+
+    w_flip = w[:, :, ::-1, ::-1]          # rotate filters 180 degrees
+    win = sliding_window_view(dyd, (kh, kw), axis=(2, 3))
+    dxp = np.einsum("bfhwij,fcij->bchw", win, w_flip, optimize=True)
+    return unpad_input(dxp, padding)
+
+
+def backward_weights(dy: np.ndarray, x: np.ndarray, kernel_hw,
+                     stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Gradient w.r.t. the filters: correlate each input window stack
+    with the output gradients."""
+    kh, kw = kernel_hw
+    xp = pad_input(x, padding)
+    win = _windows(xp, kh, kw, stride)
+    # win: (b, c, oh, ow, kh, kw); dy: (b, f, oh, ow)
+    return np.einsum("bchwij,bfhw->fcij", win, dy, optimize=True)
+
+
+def backward_bias(dy: np.ndarray) -> np.ndarray:
+    """Gradient w.r.t. the per-filter bias."""
+    return dy.sum(axis=(0, 2, 3))

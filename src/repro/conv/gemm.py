@@ -1,0 +1,88 @@
+"""GEMM helpers.
+
+GEMM "is the essence of convolutional layers" (paper section V-A): in
+the unrolling strategy every pass becomes one matrix product.  This
+module wraps the BLAS behind ``numpy`` for production use, provides a
+cache-blocked pure-NumPy GEMM used to sanity-check the wrapper in
+tests, and centralises FLOP accounting so kernel plans and benchmarks
+agree on the arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def gemm(a: np.ndarray, b: np.ndarray, out: np.ndarray = None,
+         accumulate: bool = False) -> np.ndarray:
+    """C = A @ B (optionally += when ``accumulate``).
+
+    Thin wrapper over the BLAS sgemm/dgemm ``numpy`` dispatches to;
+    exists so call sites carry the GEMM vocabulary of the paper and so
+    accumulation (beta=1) is expressed in one place.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"gemm expects 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if out is None:
+        return a @ b
+    if out.shape != (a.shape[0], b.shape[1]):
+        raise ShapeError(
+            f"out has shape {out.shape}, expected {(a.shape[0], b.shape[1])}"
+        )
+    if accumulate:
+        out += a @ b
+    else:
+        np.matmul(a, b, out=out)
+    return out
+
+
+def blocked_gemm(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Cache-blocked GEMM in pure NumPy.
+
+    Demonstrates the tiling structure GPU GEMM kernels (cuBLAS, the
+    ``cudnn_gemm`` kernels of Fig. 4) use — accumulate C tiles from
+    A-row-panel x B-column-panel products — and serves as an
+    independent check of :func:`gemm` in the test suite.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"gemm expects 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if block <= 0:
+        raise ShapeError(f"block must be positive, got {block}")
+    m, k = a.shape
+    _, n = b.shape
+    c = np.zeros((m, n), dtype=np.result_type(a, b))
+    for i0 in range(0, m, block):
+        i1 = min(i0 + block, m)
+        for k0 in range(0, k, block):
+            k1 = min(k0 + block, k)
+            a_tile = a[i0:i1, k0:k1]
+            for j0 in range(0, n, block):
+                j1 = min(j0 + block, n)
+                c[i0:i1, j0:j1] += a_tile @ b[k0:k1, j0:j1]
+    return c
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """FLOPs of an (m x k) @ (k x n) product: 2mnk."""
+    if min(m, n, k) <= 0:
+        raise ShapeError(f"gemm dims must be positive, got {(m, n, k)}")
+    return 2 * m * n * k
+
+
+def cgemm_flops(m: int, n: int, k: int) -> int:
+    """FLOPs of a complex (m x k) @ (k x n): each complex MAC is 4
+    multiplies + 4 adds = 8 real FLOPs — the ``Cgemm`` of fbfft."""
+    if min(m, n, k) <= 0:
+        raise ShapeError(f"gemm dims must be positive, got {(m, n, k)}")
+    return 8 * m * n * k
+
+
+def gemm_bytes(m: int, n: int, k: int, itemsize: int = 4) -> int:
+    """Minimum global traffic of one GEMM: read A and B, write C."""
+    return (m * k + k * n + m * n) * itemsize

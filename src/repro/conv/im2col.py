@@ -1,0 +1,100 @@
+"""im2col / col2im — the unrolling kernels of section II-B.
+
+``im2col`` unrolls every receptive field of an NCHW batch into the
+columns of a matrix so that convolution becomes one GEMM (the
+``im2col_gpu_kernel`` hotspot of Fig. 4); ``col2im`` is its exact
+adjoint, scattering column gradients back into image layout (the
+``col2im_gpu_kernel``).  The adjoint property
+
+    <im2col(x), y> == <x, col2im(y)>
+
+is what makes the unrolled backward-input pass correct, and is
+property-tested in ``tests/conv/test_im2col.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import ShapeError
+from ..tensor.shapes import conv_output_size
+from .common import pad_input, unpad_input
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1,
+           padding: int = 0) -> np.ndarray:
+    """Unroll receptive fields into columns.
+
+    Parameters
+    ----------
+    x:
+        NCHW input batch.
+    kernel, stride, padding:
+        Square-window geometry.
+
+    Returns
+    -------
+    ``(b, c * k * k, oh * ow)`` array whose column ``(p*ow + q)`` holds
+    the flattened window that produces output pixel ``(p, q)``.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW, got ndim={x.ndim}")
+    b, c, ih, iw = x.shape
+    oh = conv_output_size(ih, kernel, stride, padding)
+    ow = conv_output_size(iw, kernel, stride, padding)
+    xp = pad_input(x, padding)
+    win = sliding_window_view(xp, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+    # (b, c, oh, ow, k, k) -> (b, c, k, k, oh, ow) -> (b, c*k*k, oh*ow)
+    col = win.transpose(0, 1, 4, 5, 2, 3).reshape(b, c * kernel * kernel, oh * ow)
+    return np.ascontiguousarray(col)
+
+
+def col2im(col: np.ndarray, input_hw: Tuple[int, int], kernel: int,
+           stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to images.
+
+    ``col`` has shape ``(b, c * k * k, oh * ow)``; the result is the
+    NCHW tensor of shape ``(b, c, ih, iw)`` in which every element is
+    the sum of all column entries that were gathered from it.
+    """
+    ih, iw = input_hw
+    if col.ndim != 3:
+        raise ShapeError(f"col2im expects (b, c*k*k, oh*ow), got ndim={col.ndim}")
+    b = col.shape[0]
+    k2 = kernel * kernel
+    if col.shape[1] % k2 != 0:
+        raise ShapeError(
+            f"column height {col.shape[1]} is not a multiple of k^2={k2}"
+        )
+    c = col.shape[1] // k2
+    oh = conv_output_size(ih, kernel, stride, padding)
+    ow = conv_output_size(iw, kernel, stride, padding)
+    if col.shape[2] != oh * ow:
+        raise ShapeError(
+            f"column count {col.shape[2]} != oh*ow = {oh * ow} for "
+            f"input {input_hw}, k={kernel}, s={stride}, p={padding}"
+        )
+
+    ph, pw = ih + 2 * padding, iw + 2 * padding
+    cols = col.reshape(b, c, kernel, kernel, oh, ow)
+    out = np.zeros((b, c, ph, pw), dtype=col.dtype)
+    # Scatter by kernel offset: for each (di, dj) the contributing
+    # output grid maps to a strided slice of the image — a pure-NumPy
+    # scatter-add with k*k slice assignments instead of per-element
+    # np.add.at (orders of magnitude faster, same result).
+    for di in range(kernel):
+        for dj in range(kernel):
+            out[:, :, di:di + (oh - 1) * stride + 1:stride,
+                dj:dj + (ow - 1) * stride + 1:stride] += cols[:, :, di, dj]
+    dx = unpad_input(out, padding)
+    return np.ascontiguousarray(dx)
+
+
+def im2col_bytes(b: int, c: int, kernel: int, oh: int, ow: int,
+                 itemsize: int = 4) -> int:
+    """Size in bytes of the unrolled column buffer for one whole batch
+    — the extra device memory unrolling implementations pay (Fig. 5)."""
+    return b * c * kernel * kernel * oh * ow * itemsize

@@ -1,0 +1,75 @@
+"""Naive reference convolution.
+
+Quadruple-loop cross-correlation — deliberately the most obviously
+correct (and slowest) possible implementation.  Every optimised
+strategy in this package is tested against it on small tensors; it is
+the ground truth of the whole numerical layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import add_bias, check_conv_args, pad_input
+
+
+def conv2d_reference(x: np.ndarray, w: np.ndarray, bias=None,
+                     stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Cross-correlate NCHW ``x`` with ``(f, c, k, k)`` filters ``w``.
+
+    Written with explicit loops over every output element; only the
+    innermost dot product uses NumPy.  Use only on tiny tensors.
+    """
+    oh, ow = check_conv_args(x, w, stride, padding)
+    xp = pad_input(x, padding)
+    b, c, _, _ = xp.shape
+    f, _, kh, kw = w.shape
+    y = np.zeros((b, f, oh, ow), dtype=np.result_type(x, w))
+    for n in range(b):
+        for j in range(f):
+            for p in range(oh):
+                for q in range(ow):
+                    patch = xp[n, :, p * stride:p * stride + kh,
+                               q * stride:q * stride + kw]
+                    y[n, j, p, q] = np.sum(patch * w[j])
+    return add_bias(y, bias)
+
+
+def conv2d_reference_backward_input(dy: np.ndarray, w: np.ndarray,
+                                    input_hw, stride: int = 1,
+                                    padding: int = 0) -> np.ndarray:
+    """Gradient w.r.t. the input, by scattering each output gradient
+    back through the window it came from."""
+    ih, iw = input_hw
+    b, f, oh, ow = dy.shape
+    _, c, kh, kw = w.shape
+    dxp = np.zeros((b, c, ih + 2 * padding, iw + 2 * padding),
+                   dtype=np.result_type(dy, w))
+    for n in range(b):
+        for j in range(f):
+            for p in range(oh):
+                for q in range(ow):
+                    dxp[n, :, p * stride:p * stride + kh,
+                        q * stride:q * stride + kw] += dy[n, j, p, q] * w[j]
+    if padding:
+        return dxp[:, :, padding:-padding, padding:-padding]
+    return dxp
+
+
+def conv2d_reference_backward_weights(dy: np.ndarray, x: np.ndarray,
+                                      kernel_hw, stride: int = 1,
+                                      padding: int = 0) -> np.ndarray:
+    """Gradient w.r.t. the filters."""
+    kh, kw = kernel_hw
+    xp = pad_input(x, padding)
+    b, c, _, _ = xp.shape
+    _, f, oh, ow = dy.shape[0], dy.shape[1], dy.shape[2], dy.shape[3]
+    dw = np.zeros((f, c, kh, kw), dtype=np.result_type(dy, x))
+    for n in range(b):
+        for j in range(f):
+            for p in range(oh):
+                for q in range(ow):
+                    patch = xp[n, :, p * stride:p * stride + kh,
+                               q * stride:q * stride + kw]
+                    dw[j] += dy[n, j, p, q] * patch
+    return dw

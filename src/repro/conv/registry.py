@@ -1,0 +1,62 @@
+"""Strategy registry: the convolution algorithms by name.
+
+Gives callers (and :class:`~repro.nn.Conv2d`) one place to resolve a
+strategy — the paper's three plus the Winograd extension — and ask
+which of them can run a given geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable, Dict, List, Tuple
+
+from . import direct, fftconv, unrolled, winograd
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """One registered convolution strategy."""
+
+    name: str
+    module: ModuleType
+    #: (kernel_size, stride) -> supported?
+    supports: Callable[[int, int], bool]
+    description: str
+
+
+STRATEGIES: Dict[str, StrategyInfo] = {
+    "direct": StrategyInfo(
+        name="direct", module=direct,
+        supports=lambda k, s: True,
+        description="sliding-window convolution (cuda-convnet2 family)"),
+    "unrolled": StrategyInfo(
+        name="unrolled", module=unrolled,
+        supports=lambda k, s: True,
+        description="im2col + GEMM + col2im (Caffe/cuDNN family)"),
+    "fft": StrategyInfo(
+        name="fft", module=fftconv,
+        supports=lambda k, s: s == 1,
+        description="FFT pointwise product (fbfft family), stride 1 only"),
+    "winograd": StrategyInfo(
+        name="winograd", module=winograd,
+        supports=lambda k, s: k == 3 and s == 1,
+        description="Winograd F(2x2,3x3) minimal filtering, "
+                    "3x3 stride-1 only"),
+}
+
+
+def get_strategy(name: str) -> ModuleType:
+    """Resolve a strategy module by name."""
+    try:
+        return STRATEGIES[name].module
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; options: {sorted(STRATEGIES)}"
+        ) from None
+
+
+def supported_strategies(kernel_size: int, stride: int) -> List[str]:
+    """Names of the strategies that can run this geometry."""
+    return [name for name, info in STRATEGIES.items()
+            if info.supports(kernel_size, stride)]

@@ -1,0 +1,135 @@
+"""Implementation advisor.
+
+The paper's stated goal is "to assist practitioners identifying the
+implementations that best serve their CNN computation needs in
+different scenarios".  :class:`Advisor` operationalises that: given a
+convolution configuration and the practitioner's constraints (device
+memory budget, need for arbitrary shapes), it ranks the seven
+implementations by *measured* (simulated) runtime subject to the
+constraints, and annotates the result with the paper's qualitative
+guidance:
+
+* fbfft for large kernels — "the fastest implementation to train a
+  CNN model with large kernels";
+* cuDNN for small kernels and for strides > 1;
+* cuda-convnet2 "for cases when the memory is limited";
+* cuDNN "if a good balance between memory, speed and flexibility is
+  needed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import ConvConfig
+from ..errors import DeviceOOMError
+from ..frameworks.base import ConvImplementation
+from ..frameworks.registry import all_implementations
+from ..gpusim.device import DeviceSpec, K40C
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One implementation's evaluated fitness for a scenario."""
+
+    implementation: str
+    time_s: float
+    peak_memory_bytes: int
+    supported: bool
+    fits_memory: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.supported and self.fits_memory
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advisor output: ranked feasible candidates plus rationale."""
+
+    config: ConvConfig
+    candidates: List[Candidate]
+    best: Optional[str]
+    rationale: str
+
+    def render(self) -> str:
+        lines = [f"Scenario: {self.config}"]
+        for c in self.candidates:
+            status = "ok" if c.feasible else (
+                "unsupported shape" if not c.supported else "exceeds memory budget")
+            lines.append(
+                f"  {c.implementation:15s} {c.time_s * 1000:9.2f} ms  "
+                f"{c.peak_memory_bytes / 2**20:8.0f} MB  [{status}]"
+            )
+        lines.append(f"Recommendation: {self.best} — {self.rationale}")
+        return "\n".join(lines)
+
+
+class Advisor:
+    """Ranks implementations for a scenario."""
+
+    def __init__(self, device: DeviceSpec = K40C,
+                 implementations: Optional[Sequence[ConvImplementation]] = None):
+        self.device = device
+        self.implementations = (list(implementations) if implementations
+                                else all_implementations())
+
+    def evaluate(self, config: ConvConfig,
+                 memory_budget: Optional[int] = None) -> List[Candidate]:
+        """Evaluate every implementation on one configuration."""
+        budget = memory_budget if memory_budget is not None \
+            else self.device.global_memory_bytes
+        out: List[Candidate] = []
+        for impl in self.implementations:
+            if not impl.supports(config):
+                out.append(Candidate(impl.paper_name, float("inf"), 0,
+                                     supported=False, fits_memory=False))
+                continue
+            try:
+                mem = impl.peak_memory_bytes(config, self.device)
+            except DeviceOOMError as e:
+                out.append(Candidate(impl.paper_name, float("inf"),
+                                     e.requested + e.in_use,
+                                     supported=True, fits_memory=False))
+                continue
+            t = impl.time_iteration(config, self.device)
+            out.append(Candidate(impl.paper_name, t, mem,
+                                 supported=True, fits_memory=mem <= budget))
+        # Feasible first, then by time.
+        out.sort(key=lambda c: (not c.feasible, c.time_s))
+        return out
+
+    def recommend(self, config: ConvConfig,
+                  memory_budget: Optional[int] = None) -> Recommendation:
+        """Pick the fastest feasible implementation and explain it in
+        the paper's terms."""
+        candidates = self.evaluate(config, memory_budget)
+        feasible = [c for c in candidates if c.feasible]
+        if not feasible:
+            return Recommendation(config=config, candidates=candidates,
+                                  best=None,
+                                  rationale="no implementation satisfies the "
+                                            "constraints")
+        best = feasible[0]
+        rationale = self._rationale(config, best, memory_budget)
+        return Recommendation(config=config, candidates=candidates,
+                              best=best.implementation, rationale=rationale)
+
+    def _rationale(self, config: ConvConfig, best: Candidate,
+                   memory_budget: Optional[int]) -> str:
+        parts = []
+        if config.stride > 1:
+            parts.append("stride > 1 rules out the FFT implementations")
+        if config.kernel_size >= 7:
+            parts.append("large kernels favour FFT-based convolution "
+                         "(lower arithmetic complexity)")
+        elif config.kernel_size < 7:
+            parts.append("small kernels favour unrolling (FFT padding "
+                         "overhead dominates)")
+        if memory_budget is not None and memory_budget < 4 * 2**30:
+            parts.append("a tight memory budget favours direct convolution "
+                         "(no workspace)")
+        parts.append(f"fastest feasible at {best.time_s * 1000:.2f} ms "
+                     f"and {best.peak_memory_bytes / 2**20:.0f} MB")
+        return "; ".join(parts)

@@ -1,0 +1,116 @@
+"""Experiment registry — DESIGN.md's per-experiment index, runnable.
+
+Each entry regenerates one table or figure of the paper and returns a
+printable report plus the raw result object, so the benchmark suite
+and EXPERIMENTS.md stay in lockstep with one definition of each
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ..config import BASE_CONFIG, TABLE1_CONFIGS
+from .gpu_metrics import gpu_metric_profile, render_metric_rows, table2_resources
+from .hotspot_kernels import hotspot_kernel_analysis
+from .hotspot_layers import hotspot_layer_analysis
+from .memory_comparison import memory_sweep
+from .report import table
+from .runtime_comparison import runtime_sweep
+from .transfer_overhead import render_transfer_rows, transfer_overhead_profile
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable paper artifact."""
+
+    id: str
+    title: str
+    runner: Callable[[], Tuple[Any, str]]  # returns (result, rendered text)
+
+
+def _fig2() -> Tuple[Any, str]:
+    results = hotspot_layer_analysis()
+    text = "\n\n".join(r.render() for r in results)
+    return results, text
+
+
+def _fig3(sweep: str) -> Callable[[], Tuple[Any, str]]:
+    def run() -> Tuple[Any, str]:
+        result = runtime_sweep(sweep)
+        text = result.render()
+        if len(result.xs) >= 2:
+            text += "\n\n" + result.render_plot()
+        return result, text
+    return run
+
+
+def _fig4() -> Tuple[Any, str]:
+    results = hotspot_kernel_analysis(BASE_CONFIG)
+    text = "\n\n".join(r.render() for r in results)
+    return results, text
+
+
+def _fig5(sweep: str) -> Callable[[], Tuple[Any, str]]:
+    def run() -> Tuple[Any, str]:
+        result = memory_sweep(sweep)
+        return result, result.render()
+    return run
+
+
+def _fig6() -> Tuple[Any, str]:
+    rows = gpu_metric_profile()
+    return rows, render_metric_rows(rows)
+
+
+def _fig7() -> Tuple[Any, str]:
+    rows = transfer_overhead_profile()
+    return rows, render_transfer_rows(rows)
+
+
+def _table1() -> Tuple[Any, str]:
+    body = [[name, str(cfg.tuple5), cfg.channels]
+            for name, cfg in TABLE1_CONFIGS.items()]
+    text = table(["Layer", "(b,i,f,k,s)", "channels"], body,
+                 title="Table I — convolution configurations for benchmarking")
+    return TABLE1_CONFIGS, text
+
+
+def _table2() -> Tuple[Any, str]:
+    text = table2_resources()
+    return text, text
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.id: e for e in [
+        Experiment("fig2", "Runtime breakdown of four CNN models", _fig2),
+        Experiment("fig3a", "Runtime vs mini-batch size", _fig3("batch")),
+        Experiment("fig3b", "Runtime vs input size", _fig3("input")),
+        Experiment("fig3c", "Runtime vs filter count", _fig3("filters")),
+        Experiment("fig3d", "Runtime vs kernel size", _fig3("kernel")),
+        Experiment("fig3e", "Runtime vs stride", _fig3("stride")),
+        Experiment("fig4", "Hotspot kernels per implementation", _fig4),
+        Experiment("fig5a", "Peak memory vs mini-batch size", _fig5("batch")),
+        Experiment("fig5b", "Peak memory vs input size", _fig5("input")),
+        Experiment("fig5c", "Peak memory vs filter count", _fig5("filters")),
+        Experiment("fig5d", "Peak memory vs kernel size", _fig5("kernel")),
+        Experiment("fig5e", "Peak memory vs stride", _fig5("stride")),
+        Experiment("fig6", "GPU metric profiling over Table-I configs", _fig6),
+        Experiment("fig7", "Data-transfer overhead over Table-I configs", _fig7),
+        Experiment("table1", "Benchmark configurations", _table1),
+        Experiment("table2", "Register/shared-memory usage", _table2),
+    ]
+}
+
+
+def run_experiment(exp_id: str) -> Tuple[Any, str]:
+    """Run one experiment by id; returns (result object, rendered
+    text)."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}"
+        ) from None
+    return exp.runner()

@@ -1,0 +1,105 @@
+"""CSV export of experiment results.
+
+The ASCII reports are for eyeballs; this module writes the same data
+as CSV so the figures can be re-plotted with any tool.  Only the
+standard library is used (csv), keeping the offline constraint.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional, Sequence
+
+from .gpu_metrics import MetricRow
+from .hotspot_layers import ModelBreakdown
+from .memory_comparison import MemorySweepResult
+from .runtime_comparison import SweepResult
+from .transfer_overhead import TransferRow
+
+
+def _write(rows: Sequence[Sequence], header: Sequence[str],
+           path: Optional[str]) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    writer.writerows(rows)
+    text = buf.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text
+
+
+def runtime_sweep_csv(result: SweepResult, path: Optional[str] = None) -> str:
+    """One row per sweep point, one column per implementation (ms;
+    empty cell = unsupported)."""
+    impls = list(result.times)
+    rows = []
+    for i, x in enumerate(result.xs):
+        row = [x]
+        for name in impls:
+            t = result.times[name][i]
+            row.append("" if t is None else round(t * 1000, 4))
+        rows.append(row)
+    return _write(rows, [result.sweep] + impls, path)
+
+
+def memory_sweep_csv(result: MemorySweepResult,
+                     path: Optional[str] = None) -> str:
+    """Peak memory in MB per sweep point and implementation."""
+    impls = list(result.peaks)
+    rows = []
+    for i, x in enumerate(result.xs):
+        row = [x]
+        for name in impls:
+            p = result.peaks[name][i]
+            row.append("" if p is None else round(p / 2**20, 1))
+        rows.append(row)
+    return _write(rows, [result.sweep] + impls, path)
+
+
+def breakdown_csv(results: Sequence[ModelBreakdown],
+                  path: Optional[str] = None) -> str:
+    """Fig. 2 layer-type shares, long format."""
+    rows = []
+    for r in results:
+        for layer_type, share in sorted(r.shares.items()):
+            rows.append([r.model, r.batch, layer_type, round(share, 6)])
+    return _write(rows, ["model", "batch", "layer_type", "share"], path)
+
+
+def metrics_csv(rows_in: Sequence[MetricRow],
+                path: Optional[str] = None) -> str:
+    """Fig. 6 metric rows, long format."""
+    rows = []
+    for r in rows_in:
+        s = r.summary
+        rows.append([
+            r.config_name, r.implementation,
+            round(r.runtime_ms, 4),
+            round(s.achieved_occupancy, 6),
+            round(s.ipc, 4),
+            round(s.warp_execution_efficiency, 6),
+            round(s.gld_efficiency, 6),
+            round(s.gst_efficiency, 6),
+            round(s.shared_efficiency, 6),
+            s.shared_load_bank_conflicts,
+            s.shared_store_bank_conflicts,
+        ])
+    header = ["config", "implementation", "runtime_ms",
+              "achieved_occupancy", "ipc", "warp_execution_efficiency",
+              "gld_efficiency", "gst_efficiency", "shared_efficiency",
+              "shared_load_bank_conflicts", "shared_store_bank_conflicts"]
+    return _write(rows, header, path)
+
+
+def transfer_csv(rows_in: Sequence[TransferRow],
+                 path: Optional[str] = None) -> str:
+    """Fig. 7 transfer fractions, long format."""
+    rows = [[r.config_name, r.implementation,
+             round(r.transfer_fraction, 6),
+             round(r.transfer_time_s * 1000, 4),
+             round(r.total_time_s * 1000, 4)] for r in rows_in]
+    return _write(rows, ["config", "implementation", "transfer_fraction",
+                         "transfer_ms", "total_ms"], path)

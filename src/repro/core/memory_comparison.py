@@ -1,0 +1,88 @@
+"""Peak-memory comparison (paper Fig. 5, section V-B).
+
+Replays each implementation's allocation plan through the device
+allocator for the same five sweeps as the runtime comparison and
+records the peak footprint — the number ``nvidia-smi`` showed the
+paper's authors.  Configurations an implementation cannot run (shape
+limits) or cannot *fit* (OOM — "abnormal memory usage can lead to
+program crush") record ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SWEEPS, ConvConfig, sweep_configs
+from ..errors import DeviceOOMError
+from ..frameworks.base import ConvImplementation
+from ..frameworks.registry import all_implementations
+from ..gpusim.device import DeviceSpec, K40C
+from .report import series
+from .runtime_comparison import _X_OF
+
+
+@dataclass(frozen=True)
+class MemoryPoint:
+    """Peak memory of one (implementation, config) pair."""
+
+    implementation: str
+    config: ConvConfig
+    peak_bytes: Optional[int]  # None = unsupported or OOM
+    oom: bool = False
+
+
+@dataclass
+class MemorySweepResult:
+    """All implementations' peaks over one sweep."""
+
+    sweep: str
+    xs: List[int]
+    configs: List[ConvConfig]
+    peaks: Dict[str, List[Optional[int]]]
+    ooms: Dict[str, List[bool]]
+
+    def render(self) -> str:
+        columns = {
+            name: [None if p is None else p / 2**20 for p in col]
+            for name, col in self.peaks.items()
+        }
+        return series(self.sweep, self.xs, columns,
+                      title=f"Fig. 5 ({self.sweep} sweep) — peak GPU memory [MB]",
+                      floatfmt="{:.0f}")
+
+
+def memory_sweep(sweep: str,
+                 implementations: Optional[Sequence[ConvImplementation]] = None,
+                 device: DeviceSpec = K40C) -> MemorySweepResult:
+    """Run one of the five Fig. 5 sweeps."""
+    if sweep not in SWEEPS:
+        raise KeyError(f"unknown sweep {sweep!r}; options: {sorted(SWEEPS)}")
+    impls = list(implementations) if implementations else all_implementations()
+    configs = sweep_configs(sweep)
+    xs = [_X_OF[sweep](c) for c in configs]
+    peaks: Dict[str, List[Optional[int]]] = {}
+    ooms: Dict[str, List[bool]] = {}
+    for impl in impls:
+        col: List[Optional[int]] = []
+        oom_col: List[bool] = []
+        for config in configs:
+            if not impl.supports(config):
+                col.append(None)
+                oom_col.append(False)
+                continue
+            try:
+                col.append(impl.peak_memory_bytes(config, device))
+                oom_col.append(False)
+            except DeviceOOMError:
+                col.append(None)
+                oom_col.append(True)
+        peaks[impl.paper_name] = col
+        ooms[impl.paper_name] = oom_col
+    return MemorySweepResult(sweep=sweep, xs=xs, configs=configs,
+                             peaks=peaks, ooms=ooms)
+
+
+def all_memory_sweeps(device: DeviceSpec = K40C) -> Dict[str, MemorySweepResult]:
+    """All five sweeps of Fig. 5."""
+    return {name: memory_sweep(name, device=device) for name in SWEEPS}

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch one type.  The more specific subclasses mirror the
+failure modes the paper discusses: implementations rejecting tensor
+shapes (section IV-B, "shape limitations"), the device running out of
+memory (section V-B, "abnormal memory usage can lead to program crush"),
+and misuse of the simulator API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor shape is malformed or inconsistent (e.g. kernel larger
+    than the padded input, negative sizes, mismatched channel counts)."""
+
+
+class UnsupportedConfigError(ReproError, ValueError):
+    """A convolution implementation rejects a configuration it cannot
+    run, mirroring the paper's shape limitations: cuda-convnet2 needs
+    square inputs/kernels, batch % 32 == 0 and filters % 16 == 0; the
+    FFT implementations only support stride 1."""
+
+    def __init__(self, implementation: str, reason: str):
+        self.implementation = implementation
+        self.reason = reason
+        super().__init__(f"{implementation}: unsupported configuration: {reason}")
+
+
+class DeviceOOMError(ReproError, MemoryError):
+    """The simulated device ran out of global memory.
+
+    Carries the requested size and the allocator state at failure so
+    the memory-comparison harness can report *why* a configuration is
+    infeasible (paper Fig. 5 observes fbfft exceeding the K40c's 12 GB
+    on some shapes).
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int):
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"device OOM: requested {requested} B with {in_use} B in use "
+            f"of {capacity} B capacity"
+        )
+
+
+class AllocationError(ReproError, ValueError):
+    """Misuse of the device allocator (double free, freeing an unknown
+    buffer, negative sizes)."""
+
+
+class ProfilerError(ReproError, RuntimeError):
+    """Misuse of the profiler session (e.g. recording a kernel outside
+    an active session, nested sessions on one profiler)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Training failed to make progress (used by the trainer to signal
+    diverging loss, e.g. NaN)."""

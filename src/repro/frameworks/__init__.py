@@ -1,0 +1,34 @@
+"""The seven GPU convolution implementations the paper benchmarks.
+
+Each adapter couples a numerically exact NumPy strategy with an
+analytic performance model (kernel plan, memory plan, transfer plan)
+expressed against the :mod:`repro.gpusim` device model.  See
+:mod:`repro.frameworks.base` for the interface and
+:mod:`repro.frameworks.calibration` for every fitted constant.
+"""
+
+from .base import ConvImplementation, IterationProfile, Strategy, TransferOp
+from .cuda_convnet2 import CudaConvnet2
+from .cudnn import CuDNN
+from .fbfft import Fbfft
+from .registry import all_implementations, get_implementation, implementation_map
+from .theano_fft import TheanoFft
+from .unrolling import Caffe, TheanoCorrMM, TorchCunn, UnrollingImplementation
+
+__all__ = [
+    "ConvImplementation",
+    "IterationProfile",
+    "Strategy",
+    "TransferOp",
+    "Caffe",
+    "TorchCunn",
+    "TheanoCorrMM",
+    "TheanoFft",
+    "CuDNN",
+    "CudaConvnet2",
+    "Fbfft",
+    "UnrollingImplementation",
+    "all_implementations",
+    "get_implementation",
+    "implementation_map",
+]

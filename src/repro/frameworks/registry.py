@@ -1,0 +1,44 @@
+"""Registry of the seven benchmarked implementations."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import ConvImplementation
+from .cuda_convnet2 import CudaConvnet2
+from .cudnn import CuDNN
+from .fbfft import Fbfft
+from .theano_fft import TheanoFft
+from .unrolling import Caffe, TheanoCorrMM, TorchCunn
+
+#: Construction order matches the paper's listing (section III-B).
+IMPLEMENTATION_CLASSES = (
+    Caffe,
+    TorchCunn,
+    TheanoCorrMM,
+    TheanoFft,
+    CuDNN,
+    CudaConvnet2,
+    Fbfft,
+)
+
+
+def all_implementations() -> List[ConvImplementation]:
+    """Fresh instances of all seven implementations."""
+    return [cls() for cls in IMPLEMENTATION_CLASSES]
+
+
+def implementation_map() -> Dict[str, ConvImplementation]:
+    """Name -> instance for all seven implementations."""
+    return {impl.name: impl for impl in all_implementations()}
+
+
+def get_implementation(name: str) -> ConvImplementation:
+    """Look one implementation up by its registry name."""
+    impls = implementation_map()
+    try:
+        return impls[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown implementation {name!r}; options: {sorted(impls)}"
+        ) from None

@@ -1,0 +1,117 @@
+"""Discrete-event execution of iteration plans on CUDA-style streams.
+
+``ConvImplementation.profile_iteration`` charges transfers with a
+closed-form overlap formula.  This module cross-checks that formula by
+*simulating* several training iterations on a two-stream timeline —
+kernels serialised on the compute stream, copies on the copy engine,
+prefetching implementations issuing iteration *i+1*'s input copy while
+iteration *i* computes, synchronous implementations blocking compute
+on the copy event — and measuring the steady-state iteration time that
+emerges.
+
+``tests/frameworks/test_timeline.py`` asserts the two models agree,
+which is what licenses the cheap formula everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import ConvConfig
+from ..gpusim.device import DeviceSpec, K40C
+from ..gpusim.profiler import Profiler
+from ..gpusim.stream import Event, Timeline
+from ..gpusim.transfer import TransferEngine
+from .base import ConvImplementation
+
+
+@dataclass(frozen=True)
+class TimelineProfile:
+    """Steady-state behaviour measured from the event simulation."""
+
+    implementation: str
+    config: ConvConfig
+    timeline: Timeline
+    iterations: int
+    #: Wall time of the whole simulated run.
+    makespan_s: float
+    #: Steady-state time per iteration (excludes the pipeline fill).
+    iteration_time_s: float
+    #: Compute-stream busy time per iteration.
+    compute_time_s: float
+
+    @property
+    def exposed_transfer_s(self) -> float:
+        """Per-iteration time not covered by kernel execution."""
+        return max(self.iteration_time_s - self.compute_time_s, 0.0)
+
+    @property
+    def transfer_fraction(self) -> float:
+        if self.iteration_time_s <= 0:
+            return 0.0
+        return self.exposed_transfer_s / self.iteration_time_s
+
+
+def iteration_timeline(impl: ConvImplementation, config: ConvConfig,
+                       iterations: int = 4,
+                       device: DeviceSpec = K40C) -> TimelineProfile:
+    """Simulate ``iterations`` training iterations on two streams."""
+    if iterations < 2:
+        raise ValueError(
+            f"need >= 2 iterations for a steady state, got {iterations}"
+        )
+    impl.check_config(config)
+
+    # Time the kernels once (they repeat identically per iteration).
+    prof = Profiler(device)
+    kernel_times = [prof.launch(spec).time_s
+                    for spec in impl.kernel_plan(config)]
+    engine = TransferEngine(device)
+    ops = [(op, engine.copy_time(op.bytes, pinned=op.pinned,
+                                 chunks=op.chunks))
+           for op in impl.transfer_ops(config)]
+
+    tl = Timeline()
+    compute = tl.stream("compute")
+    copy = tl.stream("copy")
+
+    iter_end_times: List[float] = []
+    # Async prefetchers issue the first copy before compute starts.
+    prefetch_ready: Event = Event(0.0)
+    for op, t in ops:
+        if op.async_:
+            prefetch_ready = copy.enqueue(t, f"{op.label} (prefetch 0)")
+
+    for it in range(iterations):
+        # Synchronous copies of this iteration block the compute
+        # stream; asynchronous ones were prefetched during the
+        # previous iteration.
+        gate = prefetch_ready
+        for op, t in ops:
+            if not op.async_:
+                gate = copy.enqueue(t, f"{op.label} (iter {it})",
+                                    not_before=compute.front)
+        compute.wait(gate)
+        end: Event = Event(compute.front)
+        for j, kt in enumerate(kernel_times):
+            end = compute.enqueue(kt, f"kernel{j} (iter {it})")
+        # Prefetch the next iteration's async copies during compute.
+        for op, t in ops:
+            if op.async_:
+                prefetch_ready = copy.enqueue(
+                    t, f"{op.label} (prefetch {it + 1})")
+        iter_end_times.append(end.time)
+
+    # Steady state: difference of the last two iteration boundaries.
+    steady = iter_end_times[-1] - iter_end_times[-2]
+    compute_per_iter = sum(kernel_times)
+    return TimelineProfile(
+        implementation=impl.paper_name,
+        config=config,
+        timeline=tl,
+        iterations=iterations,
+        makespan_s=tl.makespan,
+        iteration_time_s=steady,
+        compute_time_s=compute_per_iter,
+    )

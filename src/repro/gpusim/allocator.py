@@ -1,0 +1,141 @@
+"""Device memory allocator with peak tracking.
+
+Models cudaMalloc/cudaFree at the granularity the memory-usage study
+(paper section V-B, Fig. 5) needs: every live buffer counts against
+the device's 12 GB, the high-water mark is recorded (that is what
+``nvidia-smi`` reported in the paper), and exceeding capacity raises
+:class:`~repro.errors.DeviceOOMError` — the "program crush" behaviour
+the paper observed for FFT implementations on adverse shapes.
+
+Allocations are rounded up to a 512-byte granularity like the CUDA
+driver's suballocator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..errors import AllocationError, DeviceOOMError
+from .device import DeviceSpec
+
+
+_GRANULARITY = 512
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """Handle to one live device allocation."""
+
+    handle: int
+    size: int
+    rounded_size: int
+    tag: str
+
+
+class DeviceAllocator:
+    """Tracks live device allocations and the peak footprint.
+
+    Parameters
+    ----------
+    device:
+        The device whose capacity bounds allocations.
+    baseline:
+        Bytes considered permanently allocated before the workload runs
+        (CUDA context + framework runtime).  The paper's ``nvidia-smi``
+        numbers include this; ~100 MB is typical for CUDA 7.5.
+    """
+
+    def __init__(self, device: DeviceSpec, baseline: int = 100 * 2**20):
+        if baseline < 0:
+            raise AllocationError(f"baseline must be non-negative, got {baseline}")
+        if baseline > device.global_memory_bytes:
+            raise AllocationError("baseline exceeds device capacity")
+        self.device = device
+        self.baseline = baseline
+        self._live: Dict[int, Buffer] = {}
+        self._next_handle = 1
+        self._in_use = baseline
+        self._peak = baseline
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Bytes currently allocated (including the baseline)."""
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of :attr:`in_use` (the Fig. 5 quantity)."""
+        return self._peak
+
+    @property
+    def free_bytes(self) -> int:
+        return self.device.global_memory_bytes - self._in_use
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._live)
+
+    def buffers(self) -> Iterator[Buffer]:
+        return iter(self._live.values())
+
+    # -- mutation ------------------------------------------------------------
+
+    def alloc(self, size: int, tag: str = "") -> Buffer:
+        """Allocate ``size`` bytes; raises :class:`DeviceOOMError` when
+        the device cannot hold it."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        rounded = math.ceil(size / _GRANULARITY) * _GRANULARITY
+        if self._in_use + rounded > self.device.global_memory_bytes:
+            raise DeviceOOMError(rounded, self._in_use,
+                                 self.device.global_memory_bytes)
+        buf = Buffer(handle=self._next_handle, size=size,
+                     rounded_size=rounded, tag=tag)
+        self._next_handle += 1
+        self._live[buf.handle] = buf
+        self._in_use += rounded
+        self._peak = max(self._peak, self._in_use)
+        return buf
+
+    def free(self, buf: Buffer) -> None:
+        """Release a live buffer; freeing twice is an error."""
+        stored = self._live.pop(buf.handle, None)
+        if stored is None:
+            raise AllocationError(f"free of unknown or already-freed buffer {buf.handle}")
+        self._in_use -= stored.rounded_size
+
+    def free_all(self) -> None:
+        """Release every live buffer (end of benchmark iteration)."""
+        for buf in list(self._live.values()):
+            self.free(buf)
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current footprint."""
+        self._peak = self._in_use
+
+    # -- context-manager sugar ------------------------------------------------
+
+    def scoped(self, size: int, tag: str = "") -> "_ScopedBuffer":
+        """``with allocator.scoped(n):`` allocates for the block only."""
+        return _ScopedBuffer(self, size, tag)
+
+
+class _ScopedBuffer:
+    def __init__(self, allocator: DeviceAllocator, size: int, tag: str):
+        self._allocator = allocator
+        self._size = size
+        self._tag = tag
+        self.buffer: Optional[Buffer] = None
+
+    def __enter__(self) -> Buffer:
+        self.buffer = self._allocator.alloc(self._size, self._tag)
+        return self.buffer
+
+    def __exit__(self, *exc) -> None:
+        if self.buffer is not None:
+            self._allocator.free(self.buffer)
+            self.buffer = None

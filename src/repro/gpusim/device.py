@@ -1,0 +1,150 @@
+"""Device specifications.
+
+:data:`K40C` reproduces the card described in section III-A of the
+paper: 15 SMs x 192 CUDA cores at 745 MHz boost (4.29 TFLOP/s single
+precision), 12 GB of GDDR5 at 288 GB/s, 64K 32-bit registers and 48 KB
+of shared memory per SM.  The occupancy-relevant limits follow the CUDA
+C Programming Guide for compute capability 3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a CUDA device for the analytic model."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    #: FLOPs retired per core per cycle (FMA counts as 2).
+    flops_per_core_cycle: int
+    global_memory_bytes: int
+    #: Peak global-memory bandwidth, bytes/second.
+    memory_bandwidth: float
+    #: 32-bit registers per SM.
+    registers_per_sm: int
+    #: Register allocation granularity (per warp), in registers.
+    register_alloc_unit: int
+    #: Maximum registers addressable by one thread.
+    max_registers_per_thread: int
+    shared_memory_per_sm: int
+    #: Shared-memory allocation granularity per block, bytes.
+    shared_alloc_unit: int
+    max_shared_per_block: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    warp_size: int
+    #: Number of shared-memory banks and bank width in bytes.
+    shared_banks: int
+    bank_width_bytes: int
+    #: Size of one global-memory transaction (L1 cache line), bytes.
+    transaction_bytes: int
+    #: Fixed host-side cost of launching one kernel, seconds.
+    kernel_launch_overhead_s: float
+    #: PCIe bandwidths (bytes/s) for pinned and pageable host memory,
+    #: and per-transfer latency (seconds).  Gen-3 x16 figures.
+    pcie_pinned_bandwidth: float = 11.5e9
+    pcie_pageable_bandwidth: float = 6.0e9
+    pcie_latency_s: float = 10e-6
+    #: Maximum dual-issue rate: instructions per cycle per SM the
+    #: schedulers can sustain (4 warp schedulers x 2 dispatch on GK110).
+    max_ipc_per_sm: float = 8.0
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def cuda_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak single-precision FLOP/s."""
+        return self.cuda_cores * self.clock_hz * self.flops_per_core_cycle
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.sm_count} SMs x {self.cores_per_sm} cores @ "
+            f"{self.clock_hz / 1e6:.0f} MHz = {self.peak_flops / 1e12:.2f} TFLOP/s, "
+            f"{self.global_memory_bytes / 2**30:.0f} GiB @ "
+            f"{self.memory_bandwidth / 1e9:.0f} GB/s"
+        )
+
+
+def _variant(base: "DeviceSpec", **changes) -> "DeviceSpec":
+    from dataclasses import replace
+    return replace(base, **changes)
+
+
+#: The Tesla K40c of section III-A (GK110B, compute capability 3.5).
+K40C = DeviceSpec(
+    name="Tesla K40c",
+    sm_count=15,
+    cores_per_sm=192,
+    clock_hz=745e6,
+    flops_per_core_cycle=2,
+    global_memory_bytes=12 * 2**30,
+    memory_bandwidth=288e9,
+    registers_per_sm=65536,
+    register_alloc_unit=256,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=48 * 1024,
+    shared_alloc_unit=256,
+    max_shared_per_block=48 * 1024,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=16,
+    warp_size=32,
+    shared_banks=32,
+    bank_width_bytes=4,
+    transaction_bytes=128,
+    kernel_launch_overhead_s=5e-6,
+)
+
+
+#: Tesla K20X — the K40c's smaller GK110 sibling (14 SMs @ 732 MHz,
+#: 6 GB, 250 GB/s).  Useful for "what if the paper had run on the
+#: previous card" sensitivity studies.
+K20X = _variant(
+    K40C,
+    name="Tesla K20X",
+    sm_count=14,
+    clock_hz=732e6,
+    global_memory_bytes=6 * 2**30,
+    memory_bandwidth=250e9,
+)
+
+#: GeForce GTX TITAN X (Maxwell GM200): 24 SMs x 128 cores @ 1.0 GHz,
+#: 12 GB, 336 GB/s.  Maxwell keeps 64K registers per SM but gives
+#: blocks up to 48 KB shared out of a 96 KB array and schedules 32
+#: blocks per SM.
+TITAN_X = _variant(
+    K40C,
+    name="GTX TITAN X (Maxwell)",
+    sm_count=24,
+    cores_per_sm=128,
+    clock_hz=1000e6,
+    global_memory_bytes=12 * 2**30,
+    memory_bandwidth=336e9,
+    shared_memory_per_sm=96 * 1024,
+    max_blocks_per_sm=32,
+)
+
+#: Tesla M40 — the Maxwell datacentre part (24 SMs @ 948 MHz, 288 GB/s).
+M40 = _variant(
+    TITAN_X,
+    name="Tesla M40",
+    clock_hz=948e6,
+    memory_bandwidth=288e9,
+)
+
+#: All modelled devices by name.
+DEVICES = {d.name: d for d in (K40C, K20X, TITAN_X, M40)}

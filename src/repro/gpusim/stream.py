@@ -1,0 +1,86 @@
+"""CUDA-stream-style timeline model.
+
+A :class:`Timeline` holds several :class:`Stream` objects; operations
+enqueued on different streams overlap, operations on one stream
+serialise, and events let a stream wait on another — enough to model
+the copy/compute overlap tricks the paper discusses (Caffe's data
+prefetching thread, cuDNN's async workspace staging), without
+simulating the CUDA driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class _Op:
+    stream: str
+    label: str
+    start: float
+    end: float
+
+
+class Stream:
+    """One in-order execution queue."""
+
+    def __init__(self, timeline: "Timeline", name: str):
+        self._timeline = timeline
+        self.name = name
+        self._front = 0.0  # completion time of the last enqueued op
+
+    @property
+    def front(self) -> float:
+        """Time at which the next enqueued op may start."""
+        return self._front
+
+    def enqueue(self, duration: float, label: str = "",
+                not_before: float = 0.0) -> "Event":
+        """Append an operation of ``duration`` seconds; it starts when
+        the stream is free and ``not_before`` has passed."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        start = max(self._front, not_before)
+        end = start + duration
+        self._front = end
+        self._timeline._ops.append(_Op(self.name, label, start, end))
+        return Event(end)
+
+    def wait(self, event: "Event") -> None:
+        """Make subsequent ops on this stream start no earlier than the
+        event (cudaStreamWaitEvent)."""
+        self._front = max(self._front, event.time)
+
+
+@dataclass(frozen=True)
+class Event:
+    """Completion marker of an enqueued operation."""
+
+    time: float
+
+
+class Timeline:
+    """A set of streams sharing one clock."""
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, Stream] = {}
+        self._ops: List[_Op] = []
+
+    def stream(self, name: str) -> Stream:
+        """Get or create the named stream."""
+        if name not in self._streams:
+            self._streams[name] = Stream(self, name)
+        return self._streams[name]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last operation on any stream."""
+        return max((op.end for op in self._ops), default=0.0)
+
+    def busy_time(self, stream: str) -> float:
+        """Total busy duration of one stream."""
+        return sum(op.end - op.start for op in self._ops if op.stream == stream)
+
+    def ops(self) -> List[_Op]:
+        return list(self._ops)

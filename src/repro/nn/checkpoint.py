@@ -1,0 +1,86 @@
+"""Model checkpointing.
+
+Saves and restores the parameters (and batch-norm running statistics)
+of any layer tree as a NumPy ``.npz`` archive — enough to pause and
+resume the training examples, or to hand a trained LeNet-5 from one
+conv backend to another.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ShapeError
+from .module import Layer
+
+
+def state_dict(model: Layer) -> Dict[str, np.ndarray]:
+    """Collect all parameters (by their unique names) plus running
+    statistics of any batch-norm layers."""
+    state: Dict[str, np.ndarray] = {}
+    for i, p in enumerate(model.parameters()):
+        key = p.name or f"param_{i}"
+        if key in state:
+            raise ShapeError(f"duplicate parameter name {key!r}")
+        state[key] = p.value
+    for layer in _walk_layers(model):
+        if type(layer).__name__ == "BatchNorm2d":
+            state[f"{layer.name}.running_mean"] = layer.running_mean
+            state[f"{layer.name}.running_var"] = layer.running_var
+    return state
+
+
+def _walk_layers(model: Layer):
+    """Yield every layer in a container tree (Sequential / Graph)."""
+    yield model
+    if hasattr(model, "layers"):
+        for child in model.layers:
+            yield from _walk_layers(child)
+    if hasattr(model, "_nodes"):
+        for name in getattr(model, "_order", []):
+            yield from _walk_layers(model._nodes[name].layer)
+
+
+def load_state_dict(model: Layer, state: Dict[str, np.ndarray],
+                    strict: bool = True) -> None:
+    """Write a state dict back into a model (in place)."""
+    seen = set()
+    for i, p in enumerate(model.parameters()):
+        key = p.name or f"param_{i}"
+        if key not in state:
+            if strict:
+                raise ShapeError(f"missing parameter {key!r} in checkpoint")
+            continue
+        value = np.asarray(state[key])
+        if value.shape != p.value.shape:
+            raise ShapeError(
+                f"{key}: checkpoint shape {value.shape} != model shape "
+                f"{p.value.shape}")
+        p.value[...] = value
+        seen.add(key)
+    for layer in _walk_layers(model):
+        if type(layer).__name__ == "BatchNorm2d":
+            for attr in ("running_mean", "running_var"):
+                key = f"{layer.name}.{attr}"
+                if key in state:
+                    getattr(layer, attr)[...] = state[key]
+                    seen.add(key)
+                elif strict:
+                    raise ShapeError(f"missing statistic {key!r}")
+    if strict:
+        extra = set(state) - seen
+        if extra:
+            raise ShapeError(f"unused checkpoint entries: {sorted(extra)}")
+
+
+def save_weights(model: Layer, path: str) -> None:
+    """Serialise a model's state to an ``.npz`` archive."""
+    np.savez(path, **state_dict(model))
+
+
+def load_weights(model: Layer, path: str, strict: bool = True) -> None:
+    """Restore a model's state from an ``.npz`` archive."""
+    with np.load(path) as data:
+        load_state_dict(model, dict(data.items()), strict=strict)

@@ -1,0 +1,10 @@
+"""Loss interface (thin alias module kept for API symmetry)."""
+
+from __future__ import annotations
+
+from .softmax import SoftmaxCrossEntropy
+
+#: The loss the examples and trainer use.
+Loss = SoftmaxCrossEntropy
+
+__all__ = ["Loss", "SoftmaxCrossEntropy"]

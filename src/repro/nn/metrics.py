@@ -1,0 +1,66 @@
+"""Classification metrics for the training examples.
+
+Top-1/top-k accuracy (the ILSVRC reporting convention the paper's
+model zoo was built around) and a confusion matrix for the digit
+example.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _check(logits: np.ndarray, labels: np.ndarray) -> None:
+    if logits.ndim != 2:
+        raise ShapeError(f"expected (batch, classes) logits, got {logits.shape}")
+    labels = np.asarray(labels)
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+        )
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    _check(logits, labels)
+    return float((logits.argmax(axis=1) == np.asarray(labels)).mean())
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy (ILSVRC top-5 convention for k = 5)."""
+    _check(logits, labels)
+    if not (1 <= k <= logits.shape[1]):
+        raise ShapeError(
+            f"k must be in [1, {logits.shape[1]}], got {k}"
+        )
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    hits = (topk == np.asarray(labels)[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray,
+                     classes: int = None) -> np.ndarray:
+    """``C[i, j]`` = count of class-``i`` samples predicted as ``j``."""
+    _check(logits, labels)
+    labels = np.asarray(labels)
+    preds = logits.argmax(axis=1)
+    n = classes if classes is not None else logits.shape[1]
+    if labels.max(initial=0) >= n or preds.max(initial=0) >= n:
+        raise ShapeError("labels/predictions exceed the class count")
+    cm = np.zeros((n, n), dtype=np.int64)
+    np.add.at(cm, (labels, preds), 1)
+    return cm
+
+
+def per_class_accuracy(cm: np.ndarray) -> np.ndarray:
+    """Diagonal recall of each class from a confusion matrix (NaN for
+    classes with no samples)."""
+    if cm.ndim != 2 or cm.shape[0] != cm.shape[1]:
+        raise ShapeError(f"confusion matrix must be square, got {cm.shape}")
+    totals = cm.sum(axis=1).astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(cm) / totals, np.nan)

@@ -1,0 +1,96 @@
+"""Layer base class and parameter container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+class Parameter:
+    """A learnable tensor and its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement ``forward`` (stashing whatever the backward
+    pass needs on ``self``) and ``backward`` (accumulating parameter
+    gradients and returning the input gradient).  ``layer_type`` is
+    the Fig. 2 grouping label ("Conv", "Pooling", "ReLU", "FC",
+    "Concat", ...).
+    """
+
+    layer_type = "Other"
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self.training = True
+
+    # -- interface ----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """Learnable parameters (default: none)."""
+        return []
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape arithmetic without computing anything; used by model
+        inspection and the runtime simulator."""
+        raise NotImplementedError
+
+    # -- conveniences ----------------------------------------------------------
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Layer":
+        self.training = mode
+        return self
+
+    def eval(self) -> "Layer":
+        return self.train(False)
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def check_nchw(x: np.ndarray, layer: Layer) -> None:
+    """Common input validation for spatial layers."""
+    if x.ndim != 4:
+        raise ShapeError(
+            f"{layer.name}: expected NCHW input, got ndim={x.ndim}"
+        )

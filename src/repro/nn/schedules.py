@@ -1,0 +1,79 @@
+"""Learning-rate schedules.
+
+AlexNet-era training used step decay ("divide the learning rate by 10
+when the validation error plateaus"); modern reproductions also need
+warm-up and polynomial decay (GoogLeNet trained with a 4 %-per-8-epoch
+poly schedule).  Schedules compose with :class:`~repro.nn.trainer.SGD`
+via :class:`ScheduledSGD` or by calling ``schedule(step)`` manually.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from ..errors import ShapeError
+from .trainer import SGD
+
+Schedule = Callable[[int], float]
+
+
+def constant(lr: float) -> Schedule:
+    """lr(step) = lr."""
+    if lr <= 0:
+        raise ShapeError(f"lr must be positive, got {lr}")
+    return lambda step: lr
+
+
+def step_decay(lr: float, drop: float = 0.1, every: int = 100) -> Schedule:
+    """AlexNet-style: multiply by ``drop`` every ``every`` steps."""
+    if lr <= 0 or not (0 < drop <= 1) or every <= 0:
+        raise ShapeError("invalid step_decay parameters")
+    return lambda step: lr * drop ** (step // every)
+
+
+def poly_decay(lr: float, total_steps: int, power: float = 0.5) -> Schedule:
+    """GoogLeNet-style polynomial decay to zero over ``total_steps``."""
+    if lr <= 0 or total_steps <= 0 or power <= 0:
+        raise ShapeError("invalid poly_decay parameters")
+
+    def fn(step: int) -> float:
+        frac = min(step / total_steps, 1.0)
+        return lr * (1.0 - frac) ** power
+
+    return fn
+
+
+def warmup(base: Schedule, steps: int) -> Schedule:
+    """Linear warm-up from 0 to the base schedule over ``steps``."""
+    if steps <= 0:
+        raise ShapeError(f"warmup steps must be positive, got {steps}")
+
+    def fn(step: int) -> float:
+        scale = min((step + 1) / steps, 1.0)
+        return base(step) * scale
+
+    return fn
+
+
+class ScheduledSGD(SGD):
+    """SGD whose learning rate follows a schedule.
+
+    ``step()`` consults the schedule with an internal counter, so the
+    trainer loop needs no changes.
+    """
+
+    def __init__(self, parameters, schedule: Schedule,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        super().__init__(parameters, lr=max(schedule(0), 1e-30),
+                         momentum=momentum, weight_decay=weight_decay)
+        self.schedule = schedule
+        self._step_count = 0
+        self.lr_history: List[float] = []
+
+    def step(self) -> None:
+        self.lr = max(self.schedule(self._step_count), 0.0)
+        self.lr_history.append(self.lr)
+        self._step_count += 1
+        if self.lr > 0.0:
+            super().step()

@@ -1,0 +1,48 @@
+"""Softmax and the softmax-cross-entropy loss head."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy on integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` the gradient
+    w.r.t. the logits (``(p - onehot) / batch``).
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ShapeError(f"expected (batch, classes) logits, got {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ShapeError("labels out of range")
+        self._probs = softmax(logits)
+        self._labels = labels
+        picked = self._probs[np.arange(len(labels)), labels]
+        return float(-np.log(np.maximum(picked, 1e-300)).mean())
+
+    def backward(self) -> np.ndarray:
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)
+
+    def predictions(self) -> np.ndarray:
+        """argmax class of the last forward pass."""
+        return self._probs.argmax(axis=1)

@@ -1,0 +1,117 @@
+"""SGD optimiser and a minimal training loop.
+
+The BP training process of section II-A: "applies BP algorithm to
+adjust learnable kernels so as to minimize the cost function".  Used
+by the LeNet-5 example and the integration tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .module import Layer, Parameter
+from .softmax import SoftmaxCrossEntropy
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum and L2
+    weight decay."""
+
+    def __init__(self, parameters: List[Parameter], lr: float = 0.01,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0,1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            v *= self.momentum
+            v -= self.lr * g
+            p.value += v
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+@dataclass
+class TrainResult:
+    """History of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1]
+
+
+class Trainer:
+    """Couples a model, loss and optimiser into a train/eval loop."""
+
+    def __init__(self, model: Layer, optimizer: SGD,
+                 loss: Optional[SoftmaxCrossEntropy] = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss or SoftmaxCrossEntropy()
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
+        """One iteration: forward, backward, update.  Returns
+        (loss, batch accuracy)."""
+        self.model.train(True)
+        self.optimizer.zero_grad()
+        logits = self.model.forward(x)
+        loss = self.loss.forward(logits, labels)
+        if math.isnan(loss) or math.isinf(loss):
+            raise ConvergenceError(f"loss diverged: {loss}")
+        self.model.backward(self.loss.backward())
+        self.optimizer.step()
+        acc = float((self.loss.predictions() == labels).mean())
+        return loss, acc
+
+    def fit(self, batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+            log_every: int = 0,
+            callback: Optional[Callable[[int, float, float], None]] = None
+            ) -> TrainResult:
+        """Train over an iterable of (x, labels) batches."""
+        result = TrainResult()
+        for step, (x, labels) in enumerate(batches):
+            loss, acc = self.train_step(x, labels)
+            result.losses.append(loss)
+            result.accuracies.append(acc)
+            if callback is not None:
+                callback(step, loss, acc)
+            if log_every and step % log_every == 0:  # pragma: no cover
+                print(f"step {step:5d}  loss {loss:.4f}  acc {acc:.3f}")
+        if not result.losses:
+            raise ValueError("fit received no batches")
+        return result
+
+    def evaluate(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
+        """Loss and accuracy on one evaluation batch (no updates)."""
+        self.model.train(False)
+        logits = self.model.forward(x)
+        loss = self.loss.forward(logits, labels)
+        acc = float((self.loss.predictions() == labels).mean())
+        self.model.train(True)
+        return loss, acc

@@ -1,0 +1,20 @@
+"""Tensor geometry helpers: shape arithmetic and memory layouts."""
+
+from .shapes import (
+    conv_output_size,
+    conv_input_gradient_size,
+    pool_output_size,
+    same_padding,
+)
+from .layout import Layout, convert, nchw_to_chwn, chwn_to_nchw
+
+__all__ = [
+    "conv_output_size",
+    "conv_input_gradient_size",
+    "pool_output_size",
+    "same_padding",
+    "Layout",
+    "convert",
+    "nchw_to_chwn",
+    "chwn_to_nchw",
+]

@@ -1,0 +1,86 @@
+"""Tensor memory layouts used by the benchmarked implementations.
+
+The seven implementations do not agree on how a 4-D activation tensor
+is laid out in device memory:
+
+* Caffe / cuDNN / Torch-cunn / Theano use **NCHW** (batch outermost) —
+  the layout this package uses as its canonical interchange format;
+* cuda-convnet2 uses **CHWN** (batch innermost), which is what makes
+  its direct kernels efficient for batch sizes that are multiples of
+  128 (each warp streams over the batch dimension);
+* fbfft works in **BDHW** and transposes to **HWBD** around its batched
+  complex GEMM (the ``Transpose`` hotspot kernel of Fig. 4(f)).
+
+The conversion helpers here are used by the framework adapters so that
+running a layer through, say, the cuda-convnet2 implementation really
+exercises a layout round-trip, exactly as the Torch wrapper the paper
+used did.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+class Layout(Enum):
+    """Axis orderings for a 4-D activation tensor.
+
+    The value of each member is the tuple of canonical-NCHW axis
+    indices in the member's storage order, i.e. ``np.transpose(x,
+    member.value)`` converts an NCHW array into that layout.
+    """
+
+    NCHW = (0, 1, 2, 3)
+    CHWN = (1, 2, 3, 0)
+    BDHW = (0, 1, 2, 3)  # fbfft's name for NCHW (batch, depth, h, w)
+    HWBD = (2, 3, 0, 1)
+
+    @property
+    def axes_from_nchw(self) -> Tuple[int, int, int, int]:
+        return self.value
+
+
+def _check4d(x: np.ndarray) -> None:
+    if x.ndim != 4:
+        raise ShapeError(f"expected a 4-D tensor, got ndim={x.ndim}")
+
+
+def convert(x: np.ndarray, src: Layout, dst: Layout, copy: bool = True) -> np.ndarray:
+    """Convert ``x`` from layout ``src`` to layout ``dst``.
+
+    With ``copy=True`` (default) the result is C-contiguous in the
+    destination layout — this models the real data movement the
+    transpose kernels perform.  With ``copy=False`` a view is returned
+    when possible (useful in tests, cheap per the HPC guides' "views
+    not copies" advice when only indexing semantics matter).
+    """
+    _check4d(x)
+    if src == dst:
+        return np.ascontiguousarray(x) if copy else x
+    # Invert src's permutation to get back to NCHW, then apply dst's.
+    inv = np.argsort(src.axes_from_nchw)
+    perm = tuple(inv[list(dst.axes_from_nchw)])
+    out = np.transpose(x, perm)
+    return np.ascontiguousarray(out) if copy else out
+
+
+def nchw_to_chwn(x: np.ndarray) -> np.ndarray:
+    """NCHW -> CHWN (cuda-convnet2's native layout)."""
+    return convert(x, Layout.NCHW, Layout.CHWN)
+
+
+def chwn_to_nchw(x: np.ndarray) -> np.ndarray:
+    """CHWN -> NCHW."""
+    return convert(x, Layout.CHWN, Layout.NCHW)
+
+
+def transpose_bytes(shape: Tuple[int, ...], itemsize: int = 4) -> int:
+    """Device-memory traffic of one layout transpose of ``shape``:
+    every element is read once and written once."""
+    n = int(np.prod(shape))
+    return 2 * n * itemsize

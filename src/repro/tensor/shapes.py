@@ -1,0 +1,104 @@
+"""Shape arithmetic for convolution and pooling layers.
+
+These are the standard "valid with padding" formulas used by every
+implementation the paper benchmarks.  They are factored out so the
+numerical strategies, the kernel-plan builders and the NN layers all
+agree on geometry by construction.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+
+
+def conv_output_size(input_size: int, kernel_size: int, stride: int = 1,
+                     padding: int = 0) -> int:
+    """Output spatial size of a convolution.
+
+    ``o = floor((i + 2p - k) / s) + 1``
+
+    Raises :class:`ShapeError` when the kernel does not fit in the
+    padded input or any argument is non-positive where it must be.
+    """
+    if input_size <= 0:
+        raise ShapeError(f"input_size must be positive, got {input_size}")
+    if kernel_size <= 0:
+        raise ShapeError(f"kernel_size must be positive, got {kernel_size}")
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    if padding < 0:
+        raise ShapeError(f"padding must be non-negative, got {padding}")
+    padded = input_size + 2 * padding
+    if kernel_size > padded:
+        raise ShapeError(
+            f"kernel_size {kernel_size} exceeds padded input {padded}"
+        )
+    return (padded - kernel_size) // stride + 1
+
+
+def conv_input_gradient_size(output_size: int, kernel_size: int, stride: int = 1,
+                             padding: int = 0) -> int:
+    """Input size recovered from an output size (used by backward-input
+    passes and transposed convolutions):
+
+    ``i = (o - 1) * s + k - 2p``
+    """
+    if output_size <= 0:
+        raise ShapeError(f"output_size must be positive, got {output_size}")
+    if kernel_size <= 0:
+        raise ShapeError(f"kernel_size must be positive, got {kernel_size}")
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    if padding < 0:
+        raise ShapeError(f"padding must be non-negative, got {padding}")
+    size = (output_size - 1) * stride + kernel_size - 2 * padding
+    if size <= 0:
+        raise ShapeError(
+            f"degenerate input size {size} from o={output_size}, "
+            f"k={kernel_size}, s={stride}, p={padding}"
+        )
+    return size
+
+
+def pool_output_size(input_size: int, window: int, stride: int = None,
+                     padding: int = 0, ceil_mode: bool = True) -> int:
+    """Output size of a pooling layer.
+
+    Caffe-era pooling uses *ceil* division (so border windows that
+    partially overlap the input still produce an output); modern
+    libraries default to floor.  Both are supported; the CNN models in
+    this package use ``ceil_mode=True`` to match the architectures the
+    paper profiles (e.g. GoogLeNet's 3x3/2 pools).
+    """
+    if stride is None:
+        stride = window
+    if input_size <= 0:
+        raise ShapeError(f"input_size must be positive, got {input_size}")
+    if window <= 0:
+        raise ShapeError(f"window must be positive, got {window}")
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    if padding < 0:
+        raise ShapeError(f"padding must be non-negative, got {padding}")
+    if window > input_size + 2 * padding:
+        raise ShapeError(
+            f"window {window} exceeds padded input {input_size + 2 * padding}"
+        )
+    span = input_size + 2 * padding - window
+    if ceil_mode:
+        out = -(-span // stride) + 1  # ceil division
+        # Caffe clips the last window so it starts inside the input.
+        if (out - 1) * stride >= input_size + padding:
+            out -= 1
+    else:
+        out = span // stride + 1
+    return out
+
+
+def same_padding(kernel_size: int) -> int:
+    """Padding that preserves spatial size at stride 1 for odd kernels."""
+    if kernel_size <= 0:
+        raise ShapeError(f"kernel_size must be positive, got {kernel_size}")
+    if kernel_size % 2 == 0:
+        raise ShapeError(f"'same' padding requires an odd kernel, got {kernel_size}")
+    return (kernel_size - 1) // 2

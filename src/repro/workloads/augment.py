@@ -1,0 +1,116 @@
+"""Data augmentation for the training substrate.
+
+The AlexNet-era recipe — random crops, horizontal flips, additive
+noise — implemented as composable NumPy transforms over NCHW batches.
+Used by the digit training example to demonstrate regularisation with
+the same substrate the paper's models would have trained on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..rng import RngLike, make_rng
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def random_crop(size: int, padding: int = 4) -> Transform:
+    """Pad reflectively and crop a random ``size x size`` window per
+    image (the CIFAR training recipe)."""
+    if size <= 0 or padding < 0:
+        raise ShapeError("invalid crop parameters")
+
+    def fn(x: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        if x.shape[2] < size or x.shape[3] < size:
+            raise ShapeError(
+                f"images {x.shape[2:]} smaller than crop {size}")
+        padded = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                            (padding, padding)), mode="reflect")
+        b = x.shape[0]
+        out = np.empty((b, x.shape[1], size, size), dtype=x.dtype)
+        max_r = padded.shape[2] - size
+        max_c = padded.shape[3] - size
+        rows = gen.integers(0, max_r + 1, size=b)
+        cols = gen.integers(0, max_c + 1, size=b)
+        for i in range(b):
+            out[i] = padded[i, :, rows[i]:rows[i] + size,
+                            cols[i]:cols[i] + size]
+        return out
+
+    return fn
+
+
+def random_flip(p: float = 0.5) -> Transform:
+    """Horizontal flip with probability ``p`` per image."""
+    if not (0.0 <= p <= 1.0):
+        raise ShapeError(f"p must be in [0,1], got {p}")
+
+    def fn(x: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        out = x.copy()
+        mask = gen.random(x.shape[0]) < p
+        out[mask] = out[mask, :, :, ::-1]
+        return out
+
+    return fn
+
+
+def gaussian_noise(sigma: float = 0.05) -> Transform:
+    """Additive white noise."""
+    if sigma < 0:
+        raise ShapeError(f"sigma must be >= 0, got {sigma}")
+
+    def fn(x: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        if sigma == 0:
+            return x
+        return x + gen.standard_normal(x.shape).astype(x.dtype) * sigma
+
+    return fn
+
+
+def cutout(holes: int = 1, length: int = 8) -> Transform:
+    """Zero out random square patches (DeVries & Taylor)."""
+    if holes <= 0 or length <= 0:
+        raise ShapeError("holes and length must be positive")
+
+    def fn(x: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+        out = x.copy()
+        b, _, h, w = x.shape
+        for i in range(b):
+            for _ in range(holes):
+                r = int(gen.integers(0, h))
+                c = int(gen.integers(0, w))
+                r0, r1 = max(r - length // 2, 0), min(r + length // 2, h)
+                c0, c1 = max(c - length // 2, 0), min(c + length // 2, w)
+                out[i, :, r0:r1, c0:c1] = 0.0
+        return out
+
+    return fn
+
+
+class Compose:
+    """Apply transforms in order with one deterministic stream."""
+
+    def __init__(self, transforms: Sequence[Transform], rng: RngLike = None):
+        if not transforms:
+            raise ShapeError("Compose needs at least one transform")
+        self.transforms: List[Transform] = list(transforms)
+        self._gen = make_rng(rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"expected NCHW batch, got ndim={x.ndim}")
+        for t in self.transforms:
+            x = t(x, self._gen)
+        return x
+
+
+def augmented_batches(batches, transforms: Sequence[Transform],
+                      rng: RngLike = None):
+    """Wrap a (x, y) batch iterator with augmentation."""
+    compose = Compose(transforms, rng)
+    for x, y in batches:
+        yield compose(x), y

@@ -1,0 +1,45 @@
+"""Random tensors shaped by benchmark configurations."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..config import ConvConfig
+from ..errors import ShapeError
+from ..rng import RngLike, make_rng
+
+
+def conv_tensors(config: ConvConfig, rng: RngLike = None,
+                 dtype=np.float32) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(input, weights, bias) for one conv-layer benchmark config."""
+    gen = make_rng(rng)
+    x = gen.standard_normal(config.input_shape).astype(dtype)
+    w = (gen.standard_normal(config.weight_shape)
+         / np.sqrt(config.channels * config.kernel_size ** 2)).astype(dtype)
+    bias = gen.standard_normal(config.filters).astype(dtype) * 0.1
+    return x, w, bias
+
+
+def random_batch(batch: int, channels: int, size: int, classes: int = 10,
+                 rng: RngLike = None,
+                 dtype=np.float32) -> Tuple[np.ndarray, np.ndarray]:
+    """A random image batch with random labels."""
+    if batch <= 0 or channels <= 0 or size <= 0 or classes <= 0:
+        raise ShapeError("batch, channels, size and classes must be positive")
+    gen = make_rng(rng)
+    x = gen.standard_normal((batch, channels, size, size)).astype(dtype)
+    labels = gen.integers(0, classes, size=batch)
+    return x, labels
+
+
+def batch_stream(batches: int, batch: int, channels: int, size: int,
+                 classes: int = 10, rng: RngLike = None
+                 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """A finite stream of random batches (for trainer smoke runs)."""
+    if batches <= 0:
+        raise ShapeError(f"batches must be positive, got {batches}")
+    gen = make_rng(rng)
+    for _ in range(batches):
+        yield random_batch(batch, channels, size, classes, gen)

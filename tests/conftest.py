@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ConvConfig
+from repro.gpusim.device import K40C
+
+
+@pytest.fixture
+def rng():
+    """Deterministic per-test generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config():
+    """A conv config small enough for exact numeric work in tests."""
+    return ConvConfig(batch=2, input_size=12, filters=4, kernel_size=3,
+                      stride=1, channels=3)
+
+
+@pytest.fixture
+def device():
+    return K40C

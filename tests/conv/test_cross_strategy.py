@@ -1,0 +1,191 @@
+"""Cross-strategy agreement: the heart of the numerical test suite.
+
+The paper's three convolution strategies are different algorithms for
+the same mathematics; here hypothesis drives all of them against the
+naive reference across random geometries for all three passes of a
+training iteration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import (direct_backward_input, direct_backward_weights,
+                        direct_forward, fft_backward_input,
+                        fft_backward_weights, fft_forward,
+                        unrolled_backward_input, unrolled_backward_weights,
+                        unrolled_forward)
+from repro.conv.reference import (conv2d_reference,
+                                  conv2d_reference_backward_input,
+                                  conv2d_reference_backward_weights)
+
+geometry = st.tuples(
+    st.integers(1, 3),   # batch
+    st.integers(1, 3),   # channels
+    st.integers(1, 3),   # filters
+    st.integers(4, 10),  # input size
+    st.integers(1, 4),   # kernel
+    st.integers(1, 3),   # stride
+    st.integers(0, 2),   # padding
+)
+
+
+def tensors(geom, seed):
+    b, c, f, i, k, s, p = geom
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((b, c, i, i))
+    w = rng.standard_normal((f, c, k, k))
+    return x, w
+
+
+STRATEGIES = {
+    "direct": (direct_forward, direct_backward_input, direct_backward_weights),
+    "unrolled": (unrolled_forward, unrolled_backward_input,
+                 unrolled_backward_weights),
+    "fft": (fft_forward, fft_backward_input, fft_backward_weights),
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(geom=geometry, seed=st.integers(0, 2**16))
+@pytest.mark.parametrize("name", ["direct", "unrolled", "fft"])
+def test_forward_matches_reference(name, geom, seed):
+    b, c, f, i, k, s, p = geom
+    if k > i + 2 * p:
+        return
+    if name == "fft" and s != 1:
+        return
+    x, w = tensors(geom, seed)
+    fwd, _, _ = STRATEGIES[name]
+    expected = conv2d_reference(x, w, None, s, p)
+    got = fwd(x, w, None, s, p)
+    np.testing.assert_allclose(got, expected, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(geom=geometry, seed=st.integers(0, 2**16))
+@pytest.mark.parametrize("name", ["direct", "unrolled", "fft"])
+def test_backward_input_matches_reference(name, geom, seed):
+    b, c, f, i, k, s, p = geom
+    if k > i + 2 * p or k <= 2 * p:
+        return
+    if name == "fft" and s != 1:
+        return
+    x, w = tensors(geom, seed)
+    y = conv2d_reference(x, w, None, s, p)
+    rng = np.random.default_rng(seed + 1)
+    dy = rng.standard_normal(y.shape)
+    expected = conv2d_reference_backward_input(dy, w, (i, i), s, p)
+    _, bwd_in, _ = STRATEGIES[name]
+    got = bwd_in(dy, w, (i, i), s, p)
+    np.testing.assert_allclose(got, expected, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(geom=geometry, seed=st.integers(0, 2**16))
+@pytest.mark.parametrize("name", ["direct", "unrolled", "fft"])
+def test_backward_weights_matches_reference(name, geom, seed):
+    b, c, f, i, k, s, p = geom
+    if k > i + 2 * p:
+        return
+    if name == "fft" and s != 1:
+        return
+    x, w = tensors(geom, seed)
+    y = conv2d_reference(x, w, None, s, p)
+    rng = np.random.default_rng(seed + 2)
+    dy = rng.standard_normal(y.shape)
+    expected = conv2d_reference_backward_weights(dy, x, (k, k), s, p)
+    _, _, bwd_w = STRATEGIES[name]
+    got = bwd_w(dy, x, (k, k), s, p)
+    np.testing.assert_allclose(got, expected, rtol=1e-8, atol=1e-8)
+
+
+class TestLinearity:
+    """Convolution is bilinear; each strategy must respect that."""
+
+    @pytest.mark.parametrize("name", ["direct", "unrolled", "fft"])
+    def test_linear_in_input(self, name, rng):
+        fwd, _, _ = STRATEGIES[name]
+        x1 = rng.standard_normal((2, 3, 8, 8))
+        x2 = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        np.testing.assert_allclose(
+            fwd(x1 + 2.0 * x2, w), fwd(x1, w) + 2.0 * fwd(x2, w),
+            rtol=1e-8, atol=1e-8)
+
+    @pytest.mark.parametrize("name", ["direct", "unrolled", "fft"])
+    def test_linear_in_weights(self, name, rng):
+        fwd, _, _ = STRATEGIES[name]
+        x = rng.standard_normal((2, 3, 8, 8))
+        w1 = rng.standard_normal((4, 3, 3, 3))
+        w2 = rng.standard_normal((4, 3, 3, 3))
+        np.testing.assert_allclose(
+            fwd(x, w1 - 0.5 * w2), fwd(x, w1) - 0.5 * fwd(x, w2),
+            rtol=1e-8, atol=1e-8)
+
+
+class TestAdjointness:
+    """<conv(x, w), dy> == <x, conv_backward_input(dy, w)> — the
+    defining property of a correct gradient."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(geom=geometry, seed=st.integers(0, 2**16))
+    def test_forward_backward_adjoint(self, geom, seed):
+        b, c, f, i, k, s, p = geom
+        if k > i + 2 * p or k <= 2 * p:
+            return
+        x, w = tensors(geom, seed)
+        y = direct_forward(x, w, None, s, p)
+        rng = np.random.default_rng(seed + 3)
+        dy = rng.standard_normal(y.shape)
+        dx = direct_backward_input(dy, w, (i, i), s, p)
+        lhs = float((y * dy).sum())
+        rhs = float((x * dx).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(geom=geometry, seed=st.integers(0, 2**16))
+    def test_weight_adjoint(self, geom, seed):
+        """<conv(x, w), dy> == <w, conv_backward_weights(dy, x)>."""
+        b, c, f, i, k, s, p = geom
+        if k > i + 2 * p:
+            return
+        x, w = tensors(geom, seed)
+        y = direct_forward(x, w, None, s, p)
+        rng = np.random.default_rng(seed + 4)
+        dy = rng.standard_normal(y.shape)
+        dw = direct_backward_weights(dy, x, (k, k), s, p)
+        assert float((y * dy).sum()) == pytest.approx(
+            float((w * dw).sum()), rel=1e-9, abs=1e-9)
+
+
+class TestFftStrideRestriction:
+    """Fig. 3(e): FFT-based convolution only supports stride 1."""
+
+    def test_forward_rejects_stride(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 3, 3))
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            fft_forward(x, w, stride=2)
+
+    def test_backward_rejects_stride(self, rng):
+        w = rng.standard_normal((1, 1, 3, 3))
+        dy = rng.standard_normal((1, 1, 3, 3))
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            fft_backward_input(dy, w, (8, 8), stride=2)
+
+
+class TestFloat32:
+    """The benchmarked frameworks run fp32; strategies must accept it."""
+
+    @pytest.mark.parametrize("name", ["direct", "unrolled", "fft"])
+    def test_float32_inputs(self, name, rng):
+        fwd, _, _ = STRATEGIES[name]
+        x = rng.standard_normal((2, 3, 10, 10)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        y = fwd(x, w)
+        expected = conv2d_reference(x.astype(np.float64),
+                                    w.astype(np.float64))
+        np.testing.assert_allclose(y, expected, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,114 @@
+"""Edge-case tests for the direct strategy and shared conv helpers."""
+
+import numpy as np
+import pytest
+
+from repro.conv import direct_forward
+from repro.conv.common import (add_bias, check_conv_args, pad_input,
+                               unpad_input)
+from repro.conv.direct import _windows, backward_bias
+from repro.errors import ShapeError
+
+
+class TestWindows:
+    def test_windows_are_views(self, rng):
+        """Per the HPC guides: the sliding windows must not copy."""
+        x = rng.standard_normal((1, 1, 6, 6))
+        win = _windows(x, 3, 3, 1)
+        assert np.shares_memory(win, x)
+
+    def test_window_content(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        win = _windows(x, 2, 2, 1)
+        assert win.shape == (1, 2, 4, 4, 2, 2)
+        assert np.array_equal(win[0, 1, 2, 3], x[0, 1, 2:4, 3:5])
+
+    def test_strided_windows_skip(self, rng):
+        x = rng.standard_normal((1, 1, 7, 7))
+        win = _windows(x, 3, 3, 2)
+        assert win.shape[2:4] == (3, 3)
+        assert np.array_equal(win[0, 0, 1, 1], x[0, 0, 2:5, 2:5])
+
+
+class TestDirectEdgeCases:
+    def test_1x1_kernel_is_channel_mix(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        w = rng.standard_normal((5, 3, 1, 1))
+        y = direct_forward(x, w)
+        expect = np.einsum("bchw,fc->bfhw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(y, expect, rtol=1e-10, atol=1e-12)
+
+    def test_kernel_equals_input(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 5, 5))
+        y = direct_forward(x, w)
+        assert y.shape == (1, 3, 1, 1)
+        np.testing.assert_allclose(
+            y[0, :, 0, 0], np.einsum("chw,fchw->f", x[0], w),
+            rtol=1e-10, atol=1e-12)
+
+    def test_single_pixel_input(self, rng):
+        x = rng.standard_normal((1, 1, 1, 1))
+        w = rng.standard_normal((1, 1, 1, 1))
+        assert direct_forward(x, w)[0, 0, 0, 0] == pytest.approx(
+            x[0, 0, 0, 0] * w[0, 0, 0, 0])
+
+    def test_backward_bias(self, rng):
+        dy = rng.standard_normal((2, 3, 4, 4))
+        np.testing.assert_allclose(backward_bias(dy), dy.sum(axis=(0, 2, 3)))
+
+    def test_input_not_modified(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        x0 = x.copy()
+        direct_forward(x, rng.standard_normal((1, 1, 3, 3)), padding=1)
+        np.testing.assert_array_equal(x, x0)
+
+
+class TestCommonHelpers:
+    def test_check_conv_args_returns_output_dims(self, rng):
+        x = rng.standard_normal((1, 2, 10, 8))
+        w = rng.standard_normal((3, 2, 3, 3))
+        assert check_conv_args(x, w, 1, 0) == (8, 6)
+
+    @pytest.mark.parametrize("xshape,wshape,s,p", [
+        ((2, 10, 10), (1, 1, 3, 3), 1, 0),     # bad input rank
+        ((1, 1, 10, 10), (1, 3, 3), 1, 0),     # bad weight rank
+        ((1, 2, 10, 10), (1, 3, 3, 3), 1, 0),  # channel mismatch
+        ((1, 1, 10, 10), (1, 1, 3, 3), 0, 0),  # zero stride
+        ((1, 1, 10, 10), (1, 1, 3, 3), 1, -1), # negative padding
+    ])
+    def test_check_conv_args_rejects(self, rng, xshape, wshape, s, p):
+        with pytest.raises(ShapeError):
+            check_conv_args(rng.standard_normal(xshape),
+                            rng.standard_normal(wshape), s, p)
+
+    def test_pad_unpad_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        assert np.array_equal(unpad_input(pad_input(x, 2), 2), x)
+
+    def test_pad_zero_is_identity_object(self, rng):
+        x = rng.standard_normal((1, 1, 2, 2))
+        assert pad_input(x, 0) is x
+
+    def test_pad_places_zeros(self, rng):
+        x = np.ones((1, 1, 2, 2))
+        p = pad_input(x, 1)
+        assert p.shape == (1, 1, 4, 4)
+        assert p[0, 0, 0, :].sum() == 0
+        assert p[0, 0, 1:3, 1:3].sum() == 4
+
+    def test_add_bias_in_place(self):
+        y = np.zeros((1, 2, 2, 2))
+        out = add_bias(y, np.array([1.0, 2.0]))
+        assert out is y
+        assert y[0, 0].sum() == 4.0 and y[0, 1].sum() == 8.0
+
+    def test_add_bias_none_passthrough(self, rng):
+        y = rng.standard_normal((1, 2, 2, 2))
+        assert add_bias(y, None) is y
+
+    def test_add_bias_shape_error(self):
+        with pytest.raises(ShapeError):
+            add_bias(np.zeros((1, 2, 2, 2)), np.zeros(3))
+        with pytest.raises(ShapeError):
+            add_bias(np.zeros((1, 2, 2, 2)), np.zeros((2, 1)))

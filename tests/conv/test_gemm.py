@@ -1,0 +1,73 @@
+"""Tests for the GEMM helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv.gemm import (blocked_gemm, cgemm_flops, gemm, gemm_bytes,
+                             gemm_flops)
+from repro.errors import ShapeError
+
+
+class TestGemm:
+    def test_matches_matmul(self, rng):
+        a = rng.standard_normal((7, 5))
+        b = rng.standard_normal((5, 9))
+        assert np.allclose(gemm(a, b), a @ b)
+
+    def test_out_parameter(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        out = np.zeros((3, 2))
+        ret = gemm(a, b, out=out)
+        assert ret is out
+        assert np.allclose(out, a @ b)
+
+    def test_accumulate(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        out = np.ones((3, 2))
+        gemm(a, b, out=out, accumulate=True)
+        assert np.allclose(out, 1.0 + a @ b)
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ShapeError):
+            gemm(rng.standard_normal((3, 4)), rng.standard_normal((5, 2)))
+        with pytest.raises(ShapeError):
+            gemm(rng.standard_normal(4), rng.standard_normal((4, 2)))
+        with pytest.raises(ShapeError):
+            gemm(rng.standard_normal((3, 4)), rng.standard_normal((4, 2)),
+                 out=np.zeros((2, 2)))
+
+
+class TestBlockedGemm:
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(1, 40), k=st.integers(1, 40), n=st.integers(1, 40),
+           block=st.sampled_from([1, 3, 8, 64]), seed=st.integers(0, 99))
+    def test_matches_blas(self, m, k, n, block, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        assert np.allclose(blocked_gemm(a, b, block=block), a @ b)
+
+    def test_rejects_bad_block(self, rng):
+        with pytest.raises(ShapeError):
+            blocked_gemm(rng.standard_normal((2, 2)),
+                         rng.standard_normal((2, 2)), block=0)
+
+
+class TestFlopCounting:
+    def test_gemm_flops(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_cgemm_is_4x(self):
+        assert cgemm_flops(2, 3, 4) == 4 * gemm_flops(2, 3, 4)
+
+    def test_bytes(self):
+        assert gemm_bytes(2, 3, 4, itemsize=4) == (8 + 12 + 6) * 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ShapeError):
+            gemm_flops(0, 1, 1)
+        with pytest.raises(ShapeError):
+            cgemm_flops(1, -1, 1)

@@ -1,0 +1,106 @@
+"""Tests for im2col/col2im — the unrolling kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv.im2col import col2im, im2col, im2col_bytes
+from repro.errors import ShapeError
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        col = im2col(x, kernel=3)
+        assert col.shape == (2, 3 * 9, 36)
+
+    def test_column_content(self, rng):
+        """Column (p*ow+q) holds the window producing output (p, q)."""
+        x = rng.standard_normal((1, 2, 5, 5))
+        col = im2col(x, kernel=3)
+        window = x[0, :, 1:4, 2:5]  # output position (1, 2)
+        assert np.allclose(col[0, :, 1 * 3 + 2], window.reshape(-1))
+
+    def test_stride_skips_positions(self, rng):
+        x = rng.standard_normal((1, 1, 7, 7))
+        col = im2col(x, kernel=3, stride=2)
+        assert col.shape == (1, 9, 9)
+        assert np.allclose(col[0, :, 4], x[0, 0, 2:5, 2:5].reshape(-1))
+
+    def test_padding(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        col = im2col(x, kernel=3, padding=1)
+        assert col.shape == (1, 9, 16)
+        # Corner window has 4 zeros from padding.
+        corner = col[0, :, 0].reshape(3, 3)
+        assert np.allclose(corner[0, :], 0.0)
+        assert np.allclose(corner[:, 0], 0.0)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            im2col(np.ones((3, 3)), kernel=2)
+
+    def test_bytes_helper(self):
+        assert im2col_bytes(2, 3, 3, 4, 4) == 2 * 27 * 16 * 4
+
+
+class TestCol2im:
+    def test_counts_overlaps(self):
+        """col2im of all-ones counts how many windows cover each
+        pixel."""
+        x = np.ones((1, 1, 4, 4))
+        col = np.ones_like(im2col(x, kernel=3))
+        folded = col2im(col, (4, 4), kernel=3)
+        expected = np.array([
+            [1, 2, 2, 1],
+            [2, 4, 4, 2],
+            [2, 4, 4, 2],
+            [1, 2, 2, 1],
+        ], dtype=float)
+        assert np.allclose(folded[0, 0], expected)
+
+    def test_shape_validation(self, rng):
+        # Wrong number of columns for the geometry.
+        with pytest.raises(ShapeError):
+            col2im(rng.standard_normal((1, 9, 5)), (4, 4), kernel=3)
+        # Column height not a multiple of k^2.
+        with pytest.raises(ShapeError):
+            col2im(rng.standard_normal((1, 10, 4)), (4, 4), kernel=3)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            col2im(np.ones((9, 4)), (4, 4), kernel=3)
+
+
+class TestAdjointness:
+    """col2im is the exact adjoint of im2col:
+    <im2col(x), y> == <x, col2im(y)> for every x, y."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(b=st.integers(1, 2), c=st.integers(1, 3), i=st.integers(3, 9),
+           k=st.integers(1, 3), s=st.integers(1, 3), p=st.integers(0, 2),
+           seed=st.integers(0, 2**16))
+    def test_adjoint(self, b, c, i, k, s, p, seed):
+        if k > i + 2 * p:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((b, c, i, i))
+        col_shape = im2col(x, k, s, p).shape
+        y = rng.standard_normal(col_shape)
+        lhs = float((im2col(x, k, s, p) * y).sum())
+        rhs = float((x * col2im(y, (i, i), k, s, p)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(i=st.integers(3, 8), k=st.integers(1, 3), seed=st.integers(0, 99))
+    def test_roundtrip_is_overlap_weighting(self, i, k, seed):
+        """col2im(im2col(x)) multiplies each pixel by its coverage
+        count — never less than 1 for stride 1."""
+        if k > i:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 1, i, i))
+        folded = col2im(im2col(x, k), (i, i), k)
+        counts = col2im(np.ones_like(im2col(x, k)), (i, i), k)
+        assert np.allclose(folded, x * counts)
+        assert counts.min() >= 1.0

@@ -1,0 +1,92 @@
+"""Physical/mathematical property tests of the convolution strategies.
+
+Beyond matching the reference, convolution has structure — shift
+equivariance, delta-kernel identity, composition of 1x1 mixes — that
+each strategy must respect independently of any reference
+implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import (direct_forward, fft_forward, unrolled_forward)
+from repro.conv.winograd import forward as winograd_forward
+
+ALL_STRATEGIES = [
+    ("direct", direct_forward),
+    ("unrolled", unrolled_forward),
+    ("fft", fft_forward),
+]
+
+
+@pytest.mark.parametrize("name,fwd", ALL_STRATEGIES)
+class TestShiftEquivariance:
+    def test_translating_input_translates_output(self, name, fwd, rng):
+        """conv(shift(x)) == shift(conv(x)) away from the borders."""
+        x = rng.standard_normal((1, 2, 12, 12))
+        w = rng.standard_normal((3, 2, 3, 3))
+        y = fwd(x, w)
+        x_shift = np.roll(x, shift=(2, 1), axis=(2, 3))
+        y_shift = fwd(x_shift, w)
+        # Interior region unaffected by roll wrap-around.
+        np.testing.assert_allclose(y_shift[:, :, 3:9, 2:8],
+                                   y[:, :, 1:7, 1:7],
+                                   rtol=1e-6, atol=1e-6)
+
+
+@pytest.mark.parametrize("name,fwd", ALL_STRATEGIES + [
+    ("winograd", winograd_forward)])
+class TestDeltaKernel:
+    def test_delta_kernel_extracts_channel(self, name, fwd, rng):
+        """A kernel that is 1 at one tap of one channel selects that
+        shifted channel."""
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = np.zeros((1, 3, 3, 3))
+        w[0, 1, 0, 2] = 1.0  # channel 1, offset (0, 2)
+        y = fwd(x, w)
+        np.testing.assert_allclose(y[:, 0], x[:, 1, 0:6, 2:8],
+                                   rtol=1e-6, atol=1e-6)
+
+
+class TestComposition:
+    @pytest.mark.parametrize("name,fwd", ALL_STRATEGIES)
+    def test_two_1x1_convs_compose_to_matrix_product(self, name, fwd, rng):
+        """conv1x1(conv1x1(x; A); B) == conv1x1(x; B @ A)."""
+        x = rng.standard_normal((2, 3, 5, 5))
+        a = rng.standard_normal((4, 3, 1, 1))
+        b = rng.standard_normal((2, 4, 1, 1))
+        two_step = fwd(fwd(x, a), b)
+        ba = np.einsum("fk,kc->fc", b[:, :, 0, 0], a[:, :, 0, 0])
+        one_step = fwd(x, ba[:, :, None, None])
+        np.testing.assert_allclose(two_step, one_step, rtol=1e-6, atol=1e-6)
+
+
+class TestScalingLaws:
+    @settings(max_examples=15, deadline=None)
+    @given(scale=st.floats(-3.0, 3.0), seed=st.integers(0, 99))
+    def test_homogeneity(self, scale, seed):
+        """conv(a x, w) == a conv(x, w) for every strategy."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        for name, fwd in ALL_STRATEGIES:
+            np.testing.assert_allclose(
+                fwd(scale * x, w), scale * fwd(x, w),
+                rtol=1e-7, atol=1e-7, err_msg=name)
+
+    def test_zero_input_gives_zero(self, rng):
+        x = np.zeros((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        for name, fwd in ALL_STRATEGIES + [("winograd", winograd_forward)]:
+            assert np.allclose(fwd(x, w), 0.0), name
+
+    def test_channel_additivity(self, rng):
+        """Splitting channels and summing the partial convolutions
+        matches the full convolution."""
+        x = rng.standard_normal((1, 4, 6, 6))
+        w = rng.standard_normal((2, 4, 3, 3))
+        full = direct_forward(x, w)
+        parts = (direct_forward(x[:, :2], w[:, :2])
+                 + direct_forward(x[:, 2:], w[:, 2:]))
+        np.testing.assert_allclose(full, parts, rtol=1e-10, atol=1e-10)

@@ -1,0 +1,109 @@
+"""Tests for the naive reference convolution itself.
+
+The reference must be right before anything else can be tested against
+it, so it gets hand-computed cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import (conv2d_reference,
+                                  conv2d_reference_backward_input,
+                                  conv2d_reference_backward_weights)
+from repro.errors import ShapeError
+
+
+class TestHandComputed:
+    def test_identity_kernel(self):
+        """A delta kernel reproduces the input's valid region."""
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0  # centre tap
+        y = conv2d_reference(x, w)
+        assert np.array_equal(y[0, 0], x[0, 0, 1:3, 1:3])
+
+    def test_box_sum(self):
+        x = np.ones((1, 1, 3, 3))
+        w = np.ones((1, 1, 2, 2))
+        y = conv2d_reference(x, w)
+        assert np.allclose(y, 4.0)
+
+    def test_cross_correlation_not_flipped(self):
+        """CNN convention: no kernel flip.  y[0,0] = sum x[i,j]*w[i,j]."""
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        w = np.array([[10.0, 20.0], [30.0, 40.0]]).reshape(1, 1, 2, 2)
+        y = conv2d_reference(x, w)
+        assert y[0, 0, 0, 0] == 1 * 10 + 2 * 20 + 3 * 30 + 4 * 40
+
+    def test_channels_summed(self):
+        x = np.ones((1, 2, 2, 2))
+        w = np.ones((1, 2, 2, 2))
+        assert conv2d_reference(x, w)[0, 0, 0, 0] == 8.0
+
+    def test_bias(self):
+        x = np.zeros((1, 1, 3, 3))
+        w = np.zeros((2, 1, 2, 2))
+        y = conv2d_reference(x, w, bias=np.array([1.5, -2.0]))
+        assert np.allclose(y[0, 0], 1.5)
+        assert np.allclose(y[0, 1], -2.0)
+
+    def test_stride(self):
+        x = np.arange(25, dtype=float).reshape(1, 1, 5, 5)
+        w = np.ones((1, 1, 1, 1))
+        y = conv2d_reference(x, w, stride=2)
+        assert np.array_equal(y[0, 0], x[0, 0, ::2, ::2])
+
+    def test_padding_adds_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        w = np.ones((1, 1, 3, 3))
+        y = conv2d_reference(x, w, padding=1)
+        assert y.shape == (1, 1, 2, 2)
+        assert y[0, 0, 0, 0] == 4.0  # only 2x2 inside the window
+
+
+class TestValidation:
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            conv2d_reference(np.ones((1, 2, 4, 4)), np.ones((1, 3, 2, 2)))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            conv2d_reference(np.ones((4, 4)), np.ones((1, 1, 2, 2)))
+
+    def test_bad_bias_shape(self):
+        with pytest.raises(ShapeError):
+            conv2d_reference(np.ones((1, 1, 4, 4)), np.ones((2, 1, 2, 2)),
+                             bias=np.ones(3))
+
+
+class TestBackwardConsistency:
+    """The reference backward passes must be the exact gradients of
+    the reference forward pass (checked by finite differences)."""
+
+    def test_input_gradient_finite_difference(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((2, 2, 3, 3))
+        dy = rng.standard_normal((1, 2, 3, 3))
+        dx = conv2d_reference_backward_input(dy, w, (5, 5))
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 2, 3), (0, 0, 4, 4)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = ((conv2d_reference(xp, w) - conv2d_reference(xm, w))
+                   * dy).sum() / (2 * eps)
+            assert dx[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_weight_gradient_finite_difference(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        w = rng.standard_normal((1, 2, 3, 3))
+        dy = rng.standard_normal((2, 1, 3, 3))
+        dw = conv2d_reference_backward_weights(dy, x, (3, 3))
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 1, 2), (0, 0, 2, 2)]:
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            num = ((conv2d_reference(x, wp) - conv2d_reference(x, wm))
+                   * dy).sum() / (2 * eps)
+            assert dw[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)

@@ -1,0 +1,63 @@
+"""Tests for the convolution-strategy registry."""
+
+import numpy as np
+import pytest
+
+from repro.conv.registry import (STRATEGIES, get_strategy,
+                                 supported_strategies)
+
+
+class TestRegistry:
+    def test_four_strategies(self):
+        assert set(STRATEGIES) == {"direct", "unrolled", "fft", "winograd"}
+
+    def test_get_strategy_returns_module(self):
+        mod = get_strategy("fft")
+        assert hasattr(mod, "forward")
+        assert hasattr(mod, "backward_input")
+        assert hasattr(mod, "backward_weights")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            get_strategy("im2winograd")
+
+    def test_supported_at_general_geometry(self):
+        assert supported_strategies(5, 1) == ["direct", "unrolled", "fft"]
+
+    def test_supported_at_3x3(self):
+        assert "winograd" in supported_strategies(3, 1)
+
+    def test_supported_at_stride_2(self):
+        assert supported_strategies(3, 2) == ["direct", "unrolled"]
+
+    def test_all_strategies_agree_where_supported(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        outs = [get_strategy(name).forward(x, w)
+                for name in supported_strategies(3, 1)]
+        for other in outs[1:]:
+            np.testing.assert_allclose(other, outs[0], rtol=1e-8, atol=1e-8)
+
+
+class TestConv2dWinogradBackend:
+    def test_winograd_by_name(self, rng):
+        from repro.nn import Conv2d
+        ref = Conv2d(3, 4, 3, rng=0)
+        win = Conv2d(3, 4, 3, backend="winograd", rng=0)
+        x = rng.standard_normal((2, 3, 8, 8))
+        np.testing.assert_allclose(win.forward(x), ref.forward(x),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_winograd_gradients_through_layer(self, rng):
+        from repro.nn import Conv2d
+        layer = Conv2d(2, 2, 3, backend="winograd", rng=1)
+        x = rng.standard_normal((1, 2, 6, 6))
+        y = layer.forward(x)
+        dy = rng.standard_normal(y.shape)
+        dx = layer.backward(dy)
+        ref = Conv2d(2, 2, 3, rng=1)
+        ref.forward(x)
+        np.testing.assert_allclose(dx, ref.backward(dy), rtol=1e-9,
+                                   atol=1e-9)
+        np.testing.assert_allclose(layer.weight.grad, ref.weight.grad,
+                                   rtol=1e-9, atol=1e-9)

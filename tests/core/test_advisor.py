@@ -1,0 +1,61 @@
+"""Tests for the implementation advisor."""
+
+import pytest
+
+from repro.config import BASE_CONFIG, ConvConfig
+from repro.core.advisor import Advisor
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return Advisor()
+
+
+class TestEvaluate:
+    def test_all_candidates_listed(self, advisor):
+        cands = advisor.evaluate(BASE_CONFIG)
+        assert len(cands) == 7
+
+    def test_feasible_sorted_by_time(self, advisor):
+        cands = [c for c in advisor.evaluate(BASE_CONFIG) if c.feasible]
+        times = [c.time_s for c in cands]
+        assert times == sorted(times)
+
+    def test_unsupported_marked(self, advisor):
+        cands = advisor.evaluate(BASE_CONFIG.scaled(stride=2))
+        infeasible = {c.implementation for c in cands if not c.supported}
+        assert infeasible == {"fbfft", "Theano-fft"}
+
+
+class TestRecommend:
+    def test_large_kernel_prefers_fft(self, advisor):
+        """Paper summary: fbfft for large kernels."""
+        rec = advisor.recommend(BASE_CONFIG)  # k = 11
+        assert rec.best == "fbfft"
+        assert "FFT" in rec.rationale or "fft" in rec.rationale
+
+    def test_small_kernel_prefers_cudnn(self, advisor):
+        """Paper summary: cuDNN for small kernels."""
+        rec = advisor.recommend(BASE_CONFIG.scaled(kernel_size=3))
+        assert rec.best == "cuDNN"
+
+    def test_stride_rules_out_fft(self, advisor):
+        rec = advisor.recommend(BASE_CONFIG.scaled(stride=2))
+        assert rec.best not in ("fbfft", "Theano-fft")
+        assert "stride" in rec.rationale
+
+    def test_memory_budget_changes_pick(self, advisor):
+        """Paper summary: cuda-convnet2 when memory is limited."""
+        free = advisor.recommend(BASE_CONFIG)
+        tight = advisor.recommend(BASE_CONFIG, memory_budget=400 * 2**20)
+        assert free.best == "fbfft"
+        assert tight.best == "cuda-convnet2"
+
+    def test_impossible_budget(self, advisor):
+        rec = advisor.recommend(BASE_CONFIG, memory_budget=1)
+        assert rec.best is None
+
+    def test_render(self, advisor):
+        out = advisor.recommend(BASE_CONFIG).render()
+        assert "Recommendation" in out
+        assert "fbfft" in out

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.core.report import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_markers_for_each_series(self):
+        out = ascii_plot([1, 2, 3], {"one": [1.0, 2.0, 3.0],
+                                     "two": [3.0, 2.0, 1.0]})
+        assert "a=one" in out and "b=two" in out
+        assert "a" in out.splitlines()[1] or any(
+            "a" in line for line in out.splitlines())
+
+    def test_none_points_absent(self):
+        out = ascii_plot([1, 2, 3], {"s": [1.0, None, 3.0]})
+        # Two plotted points only.
+        body = "\n".join(l.split("|", 1)[1] for l in out.splitlines()
+                         if "|" in l)
+        assert body.count("a") == 2
+
+    def test_extremes_on_top_and_bottom_rows(self):
+        out = ascii_plot([0, 1], {"s": [0.0, 10.0]}, height=6)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "a" in lines[0]    # max on top row
+        assert "a" in lines[-1]   # min on bottom row
+
+    def test_log_scale(self):
+        out = ascii_plot([1, 2, 3], {"s": [1.0, 10.0, 100.0]}, logy=True,
+                         height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # log-spaced: middle point lands on the middle row.
+        assert "a" in lines[2]
+
+    def test_title_and_axis_labels(self):
+        out = ascii_plot([2, 13], {"s": [5.0, 9.0]}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "2" in out and "13" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [None, None]})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1.0, 2.0]}, width=4)
+
+    def test_sweep_result_render_plot(self):
+        from repro.core.runtime_comparison import runtime_sweep
+        out = runtime_sweep("stride").render_plot()
+        assert "fbfft" in out
+        assert "|" in out
+
+    def test_fig3_experiment_includes_plot(self):
+        from repro import run_experiment
+        _, text = run_experiment("fig3e")
+        assert "+--" in text  # the chart's x-axis

@@ -1,0 +1,68 @@
+"""Tests for the largest-batch advisor."""
+
+import pytest
+
+from repro.config import BASE_CONFIG, ConvConfig
+from repro.core.batch_advisor import (batch_capacities, fits, max_batch,
+                                      render_capacities)
+from repro.frameworks.registry import get_implementation
+
+
+class TestFits:
+    def test_small_config_fits(self):
+        assert fits(get_implementation("caffe"), BASE_CONFIG)
+
+    def test_huge_config_does_not(self):
+        huge = ConvConfig(batch=8192, input_size=256, filters=512,
+                          kernel_size=11, channels=3)
+        assert not fits(get_implementation("fbfft"), huge)
+
+    def test_unsupported_shape_does_not_fit(self):
+        assert not fits(get_implementation("fbfft"),
+                        BASE_CONFIG.scaled(stride=2))
+
+
+class TestMaxBatch:
+    @pytest.fixture(scope="class")
+    def capacities(self):
+        return {r.implementation: r.max_batch
+                for r in batch_capacities(BASE_CONFIG)}
+
+    def test_result_fits_and_next_granule_does_not(self, capacities):
+        impl = get_implementation("fbfft")
+        b = capacities["fbfft"]
+        assert fits(impl, BASE_CONFIG.scaled(batch=b))
+        assert not fits(impl, BASE_CONFIG.scaled(batch=b + 32))
+
+    def test_granularity_respected(self, capacities):
+        for b in capacities.values():
+            assert b is None or b % 32 == 0
+
+    def test_memory_ranking_inverts_capacity(self, capacities):
+        """The memory-hungry implementations train the smallest
+        batches: fbfft < theano-fft < caffe <= torch-cunn."""
+        assert capacities["fbfft"] < capacities["Theano-fft"]
+        assert capacities["Theano-fft"] < capacities["Caffe"]
+        assert capacities["Caffe"] <= capacities["Torch-cunn"]
+
+    def test_ccn2_trains_largest(self, capacities):
+        others = [v for k, v in capacities.items() if k != "cuda-convnet2"]
+        assert capacities["cuda-convnet2"] >= max(others)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_batch(get_implementation("caffe"), BASE_CONFIG,
+                      granularity=0)
+        with pytest.raises(ValueError):
+            max_batch(get_implementation("caffe"), BASE_CONFIG,
+                      limit=16, granularity=32)
+
+    def test_none_when_nothing_fits(self):
+        giant = ConvConfig(batch=32, input_size=512, filters=1024,
+                           kernel_size=11, channels=64)
+        assert max_batch(get_implementation("fbfft"), giant) is None
+
+    def test_render(self, capacities):
+        rows = batch_capacities(BASE_CONFIG)
+        out = render_capacities(BASE_CONFIG, rows)
+        assert "Max batch" in out and "fbfft" in out

@@ -1,0 +1,82 @@
+"""Tests for the CSV exporters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.config import TABLE1_CONFIGS
+from repro.core.export import (breakdown_csv, memory_sweep_csv, metrics_csv,
+                               runtime_sweep_csv, transfer_csv)
+from repro.core.gpu_metrics import gpu_metric_profile
+from repro.core.hotspot_layers import hotspot_layer_analysis
+from repro.core.memory_comparison import memory_sweep
+from repro.core.runtime_comparison import runtime_sweep
+from repro.core.transfer_overhead import transfer_overhead_profile
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestRuntimeCsv:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return runtime_sweep("stride")
+
+    def test_structure(self, sweep):
+        rows = parse(runtime_sweep_csv(sweep))
+        assert rows[0][0] == "stride"
+        assert len(rows) == 1 + len(sweep.xs)
+        assert len(rows[0]) == 1 + len(sweep.times)
+
+    def test_unsupported_cells_empty(self, sweep):
+        rows = parse(runtime_sweep_csv(sweep))
+        fbfft_col = rows[0].index("fbfft")
+        assert rows[1][fbfft_col] != ""   # stride 1
+        assert rows[2][fbfft_col] == ""   # stride 2
+
+    def test_writes_file(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        runtime_sweep_csv(sweep, str(path))
+        assert path.exists()
+        assert parse(path.read_text())[0][0] == "stride"
+
+
+class TestMemoryCsv:
+    def test_values_in_mb(self):
+        res = memory_sweep("stride")
+        rows = parse(memory_sweep_csv(res))
+        caffe_col = rows[0].index("Caffe")
+        mb = float(rows[1][caffe_col])
+        assert 100 < mb < 10000
+
+
+class TestBreakdownCsv:
+    def test_long_format(self):
+        results = hotspot_layer_analysis(models=["AlexNet"])
+        rows = parse(breakdown_csv(results))
+        assert rows[0] == ["model", "batch", "layer_type", "share"]
+        types = {r[2] for r in rows[1:]}
+        assert "Conv" in types
+        shares = sum(float(r[3]) for r in rows[1:])
+        assert shares == pytest.approx(1.0, abs=1e-3)
+
+
+class TestMetricsCsv:
+    def test_columns(self):
+        rows_in = gpu_metric_profile(
+            configs={"Conv5": TABLE1_CONFIGS["Conv5"]})
+        rows = parse(metrics_csv(rows_in))
+        assert "achieved_occupancy" in rows[0]
+        assert len(rows) == 1 + len(rows_in)
+
+
+class TestTransferCsv:
+    def test_fractions(self):
+        rows_in = transfer_overhead_profile(
+            configs={"Conv5": TABLE1_CONFIGS["Conv5"]})
+        rows = parse(transfer_csv(rows_in))
+        assert rows[0][2] == "transfer_fraction"
+        for r in rows[1:]:
+            assert 0.0 <= float(r[2]) < 1.0

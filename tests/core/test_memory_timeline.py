@@ -1,0 +1,55 @@
+"""Tests for the memory-timeline analysis."""
+
+import pytest
+
+from repro.config import BASE_CONFIG, ConvConfig
+from repro.core.memory_timeline import (dominant_allocation, memory_timeline)
+from repro.frameworks.registry import get_implementation
+
+
+class TestMemoryTimeline:
+    @pytest.fixture(scope="class")
+    def fbfft_tl(self):
+        return memory_timeline(get_implementation("fbfft"), BASE_CONFIG)
+
+    def test_footprint_monotone_during_allocation(self, fbfft_tl):
+        footprints = [e.in_use_bytes for e in fbfft_tl.events]
+        assert footprints == sorted(footprints)
+
+    def test_peak_matches_fig5_machinery(self, fbfft_tl):
+        impl = get_implementation("fbfft")
+        # peak_memory_bytes includes the CUDA-context baseline; the
+        # timeline starts from zero.
+        from repro.frameworks.calibration import CONTEXT_BYTES
+        assert fbfft_tl.peak_bytes == (
+            impl.peak_memory_bytes(BASE_CONFIG) - CONTEXT_BYTES)
+
+    def test_fbfft_dominant_allocation_is_spectra_or_pool(self, fbfft_tl):
+        dom = dominant_allocation(fbfft_tl)
+        assert dom.tag in ("frequency_spectra", "buffer_pool")
+
+    def test_caffe_dominant_is_activations(self):
+        tl = memory_timeline(get_implementation("caffe"),
+                             BASE_CONFIG.scaled(batch=256))
+        assert dominant_allocation(tl).tag in ("output", "output_grad")
+
+    def test_headroom(self, fbfft_tl):
+        assert fbfft_tl.headroom_bytes == (
+            fbfft_tl.capacity_bytes - fbfft_tl.peak_bytes)
+        assert fbfft_tl.headroom_bytes > 0
+
+    def test_oom_recorded_not_raised(self):
+        impl = get_implementation("fbfft")
+        huge = ConvConfig(batch=2048, input_size=256, filters=256,
+                          kernel_size=11, channels=3)
+        tl = memory_timeline(impl, huge)
+        assert tl.oom
+        assert tl.events[-1].tag.endswith("(OOM)")
+
+    def test_render(self, fbfft_tl):
+        out = fbfft_tl.render()
+        assert "fbfft" in out and "MB" in out
+
+    def test_peak_event(self, fbfft_tl):
+        assert fbfft_tl.peak_event().in_use_bytes == max(
+            e.in_use_bytes for e in fbfft_tl.events)

@@ -1,0 +1,57 @@
+"""Tests for the ASCII report renderers."""
+
+import pytest
+
+from repro.core.report import bar_breakdown, series, table
+
+
+class TestTable:
+    def test_basic_rendering(self):
+        out = table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.50" in out
+
+    def test_title(self):
+        out = table(["h"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            table([], [])
+
+    def test_column_alignment(self):
+        out = table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[3])  # header and row same width
+
+
+class TestSeries:
+    def test_missing_values_render_dash(self):
+        out = series("k", [1, 2], {"impl": [1.0, None]})
+        assert "-" in out.splitlines()[-1]
+
+    def test_all_columns_present(self):
+        out = series("x", [1], {"a": [1.0], "b": [2.0]})
+        assert "a" in out and "b" in out
+
+
+class TestBarBreakdown:
+    def test_sorted_desc(self):
+        out = bar_breakdown({"small": 0.1, "big": 0.9})
+        lines = out.splitlines()
+        assert "big" in lines[0]
+        assert "small" in lines[1]
+
+    def test_percentages(self):
+        out = bar_breakdown({"only": 1.0})
+        assert "100.00%" in out
+
+    def test_bar_lengths_proportional(self):
+        out = bar_breakdown({"a": 0.75, "b": 0.25}, width=40)
+        bars = [line.split("|")[1] for line in out.splitlines()]
+        assert len(bars[0]) == 3 * len(bars[1])

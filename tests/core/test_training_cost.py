@@ -1,0 +1,106 @@
+"""Tests for the whole-run training-cost estimator and ablations."""
+
+import pytest
+
+from repro.core.ablations import ABLATIONS, run_all
+from repro.core.training_cost import estimate_training, multi_gpu_projection
+from repro.workloads.datasets import CIFAR10, IMAGENET, MNIST
+
+
+class TestTrainingEstimate:
+    @pytest.fixture(scope="class")
+    def alexnet_imagenet(self):
+        return estimate_training("AlexNet", IMAGENET, batch=128, epochs=90)
+
+    def test_iteration_arithmetic(self, alexnet_imagenet):
+        e = alexnet_imagenet
+        assert e.iterations_per_epoch == -(-IMAGENET.train_images // 128)
+        assert e.epoch_time_s == pytest.approx(
+            e.iteration_time_s * e.iterations_per_epoch)
+        assert e.total_time_s == pytest.approx(e.epoch_time_s * 90)
+
+    def test_paper_motivation_scale(self, alexnet_imagenet):
+        """Section I: training large CNNs takes days-to-weeks.  A
+        90-epoch AlexNet/ImageNet run on one K40c must land in the
+        single-digit-days to few-weeks range (history: ~6 days)."""
+        assert 1.0 < alexnet_imagenet.total_days < 30.0
+
+    def test_vgg_costs_more_than_alexnet(self):
+        a = estimate_training("AlexNet", IMAGENET, batch=64, epochs=1)
+        v = estimate_training("VGG", IMAGENET, batch=64, epochs=1)
+        assert v.total_time_s > 2 * a.total_time_s
+
+    def test_small_dataset_is_fast(self):
+        e = estimate_training("LeNet-5", MNIST, batch=128, epochs=10)
+        assert e.total_days < 0.5
+
+    def test_implementation_changes_cost(self):
+        fast = estimate_training("AlexNet", CIFAR10, batch=128, epochs=1,
+                                 implementation="cudnn")
+        slow = estimate_training("AlexNet", CIFAR10, batch=128, epochs=1,
+                                 implementation="theano-fft")
+        assert slow.total_time_s > fast.total_time_s
+
+    def test_render(self, alexnet_imagenet):
+        out = alexnet_imagenet.render()
+        assert "AlexNet" in out and "days" in out
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            estimate_training("ResNet", MNIST)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            estimate_training("AlexNet", MNIST, batch=0)
+
+
+class TestMultiGpuProjection:
+    def test_more_gpus_fewer_days(self):
+        e = estimate_training("AlexNet", CIFAR10, batch=128, epochs=1)
+        d1 = e.total_days
+        d4, eff4 = multi_gpu_projection(e, 4)
+        assert d4 < d1
+        assert 0 < eff4 <= 1.0
+
+    def test_googlenet_scales_better_than_vgg(self):
+        """Fewer parameters -> cheaper all-reduce -> better efficiency
+        (the 'one weird trick' effect)."""
+        g = estimate_training("GoogLeNet", CIFAR10, batch=64, epochs=1)
+        v = estimate_training("VGG", CIFAR10, batch=64, epochs=1)
+        _, eff_g = multi_gpu_projection(g, 8)
+        _, eff_v = multi_gpu_projection(v, 8)
+        assert eff_g > eff_v
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.name: r for r in run_all()}
+
+    def test_all_registered_ablations_run(self, results):
+        assert len(results) == len(ABLATIONS)
+
+    def test_gradient_buffer_ablation_shows_gap(self, results):
+        r = next(v for k, v in results.items() if "gradient-buffer" in k)
+        assert 1.5 < r.ratio < 2.2
+
+    def test_fft_padding_ablation(self, results):
+        r = next(v for k, v in results.items() if "FFT padding" in k)
+        assert r.ablated == 256 and r.baseline < 200
+
+    def test_batch_tiling_ablation(self, results):
+        r = next(v for k, v in results.items() if "batch tiling" in k)
+        assert r.ratio > 1.2
+
+    def test_transfer_ablation_hides_everything(self, results):
+        r = next(v for k, v in results.items() if "transfer" in k)
+        assert r.ablated == pytest.approx(0.0, abs=1e-6)
+        assert r.baseline > 0
+
+    def test_occupancy_ablation(self, results):
+        r = next(v for k, v in results.items() if "occupancy" in k)
+        assert r.ratio > 1.5  # higher-occupancy impl is *slower*
+
+    def test_render(self, results):
+        for r in results.values():
+            assert r.unit in r.render()

@@ -1,0 +1,55 @@
+"""Tests for the implementation audit machinery."""
+
+import pytest
+
+from repro.config import BASE_CONFIG
+from repro.core.validation import (AuditReport, audit_all,
+                                   audit_implementation)
+from repro.frameworks.registry import all_implementations, get_implementation
+from repro.frameworks.winograd_ext import CuDNNWinograd
+
+
+class TestAuditAll:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return audit_all(BASE_CONFIG)
+
+    def test_all_seven_pass(self, reports):
+        for r in reports:
+            assert r.ok, r.render()
+
+    def test_every_report_ran_checks(self, reports):
+        for r in reports:
+            assert len(r.checks) >= 6
+
+    def test_render(self, reports):
+        assert "OK" in reports[0].render()
+
+
+class TestAuditSingle:
+    def test_extension_adapter_passes(self):
+        cfg = BASE_CONFIG.scaled(kernel_size=3)
+        report = audit_implementation(CuDNNWinograd(), cfg)
+        assert report.ok, report.render()
+
+    def test_unsupported_config_reported(self):
+        report = audit_implementation(get_implementation("fbfft"),
+                                      BASE_CONFIG.scaled(stride=2))
+        assert not report.ok
+        assert "supports-config" in report.failures[0]
+
+    def test_failure_rendering(self):
+        r = AuditReport(implementation="x", config=BASE_CONFIG)
+        r.record("check-a", True)
+        r.record("check-b", False, "went wrong")
+        assert not r.ok
+        out = r.render()
+        assert "FAILED" in out and "went wrong" in out
+
+    def test_fft_arithmetic_advantage_checked(self):
+        """The audit itself verifies the FFT strategy's raison d'etre:
+        fewer FLOPs than direct at k = 11."""
+        report = audit_implementation(get_implementation("fbfft"),
+                                      BASE_CONFIG)
+        assert "fft-beats-direct-arithmetic" in report.checks
+        assert report.ok

@@ -1,0 +1,110 @@
+"""Shape-limitation tests (paper section IV-B summary).
+
+"Unrolling-based implementations are most flexible ... Cuda-convnet2
+only supports square input images and square kernels, its mini-batch
+size must be a multiple of 32 and its filter number must be a multiple
+of 16.  FFT-based convolutions are applicable to any configuration
+shapes except that their stride must be 1."
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ConvConfig
+from repro.errors import UnsupportedConfigError
+from repro.frameworks import (Caffe, CuDNN, CudaConvnet2, Fbfft, TheanoCorrMM,
+                              TheanoFft, TorchCunn, all_implementations)
+
+
+def cfg(**overrides):
+    base = dict(batch=64, input_size=32, filters=64, kernel_size=5,
+                stride=1, channels=8)
+    base.update(overrides)
+    return ConvConfig(**base)
+
+
+class TestUnrollingFlexibility:
+    """The unrolling family supports any shape."""
+
+    @pytest.mark.parametrize("impl_cls", [Caffe, TorchCunn, TheanoCorrMM, CuDNN])
+    @pytest.mark.parametrize("overrides", [
+        {}, dict(batch=17), dict(filters=33), dict(stride=3),
+        dict(batch=1, filters=1),
+    ])
+    def test_supports_everything(self, impl_cls, overrides):
+        assert impl_cls().supports(cfg(**overrides))
+
+
+class TestCudaConvnet2Rules:
+    def test_batch_multiple_of_32(self):
+        impl = CudaConvnet2()
+        assert impl.supports(cfg(batch=32))
+        assert impl.supports(cfg(batch=128))
+        with pytest.raises(UnsupportedConfigError):
+            impl.check_config(cfg(batch=33))
+        with pytest.raises(UnsupportedConfigError):
+            impl.check_config(cfg(batch=100))
+
+    def test_filters_multiple_of_16(self):
+        impl = CudaConvnet2()
+        assert impl.supports(cfg(filters=16))
+        with pytest.raises(UnsupportedConfigError):
+            impl.check_config(cfg(filters=17))
+
+    def test_stride_allowed(self):
+        assert CudaConvnet2().supports(cfg(stride=4))
+
+    def test_nonsquare_tensor_rejected_numerically(self, rng):
+        impl = CudaConvnet2()
+        x = rng.standard_normal((32, 3, 8, 10))
+        w = rng.standard_normal((16, 3, 3, 3))
+        with pytest.raises(UnsupportedConfigError):
+            impl.forward(x, w)
+
+    def test_nonsquare_kernel_rejected_numerically(self, rng):
+        impl = CudaConvnet2()
+        x = rng.standard_normal((32, 3, 8, 8))
+        w = rng.standard_normal((16, 3, 3, 2))
+        with pytest.raises(UnsupportedConfigError):
+            impl.forward(x, w)
+
+    def test_bad_batch_rejected_numerically(self, rng):
+        impl = CudaConvnet2()
+        x = rng.standard_normal((31, 3, 8, 8))
+        w = rng.standard_normal((16, 3, 3, 3))
+        with pytest.raises(UnsupportedConfigError):
+            impl.forward(x, w)
+
+
+class TestFftStrideRule:
+    @pytest.mark.parametrize("impl_cls", [Fbfft, TheanoFft])
+    def test_stride_1_only(self, impl_cls):
+        impl = impl_cls()
+        assert impl.supports(cfg(stride=1))
+        for s in (2, 3, 4):
+            with pytest.raises(UnsupportedConfigError):
+                impl.check_config(cfg(stride=s))
+
+    @pytest.mark.parametrize("impl_cls", [Fbfft, TheanoFft])
+    def test_numeric_entry_points_reject_stride(self, impl_cls, rng):
+        impl = impl_cls()
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        with pytest.raises(UnsupportedConfigError):
+            impl.forward(x, w, stride=2)
+        with pytest.raises(UnsupportedConfigError):
+            impl.backward_input(np.zeros((2, 4, 3, 3)), w, (8, 8), stride=2)
+        with pytest.raises(UnsupportedConfigError):
+            impl.backward_weights(np.zeros((2, 4, 3, 3)), x, (3, 3), stride=2)
+
+
+class TestStrideSweepCoverage:
+    """Fig. 3(e): at stride > 1 exactly five implementations remain."""
+
+    def test_supported_count_at_stride(self):
+        c2 = cfg(stride=2)
+        supported = [i.paper_name for i in all_implementations()
+                     if i.supports(c2)]
+        assert sorted(supported) == sorted(
+            ["Caffe", "Torch-cunn", "Theano-CorrMM", "cuDNN",
+             "cuda-convnet2"])

@@ -1,0 +1,89 @@
+"""Every framework adapter must compute exact convolutions.
+
+The adapters wrap different strategies (and cuda-convnet2 does a real
+CHWN layout round-trip), but all seven must agree with the naive
+reference on forward and both gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import (conv2d_reference,
+                                  conv2d_reference_backward_input,
+                                  conv2d_reference_backward_weights)
+from repro.frameworks import all_implementations
+
+# Geometry satisfying every implementation's constraints (batch % 32,
+# filters % 16, square, stride 1).
+B, C, F, I, K = 32, 3, 16, 10, 3
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((B, C, I, I))
+    w = rng.standard_normal((F, C, K, K))
+    bias = rng.standard_normal(F)
+    y = conv2d_reference(x, w, bias)
+    dy = rng.standard_normal(y.shape)
+    return x, w, bias, y, dy
+
+
+@pytest.mark.parametrize("impl", all_implementations(),
+                         ids=lambda i: i.name)
+class TestAllImplementations:
+    def test_forward_matches_reference(self, impl, tensors):
+        x, w, bias, y, _ = tensors
+        got = impl.forward(x, w, bias)
+        np.testing.assert_allclose(got, y, rtol=1e-7, atol=1e-7)
+
+    def test_backward_input_matches_reference(self, impl, tensors):
+        x, w, _, _, dy = tensors
+        expected = conv2d_reference_backward_input(dy, w, (I, I))
+        got = impl.backward_input(dy, w, (I, I))
+        np.testing.assert_allclose(got, expected, rtol=1e-7, atol=1e-7)
+
+    def test_backward_weights_matches_reference(self, impl, tensors):
+        x, w, _, _, dy = tensors
+        expected = conv2d_reference_backward_weights(dy, x, (K, K))
+        got = impl.backward_weights(dy, x, (K, K))
+        np.testing.assert_allclose(got, expected, rtol=1e-7, atol=1e-7)
+
+
+class TestImplementationsAgreeWithEachOther:
+    def test_pairwise_forward_agreement(self, tensors):
+        x, w, bias, _, _ = tensors
+        results = {impl.name: impl.forward(x, w, bias)
+                   for impl in all_implementations()}
+        names = list(results)
+        ref = results[names[0]]
+        for name in names[1:]:
+            np.testing.assert_allclose(results[name], ref, rtol=1e-7,
+                                       atol=1e-7, err_msg=name)
+
+
+class TestPaddedStrided:
+    """Padding for everyone; strides for the non-FFT family."""
+
+    @pytest.mark.parametrize("impl", all_implementations(),
+                             ids=lambda i: i.name)
+    def test_padding(self, impl):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((B, C, 8, 8))
+        w = rng.standard_normal((F, C, 3, 3))
+        expected = conv2d_reference(x, w, None, 1, 1)
+        got = impl.forward(x, w, None, 1, 1)
+        np.testing.assert_allclose(got, expected, rtol=1e-7, atol=1e-7)
+
+    @pytest.mark.parametrize("impl_name", ["caffe", "torch-cunn",
+                                           "theano-corrmm", "cudnn",
+                                           "cuda-convnet2"])
+    def test_stride_2(self, impl_name):
+        from repro.frameworks.registry import get_implementation
+        impl = get_implementation(impl_name)
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((B, C, 9, 9))
+        w = rng.standard_normal((F, C, 3, 3))
+        expected = conv2d_reference(x, w, None, 2, 0)
+        got = impl.forward(x, w, None, 2, 0)
+        np.testing.assert_allclose(got, expected, rtol=1e-7, atol=1e-7)

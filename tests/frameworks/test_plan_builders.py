@@ -1,0 +1,103 @@
+"""Unit tests for the shared kernel-spec builders in
+``repro.frameworks._plans``."""
+
+import pytest
+
+from repro.frameworks._plans import (col2im_spec, fft_spec, gemm_spec,
+                                     im2col_spec, pointwise_spec,
+                                     transpose_spec)
+from repro.frameworks.calibration import (GEMM_CALIBRATION,
+                                          TABLE2_RESOURCES)
+from repro.gpusim.device import K40C
+from repro.gpusim.kernels import KernelRole
+from repro.gpusim.timing import time_kernel
+
+RES = TABLE2_RESOURCES["caffe"]
+CAL = GEMM_CALIBRATION["caffe"]
+
+
+class TestGemmSpec:
+    def test_flops_are_2mnk(self):
+        s = gemm_spec("g", RES, CAL, 64, 128, 32)
+        assert s.flops == 2 * 64 * 128 * 32
+
+    def test_complex_flops_are_8mnk(self):
+        s = gemm_spec("g", RES, CAL, 8, 8, 8, complex_=True)
+        assert s.flops == 8 * 512
+
+    def test_operand_bytes(self):
+        s = gemm_spec("g", RES, CAL, 10, 20, 30)
+        assert s.gmem_read_bytes == (10 * 30 + 30 * 20) * 4
+        assert s.gmem_write_bytes == 10 * 20 * 4
+
+    def test_carries_table2_resources(self):
+        s = gemm_spec("g", RES, CAL, 64, 64, 64)
+        assert s.regs_per_thread == RES.registers_per_thread
+        assert s.shared_per_block == RES.shared_per_block
+
+    def test_repeats_forwarded(self):
+        s = gemm_spec("g", RES, CAL, 64, 64, 64, repeats=7)
+        assert s.repeats == 7
+
+    def test_timeable(self):
+        s = gemm_spec("g", RES, CAL, 64, 4096, 363)
+        assert time_kernel(K40C, s).time_s > 0
+
+
+class TestUnrollSpecs:
+    def test_im2col_traffic_model(self):
+        """DRAM read = image (cache-served gather), write = column."""
+        s = im2col_spec("i", RES, col_bytes=1e6, image_bytes=1e5)
+        assert s.gmem_read_bytes == 1e5
+        assert s.gmem_write_bytes == 1e6
+        assert s.role is KernelRole.IM2COL
+        assert s.timing_bandwidth_fraction is not None
+
+    def test_col2im_traffic_model(self):
+        s = col2im_spec("c", RES, col_bytes=1e6, image_bytes=1e5)
+        assert s.gmem_read_bytes == 1e6
+        assert s.gmem_write_bytes == 1e5
+        assert s.role is KernelRole.COL2IM
+        assert s.flops > 0  # accumulate adds
+
+    def test_metric_patterns_badly_strided(self):
+        from repro.gpusim.coalescing import access_efficiency
+        s = im2col_spec("i", RES, 1e6, 1e5)
+        assert access_efficiency(K40C, s.load_pattern) < 0.25
+
+
+class TestStreamingSpecs:
+    def test_pointwise_reads_and_writes(self):
+        s = pointwise_spec("p", RES, 4e6)
+        assert s.gmem_read_bytes == s.gmem_write_bytes == 4e6
+        assert s.role is KernelRole.POINTWISE
+
+    def test_pointwise_flops_per_element(self):
+        s = pointwise_spec("p", RES, 4e6, flops_per_element=2.0)
+        assert s.flops == (4e6 / 4) * 2.0  # elements * flops/elem
+
+    def test_transpose_role_and_smem(self):
+        s = transpose_spec("t", RES, 8e6)
+        assert s.role is KernelRole.TRANSPOSE
+        assert s.shared_per_block <= 4096
+        assert s.shared_traffic_bytes == 16e6
+
+
+class TestFftSpec:
+    def test_forward_and_inverse_roles(self):
+        f = fft_spec("f", TABLE2_RESOURCES["fbfft"], flops=1e9, nbytes=1e7,
+                     transforms=100, efficiency=0.5)
+        i = fft_spec("i", TABLE2_RESOURCES["fbfft"], flops=1e9, nbytes=1e7,
+                     transforms=100, efficiency=0.5, inverse=True)
+        assert f.role is KernelRole.FFT
+        assert i.role is KernelRole.FFT_INVERSE
+
+    def test_grid_matches_transform_count(self):
+        s = fft_spec("f", TABLE2_RESOURCES["fbfft"], flops=1e9, nbytes=1e7,
+                     transforms=123, efficiency=0.5)
+        assert s.launch.grid_blocks == 123
+
+    def test_efficiency_forwarded(self):
+        s = fft_spec("f", TABLE2_RESOURCES["fbfft"], flops=1e9, nbytes=1e7,
+                     transforms=10, efficiency=0.37)
+        assert s.compute_efficiency == 0.37

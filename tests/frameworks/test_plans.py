@@ -1,0 +1,112 @@
+"""Kernel-plan tests: the Fig. 4 structure of each implementation."""
+
+import pytest
+
+from repro.config import BASE_CONFIG
+from repro.frameworks import all_implementations, get_implementation
+from repro.frameworks.calibration import TABLE2_RESOURCES
+from repro.gpusim.kernels import KernelRole
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return {impl.name: impl.kernel_plan(BASE_CONFIG)
+            for impl in all_implementations()
+            if impl.supports(BASE_CONFIG)}
+
+
+class TestPlanStructure:
+    def test_every_impl_has_a_plan(self, plans):
+        assert len(plans) == 7
+
+    @pytest.mark.parametrize("name", ["caffe", "torch-cunn", "theano-corrmm"])
+    def test_unrolling_plan_kernels(self, plans, name):
+        roles = {s.role for s in plans[name]}
+        assert {KernelRole.GEMM, KernelRole.IM2COL,
+                KernelRole.COL2IM} <= roles
+
+    def test_cudnn_kernel_names(self, plans):
+        """Fig. 4(d): wgrad_alg0_engine and cudnn_gemm dominate."""
+        names = {s.name for s in plans["cudnn"]}
+        assert "wgrad_alg0_engine" in names
+        assert any(n.startswith("cudnn_gemm") for n in names)
+        # No explicit column buffer kernels.
+        roles = {s.role for s in plans["cudnn"]}
+        assert KernelRole.IM2COL not in roles
+        assert KernelRole.COL2IM not in roles
+
+    def test_ccn2_kernel_names(self, plans):
+        """Fig. 4(e): filterActs / img_acts / weight_acts."""
+        names = {s.name for s in plans["cuda-convnet2"]}
+        assert any(n.startswith("filterActs") for n in names)
+        assert any(n.startswith("img_acts") for n in names)
+        assert "conv_weight_acts_c_preload" in names
+
+    def test_ccn2_color_kernel_for_3_channels(self, plans):
+        assert any("color" in s.name for s in plans["cuda-convnet2"])
+        many = BASE_CONFIG.scaled(channels=64)
+        plan = get_implementation("cuda-convnet2").kernel_plan(many)
+        assert any("sparse2" in s.name for s in plan)
+
+    def test_fbfft_pipeline(self, plans):
+        """Fig. 4(f): FFT -> transpose -> Cgemm -> inverse FFT."""
+        names = [s.name for s in plans["fbfft"]]
+        assert "decimateInFrequency" in names
+        assert "transpose" in names
+        assert "Cgemm" in names
+        assert names[-1] == "decimateInFrequencyInverse"
+        # The FFT stages bracket the CGEMM.
+        assert (names.index("decimateInFrequency") < names.index("Cgemm")
+                < names.index("decimateInFrequencyInverse"))
+
+    def test_theano_fft_has_data_prep(self, plans):
+        roles = {s.role for s in plans["theano-fft"]}
+        assert KernelRole.DATA_PREP in roles
+
+    def test_plan_uses_table2_resources(self, plans):
+        """Each implementation's dominant kernels carry its Table II
+        register/shared usage."""
+        for name, plan in plans.items():
+            res = TABLE2_RESOURCES[name]
+            heavy = max(plan, key=lambda s: s.flops)
+            assert heavy.regs_per_thread == res.registers_per_thread
+            assert heavy.shared_per_block == res.shared_per_block
+
+    def test_per_image_kernels_repeat_over_batch(self, plans):
+        """Caffe-family im2col/GEMM launch once per image."""
+        for name in ("caffe", "torch-cunn", "theano-corrmm"):
+            gemms = [s for s in plans[name] if s.role is KernelRole.GEMM]
+            assert all(s.repeats == BASE_CONFIG.batch for s in gemms)
+
+    def test_cudnn_batches_in_one_launch(self, plans):
+        gemms = [s for s in plans["cudnn"] if s.role is KernelRole.GEMM]
+        assert all(s.repeats == 1 for s in gemms)
+
+    def test_three_pass_flops_accounting(self, plans):
+        """Unrolling plans carry ~3x the direct-conv FLOPs of one
+        forward pass (fwd + dgrad + wgrad)."""
+        expected = BASE_CONFIG.training_flops
+        for name in ("caffe", "torch-cunn", "theano-corrmm", "cudnn"):
+            flops = sum(s.total_flops for s in plans[name]
+                        if s.role is KernelRole.GEMM)
+            assert flops == pytest.approx(expected, rel=0.01)
+
+    def test_direct_flops_accounting(self, plans):
+        flops = sum(s.total_flops for s in plans["cuda-convnet2"]
+                    if s.role is KernelRole.DIRECT_CONV)
+        assert flops == pytest.approx(BASE_CONFIG.training_flops, rel=0.01)
+
+
+class TestPlanValidity:
+    def test_plans_reject_unsupported_configs(self):
+        from repro.errors import UnsupportedConfigError
+        bad = BASE_CONFIG.scaled(stride=2)
+        with pytest.raises(UnsupportedConfigError):
+            get_implementation("fbfft").kernel_plan(bad)
+
+    def test_all_specs_timeable(self, plans, device):
+        from repro.gpusim.timing import time_kernel
+        for name, plan in plans.items():
+            for spec in plan:
+                t = time_kernel(device, spec)
+                assert t.time_s > 0, f"{name}/{spec.name}"

@@ -1,0 +1,116 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.banks import (SharedAccess, conflict_degree,
+                                conflict_free_stride, padded_stride,
+                                shared_efficiency)
+from repro.gpusim.device import K40C
+
+
+class TestConflictDegree:
+    def test_stride_1_conflict_free(self):
+        assert conflict_degree(K40C, SharedAccess(stride_words=1)) == 1
+
+    def test_broadcast_conflict_free(self):
+        assert conflict_degree(K40C, SharedAccess(stride_words=0)) == 1
+
+    @pytest.mark.parametrize("stride,degree", [
+        (2, 2), (4, 4), (8, 8), (16, 16), (32, 32), (64, 32),
+        (3, 1), (5, 1), (7, 1), (33, 1),
+    ])
+    def test_degree_equals_gcd_structure(self, stride, degree):
+        """For 4-byte accesses, an s-word stride produces a
+        gcd(s, 32)-way conflict (capped by active lanes)."""
+        d = conflict_degree(K40C, SharedAccess(stride_words=stride))
+        assert d == min(degree, 32)
+
+    def test_odd_strides_always_conflict_free(self):
+        for s in range(1, 65, 2):
+            assert conflict_degree(K40C, SharedAccess(stride_words=s)) == 1
+
+    def test_partial_warp_limits_degree(self):
+        acc = SharedAccess(stride_words=32, active_lanes=4)
+        assert conflict_degree(K40C, acc) == 4
+
+    @given(stride=st.integers(0, 128))
+    def test_degree_divides_evenly(self, stride):
+        """Conflict degree is always a power-of-two divisor of 32 for
+        full warps (bank count is a power of two)."""
+        d = conflict_degree(K40C, SharedAccess(stride_words=stride))
+        assert 1 <= d <= 32
+        assert 32 % d == 0
+
+    @given(stride=st.integers(0, 128))
+    def test_matches_gcd_formula(self, stride):
+        d = conflict_degree(K40C, SharedAccess(stride_words=stride))
+        expected = 1 if stride == 0 else math.gcd(stride, 32)
+        assert d == expected
+
+
+class TestConflictFreeStride:
+    def test_odd_is_free(self):
+        assert conflict_free_stride(K40C, 17)
+
+    def test_even_is_not(self):
+        assert not conflict_free_stride(K40C, 8)
+
+    def test_broadcast_is_free(self):
+        assert conflict_free_stride(K40C, 0)
+
+    def test_padding_fix(self):
+        """The classic pad-by-one fix makes any even stride free."""
+        for s in range(2, 64, 2):
+            assert conflict_free_stride(K40C, padded_stride(s))
+
+    def test_padding_keeps_odd_strides(self):
+        assert padded_stride(7) == 7
+
+
+class TestSharedEfficiency:
+    def test_plain_float_access_is_100pct(self):
+        eff = shared_efficiency(K40C, [SharedAccess(stride_words=1)])
+        assert eff == pytest.approx(1.0)
+
+    def test_wide_conflict_free_exceeds_100pct(self):
+        """64-bit bank mode: cuDNN-style float2 tiles read 'over' the
+        nominal throughput — the >130 % readings of Fig. 6."""
+        eff = shared_efficiency(K40C, [SharedAccess(stride_words=1,
+                                                    word_bytes=8)])
+        assert eff > 1.0
+
+    def test_conflicted_access_is_degraded(self):
+        """Theano-fft's even-stride pattern: stride 8 -> 8-way conflict
+        -> 12.5 %, inside its 8-20 % Fig. 6 band."""
+        eff = shared_efficiency(K40C, [SharedAccess(stride_words=8)])
+        assert eff == pytest.approx(0.125)
+
+    def test_mixture_weighted(self):
+        good = SharedAccess(stride_words=1)
+        bad = SharedAccess(stride_words=8)
+        mixed = shared_efficiency(K40C, [good, bad])
+        assert (shared_efficiency(K40C, [bad]) < mixed
+                < shared_efficiency(K40C, [good]))
+
+    def test_empty_defaults_to_one(self):
+        assert shared_efficiency(K40C, []) == 1.0
+
+    @given(strides=st.lists(st.integers(0, 64), min_size=1, max_size=4),
+           word=st.sampled_from([4, 8, 16]))
+    def test_bounded(self, strides, word):
+        accs = [SharedAccess(stride_words=s, word_bytes=word) for s in strides]
+        eff = shared_efficiency(K40C, accs)
+        assert 0.0 < eff <= 2.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(stride_words=-1), dict(word_bytes=2), dict(active_lanes=0),
+        dict(active_lanes=40),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SharedAccess(**kwargs)

@@ -1,0 +1,79 @@
+"""Tests for the global-memory coalescing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.coalescing import (COALESCED_FLOAT, COALESCED_FLOAT4,
+                                     WarpAccess, access_efficiency,
+                                     effective_bandwidth_fraction,
+                                     strided_float, transactions_per_access)
+from repro.gpusim.device import K40C
+
+
+class TestTransactions:
+    def test_coalesced_float_single_transaction(self):
+        """32 lanes x 4 B contiguous = exactly one 128 B transaction."""
+        assert transactions_per_access(K40C, COALESCED_FLOAT) == 1
+
+    def test_coalesced_float4_four_transactions(self):
+        """32 lanes x 16 B = 512 B = 4 transactions, still 100 %
+        efficient."""
+        assert transactions_per_access(K40C, COALESCED_FLOAT4) == 4
+        assert access_efficiency(K40C, COALESCED_FLOAT4) == 1.0
+
+    def test_stride_2_doubles_transactions(self):
+        assert transactions_per_access(K40C, strided_float(2)) == 2
+        assert access_efficiency(K40C, strided_float(2)) == pytest.approx(0.5)
+
+    def test_stride_32_fully_scattered(self):
+        """128-byte strides: every lane in its own transaction."""
+        acc = strided_float(32)
+        assert transactions_per_access(K40C, acc) == 32
+        assert access_efficiency(K40C, acc) == pytest.approx(1 / 32)
+
+    def test_misalignment_adds_one_transaction(self):
+        misaligned = WarpAccess(word_bytes=4, stride_words=1, offset_bytes=4)
+        assert transactions_per_access(K40C, misaligned) == 2
+
+    def test_broadcast_counts_single_word(self):
+        b = WarpAccess(word_bytes=4, stride_words=0)
+        assert transactions_per_access(K40C, b) == 1
+        assert access_efficiency(K40C, b) == pytest.approx(4 / 128)
+
+    def test_partial_warp(self):
+        acc = WarpAccess(word_bytes=4, stride_words=1, active_lanes=8)
+        assert transactions_per_access(K40C, acc) == 1
+        assert access_efficiency(K40C, acc) == pytest.approx(32 / 128)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(word_bytes=3), dict(stride_words=-1), dict(offset_bytes=-4),
+        dict(active_lanes=0), dict(active_lanes=33),
+    ])
+    def test_invalid_access(self, kwargs):
+        with pytest.raises(ValueError):
+            WarpAccess(**kwargs)
+
+
+class TestProperties:
+    @given(stride=st.integers(0, 64),
+           word=st.sampled_from([1, 2, 4, 8, 16]),
+           offset=st.integers(0, 256), lanes=st.integers(1, 32))
+    def test_efficiency_in_unit_interval(self, stride, word, offset, lanes):
+        acc = WarpAccess(word_bytes=word, stride_words=stride,
+                         offset_bytes=offset, active_lanes=lanes)
+        eff = access_efficiency(K40C, acc)
+        assert 0.0 < eff <= 1.0
+
+    @given(stride=st.integers(1, 64))
+    def test_monotone_in_stride(self, stride):
+        """A larger stride never touches fewer transactions."""
+        a = transactions_per_access(K40C, strided_float(stride))
+        b = transactions_per_access(K40C, strided_float(stride + 1))
+        assert b >= a
+
+    @given(stride=st.integers(0, 64))
+    def test_bandwidth_fraction_floor(self, stride):
+        frac = effective_bandwidth_fraction(K40C, strided_float(stride))
+        assert frac >= 0.03125

@@ -1,0 +1,50 @@
+"""Tests for the device specification."""
+
+from repro.gpusim.device import K40C, DeviceSpec
+
+
+class TestK40C:
+    def test_paper_core_count(self):
+        """Section III-A: 15 SMs x 192 cores = 2880 CUDA cores."""
+        assert K40C.sm_count == 15
+        assert K40C.cores_per_sm == 192
+        assert K40C.cuda_cores == 2880
+
+    def test_paper_peak_flops(self):
+        """Section III-A: 4.29 TFLOP/s single precision."""
+        assert abs(K40C.peak_flops - 4.29e12) < 0.01e12
+
+    def test_paper_memory(self):
+        """12 GB device memory, 288 GB/s bandwidth."""
+        assert K40C.global_memory_bytes == 12 * 2**30
+        assert K40C.memory_bandwidth == 288e9
+
+    def test_paper_sm_resources(self):
+        """256 KB register file (64K 32-bit regs) and 48 KB shared per SM."""
+        assert K40C.registers_per_sm == 65536
+        assert K40C.shared_memory_per_sm == 48 * 1024
+
+    def test_warp_limits(self):
+        assert K40C.warp_size == 32
+        assert K40C.max_warps_per_sm == 64
+        assert K40C.max_threads_per_sm == 2048
+
+    def test_str_mentions_name(self):
+        assert "K40c" in str(K40C)
+
+
+def test_custom_device_derivations():
+    dev = DeviceSpec(
+        name="toy", sm_count=2, cores_per_sm=64, clock_hz=1e9,
+        flops_per_core_cycle=2, global_memory_bytes=2**30,
+        memory_bandwidth=100e9, registers_per_sm=32768,
+        register_alloc_unit=256, max_registers_per_thread=255,
+        shared_memory_per_sm=49152, shared_alloc_unit=256,
+        max_shared_per_block=49152, max_threads_per_sm=2048,
+        max_threads_per_block=1024, max_blocks_per_sm=16, warp_size=32,
+        shared_banks=32, bank_width_bytes=4, transaction_bytes=128,
+        kernel_launch_overhead_s=5e-6,
+    )
+    assert dev.cuda_cores == 128
+    assert dev.peak_flops == 128 * 1e9 * 2
+    assert dev.max_warps_per_sm == 64

@@ -1,0 +1,73 @@
+"""Tests for the warp-divergence / WEE model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.divergence import (UNIFORM, DivergenceProfile,
+                                     divergence_slowdown,
+                                     warp_execution_efficiency)
+
+
+class TestWEE:
+    def test_uniform_kernel_is_100pct(self):
+        assert warp_execution_efficiency(UNIFORM) == 1.0
+
+    def test_full_if_else_divergence_halves(self):
+        p = DivergenceProfile(divergent_fraction=1.0, branch_paths=2.0)
+        assert warp_execution_efficiency(p) == pytest.approx(0.5)
+
+    def test_theano_fft_band(self):
+        """The calibration profile for Theano-fft must land in the
+        paper's 66-81 % WEE band."""
+        from repro.frameworks.calibration import DIVERGENCE
+        wee = warp_execution_efficiency(DIVERGENCE["theano-fft"])
+        assert 0.66 <= wee <= 0.81
+
+    def test_default_band(self):
+        """Everyone else is above 97 % (Fig. 6)."""
+        from repro.frameworks.calibration import DIVERGENCE
+        wee = warp_execution_efficiency(DIVERGENCE["default"])
+        assert wee > 0.97
+
+    def test_tail_warps_reduce_wee(self):
+        p = DivergenceProfile(tail_fraction=0.5, tail_active_lanes=16.0)
+        assert warp_execution_efficiency(p) == pytest.approx(0.75)
+
+    @given(frac=st.floats(0, 1), paths=st.floats(1, 8),
+           tail=st.floats(0, 1), lanes=st.floats(0.5, 32))
+    def test_bounds(self, frac, paths, tail, lanes):
+        p = DivergenceProfile(divergent_fraction=frac, branch_paths=paths,
+                              tail_fraction=tail, tail_active_lanes=lanes)
+        wee = warp_execution_efficiency(p)
+        assert 1 / 32 <= wee <= 1.0
+
+    @given(frac=st.floats(0, 0.9))
+    def test_monotone_in_divergence(self, frac):
+        lo = DivergenceProfile(divergent_fraction=frac)
+        hi = DivergenceProfile(divergent_fraction=min(frac + 0.1, 1.0))
+        assert (warp_execution_efficiency(hi)
+                <= warp_execution_efficiency(lo))
+
+
+class TestSlowdown:
+    def test_uniform_no_slowdown(self):
+        assert divergence_slowdown(UNIFORM) == 1.0
+
+    def test_full_divergence_doubles_issues(self):
+        p = DivergenceProfile(divergent_fraction=1.0, branch_paths=2.0)
+        assert divergence_slowdown(p) == pytest.approx(2.0)
+
+    def test_partial(self):
+        p = DivergenceProfile(divergent_fraction=0.5, branch_paths=3.0)
+        assert divergence_slowdown(p) == pytest.approx(2.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(divergent_fraction=-0.1), dict(divergent_fraction=1.1),
+        dict(branch_paths=0.5), dict(tail_fraction=2.0),
+        dict(tail_active_lanes=0.0), dict(tail_active_lanes=33.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DivergenceProfile(**kwargs)

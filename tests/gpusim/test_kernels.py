@@ -1,0 +1,82 @@
+"""Tests for kernel spec validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.gpusim.kernels import (KernelRole, KernelSpec, LaunchConfig,
+                                  grid_for)
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="k", role=KernelRole.GEMM, flops=1e9,
+        gmem_read_bytes=1e6, gmem_write_bytes=1e6,
+        launch=LaunchConfig(grid_blocks=100, block_threads=256),
+    )
+    base.update(overrides)
+    return KernelSpec(**base)
+
+
+class TestLaunchConfig:
+    def test_totals(self):
+        lc = LaunchConfig(grid_blocks=10, block_threads=96)
+        assert lc.total_threads == 960
+        assert lc.warps == 30
+
+    def test_partial_warp_rounds_up(self):
+        assert LaunchConfig(grid_blocks=1, block_threads=33).warps == 2
+
+    @pytest.mark.parametrize("grid,block", [(0, 32), (1, 0), (-1, 32)])
+    def test_invalid(self, grid, block):
+        with pytest.raises(ValueError):
+            LaunchConfig(grid_blocks=grid, block_threads=block)
+
+
+class TestKernelSpec:
+    def test_totals_include_repeats(self):
+        s = make_spec(repeats=4)
+        assert s.total_flops == 4e9
+        assert s.total_bytes == 8e6
+
+    def test_arithmetic_intensity(self):
+        s = make_spec()
+        assert s.arithmetic_intensity == pytest.approx(1e9 / 2e6)
+
+    def test_pure_compute_kernel_infinite_intensity(self):
+        s = make_spec(gmem_read_bytes=0, gmem_write_bytes=0)
+        assert math.isinf(s.arithmetic_intensity)
+
+    def test_scaled_returns_copy(self):
+        s = make_spec()
+        s2 = s.scaled(flops=5.0)
+        assert s2.flops == 5.0 and s.flops == 1e9
+
+    def test_rejects_no_work(self):
+        with pytest.raises(ValueError):
+            make_spec(flops=0, gmem_read_bytes=0, gmem_write_bytes=0)
+
+    @pytest.mark.parametrize("overrides", [
+        dict(flops=-1), dict(compute_efficiency=0.0),
+        dict(compute_efficiency=1.5), dict(regs_per_thread=-1),
+        dict(repeats=0), dict(overhead_instr_ratio=-0.1),
+        dict(timing_bandwidth_fraction=0.0),
+        dict(timing_bandwidth_fraction=1.5),
+    ])
+    def test_invalid_fields(self, overrides):
+        with pytest.raises(ValueError):
+            make_spec(**overrides)
+
+
+class TestGridFor:
+    def test_exact(self):
+        assert grid_for(1024, 256) == 4
+
+    def test_rounds_up(self):
+        assert grid_for(1025, 256) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_for(0, 256)
+        with pytest.raises(ValueError):
+            grid_for(10, 0)

@@ -1,0 +1,95 @@
+"""Tests for the multi-GPU scaling model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpusim.device import K40C
+from repro.gpusim.multigpu import (ring_allreduce_time, strong_scaling,
+                                   weak_scaling)
+
+
+class TestRingAllreduce:
+    def test_single_gpu_free(self):
+        assert ring_allreduce_time(10**9, 1, 10e9) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert ring_allreduce_time(0, 8, 10e9) == 0.0
+
+    def test_bandwidth_term(self):
+        """2 * (n-1)/n * bytes at the link bandwidth, plus latency."""
+        t = ring_allreduce_time(1_000_000_000, 4, 10e9, latency_s=0.0)
+        assert t == pytest.approx(2 * 0.75 * 1e9 / 10e9)
+
+    def test_approaches_2x_bytes_for_many_gpus(self):
+        t4 = ring_allreduce_time(10**9, 4, 10e9, latency_s=0.0)
+        t64 = ring_allreduce_time(10**9, 64, 10e9, latency_s=0.0)
+        assert t64 > t4
+        assert t64 < 2 * 1e9 / 10e9 * 1.01
+
+    def test_latency_grows_with_ring_length(self):
+        a = ring_allreduce_time(1, 2, 10e9)
+        b = ring_allreduce_time(1, 16, 10e9)
+        assert b > a
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            ring_allreduce_time(-1, 2, 10e9)
+        with pytest.raises(ShapeError):
+            ring_allreduce_time(1, 0, 10e9)
+
+
+class TestStrongScaling:
+    def test_one_gpu_identity(self):
+        p = strong_scaling(0.1, 10**8, 1)
+        assert p.speedup == pytest.approx(1.0)
+        assert p.efficiency == pytest.approx(1.0)
+
+    def test_conv_heavy_model_scales_well(self):
+        """Few parameters, much compute (GoogLeNet-like)."""
+        p = strong_scaling(0.5, 28 * 10**6, 4)
+        assert p.efficiency > 0.85
+
+    def test_fc_heavy_model_gradient_bound(self):
+        """AlexNet/VGG-like parameter counts drag efficiency down —
+        the 'one weird trick' observation."""
+        conv_heavy = strong_scaling(0.5, 28 * 10**6, 8)
+        fc_heavy = strong_scaling(0.5, 580 * 10**6, 8)
+        assert fc_heavy.efficiency < conv_heavy.efficiency
+
+    def test_amdahl_serial_floor(self):
+        p = strong_scaling(1.0, 0, 1024, parallel_fraction=0.9)
+        assert p.speedup < 1 / 0.1 * 1.01
+
+    def test_speedup_monotone_until_comm_bound(self):
+        prev = 0.0
+        for g in (1, 2, 4):
+            s = strong_scaling(0.3, 60 * 10**6, g).speedup
+            assert s > prev
+            prev = s
+
+    @given(gpus=st.integers(1, 64))
+    def test_efficiency_bounds(self, gpus):
+        p = strong_scaling(0.2, 10**8, gpus)
+        assert 0 < p.efficiency <= 1.0
+        assert p.iteration_time_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            strong_scaling(0.0, 1, 2)
+        with pytest.raises(ShapeError):
+            strong_scaling(0.1, 1, 2, parallel_fraction=0.0)
+
+
+class TestWeakScaling:
+    def test_one_gpu_identity(self):
+        p = weak_scaling(0.1, 10**8, 1)
+        assert p.speedup == pytest.approx(1.0)
+
+    def test_throughput_grows(self):
+        assert weak_scaling(0.1, 10**7, 8).speedup > 6.0
+
+    def test_efficiency_decreases_with_comm(self):
+        small = weak_scaling(0.1, 10**6, 8).efficiency
+        big = weak_scaling(0.1, 10**9, 8).efficiency
+        assert big < small

@@ -1,0 +1,129 @@
+"""Tests for the CUDA occupancy calculator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.device import K40C
+from repro.gpusim.occupancy import achieved_occupancy, occupancy
+
+
+class TestOccupancy:
+    def test_unconstrained_block_fills_sm(self):
+        """256-thread blocks with tiny resource use reach 100 %:
+        8 blocks x 8 warps = 64 warps."""
+        r = occupancy(K40C, 256, regs_per_thread=16, shared_per_block=0)
+        assert r.theoretical == 1.0
+
+    def test_register_limited_cuda_convnet2(self):
+        """Table II: cuda-convnet2 uses 116 regs/thread; at 384-thread
+        blocks only one block (12 warps) fits -> 18.75 %, matching the
+        14-22 % achieved range of Fig. 6."""
+        r = occupancy(K40C, 384, regs_per_thread=116, shared_per_block=16384)
+        assert r.limiter == "registers"
+        assert r.warps_per_sm == 12
+        assert r.theoretical == pytest.approx(0.1875)
+
+    def test_cudnn_occupancy_range(self):
+        """Table II: cuDNN 80 regs, 8.4 KB -> ~37.5 % theoretical
+        (Fig. 6 reports 29-37 % achieved)."""
+        r = occupancy(K40C, 256, regs_per_thread=80, shared_per_block=8602)
+        assert r.theoretical == pytest.approx(0.375)
+
+    def test_shared_limited(self):
+        r = occupancy(K40C, 64, regs_per_thread=16, shared_per_block=24 * 1024)
+        assert r.limiter == "shared"
+        assert r.blocks_per_sm == 2
+
+    def test_warp_limited_big_blocks(self):
+        r = occupancy(K40C, 1024, regs_per_thread=16, shared_per_block=0)
+        assert r.blocks_per_sm == 2
+        assert r.theoretical == 1.0
+
+    def test_block_count_limited_small_blocks(self):
+        """32-thread blocks: 16-block cap -> 16 warps -> 25 %."""
+        r = occupancy(K40C, 32, regs_per_thread=8, shared_per_block=0)
+        assert r.limiter == "blocks"
+        assert r.theoretical == pytest.approx(0.25)
+
+    def test_zero_resources_allowed(self):
+        r = occupancy(K40C, 128)
+        assert r.theoretical > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(threads_per_block=0),
+        dict(threads_per_block=2048),
+        dict(threads_per_block=128, regs_per_thread=-1),
+        dict(threads_per_block=128, regs_per_thread=300),
+        dict(threads_per_block=128, shared_per_block=-5),
+        dict(threads_per_block=128, shared_per_block=64 * 1024),
+    ])
+    def test_invalid_launches(self, kwargs):
+        with pytest.raises(ValueError):
+            occupancy(K40C, **kwargs)
+
+    def test_registers_can_exclude_even_one_block(self):
+        with pytest.raises(ValueError):
+            occupancy(K40C, 1024, regs_per_thread=255)
+
+    # -- property tests ----------------------------------------------------
+
+    @given(threads=st.integers(32, 1024), regs=st.integers(0, 128),
+           shared=st.integers(0, 48 * 1024))
+    def test_bounds(self, threads, regs, shared):
+        try:
+            r = occupancy(K40C, threads, regs, shared)
+        except ValueError:
+            return
+        assert 0.0 < r.theoretical <= 1.0
+        assert 1 <= r.blocks_per_sm <= K40C.max_blocks_per_sm
+        assert r.warps_per_sm <= K40C.max_warps_per_sm
+
+    @given(threads=st.sampled_from([64, 128, 256, 512]),
+           regs=st.integers(16, 120), shared=st.integers(0, 16 * 1024))
+    def test_monotone_in_registers(self, threads, regs, shared):
+        """More registers can never raise occupancy."""
+        try:
+            lo = occupancy(K40C, threads, regs, shared)
+            hi = occupancy(K40C, threads, regs + 8, shared)
+        except ValueError:
+            return
+        assert hi.theoretical <= lo.theoretical
+
+    @given(threads=st.sampled_from([64, 128, 256, 512]),
+           regs=st.integers(0, 64), shared=st.integers(0, 24 * 1024))
+    def test_monotone_in_shared(self, threads, regs, shared):
+        try:
+            lo = occupancy(K40C, threads, regs, shared)
+            hi = occupancy(K40C, threads, regs, shared + 4096)
+        except ValueError:
+            return
+        assert hi.theoretical <= lo.theoretical
+
+
+class TestAchievedOccupancy:
+    def test_below_theoretical(self):
+        r = occupancy(K40C, 256, 32, 0)
+        a = achieved_occupancy(K40C, r.theoretical, 10_000, r.blocks_per_sm)
+        assert 0 < a < r.theoretical
+
+    def test_tiny_grid_starves_device(self):
+        r = occupancy(K40C, 256, 32, 0)
+        a_small = achieved_occupancy(K40C, r.theoretical, 3, r.blocks_per_sm)
+        a_big = achieved_occupancy(K40C, r.theoretical, 100_000, r.blocks_per_sm)
+        assert a_small < a_big
+
+    def test_exact_wave_has_no_tail_penalty(self):
+        r = occupancy(K40C, 256, 32, 0)
+        wave = r.blocks_per_sm * K40C.sm_count
+        a_exact = achieved_occupancy(K40C, r.theoretical, wave * 4, r.blocks_per_sm)
+        a_tail = achieved_occupancy(K40C, r.theoretical, wave * 4 + 1, r.blocks_per_sm)
+        assert a_tail <= a_exact
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            achieved_occupancy(K40C, 0.5, 0, 2)
+
+    @given(grid=st.integers(1, 10**6))
+    def test_range(self, grid):
+        a = achieved_occupancy(K40C, 0.5, grid, 4)
+        assert 0.0 < a <= 1.0

@@ -1,0 +1,131 @@
+"""Tests for the roofline timing engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.coalescing import WarpAccess
+from repro.gpusim.device import K40C
+from repro.gpusim.divergence import DivergenceProfile
+from repro.gpusim.kernels import KernelRole, KernelSpec, LaunchConfig
+from repro.gpusim.timing import time_kernel
+
+
+def spec(**overrides):
+    base = dict(
+        name="k", role=KernelRole.GEMM, flops=1e10,
+        gmem_read_bytes=1e7, gmem_write_bytes=1e7,
+        launch=LaunchConfig(grid_blocks=2000, block_threads=256),
+        regs_per_thread=64, shared_per_block=8192,
+        compute_efficiency=0.7,
+    )
+    base.update(overrides)
+    return KernelSpec(**base)
+
+
+class TestRoofline:
+    def test_compute_bound_kernel(self):
+        t = time_kernel(K40C, spec())
+        assert t.bound == "compute"
+        # Cannot beat the ideal peak-rate time.
+        assert t.time_s > 1e10 / K40C.peak_flops
+
+    def test_memory_bound_kernel(self):
+        t = time_kernel(K40C, spec(flops=1e6, gmem_read_bytes=1e9,
+                                   gmem_write_bytes=1e9))
+        assert t.bound == "memory"
+        assert t.time_s > 2e9 / K40C.memory_bandwidth
+
+    def test_more_flops_is_slower(self):
+        a = time_kernel(K40C, spec(flops=1e10)).time_s
+        b = time_kernel(K40C, spec(flops=2e10)).time_s
+        assert b > a
+
+    def test_more_bytes_is_slower(self):
+        a = time_kernel(K40C, spec(flops=1.0, gmem_read_bytes=1e8)).time_s
+        b = time_kernel(K40C, spec(flops=1.0, gmem_read_bytes=4e8)).time_s
+        assert b > a
+
+    def test_repeats_multiply_time(self):
+        one = time_kernel(K40C, spec()).time_s
+        four = time_kernel(K40C, spec(repeats=4)).time_s
+        assert four == pytest.approx(4 * one)
+
+    def test_launch_overhead_floor(self):
+        """A tiny kernel still costs the launch overhead."""
+        t = time_kernel(K40C, spec(flops=1.0, gmem_read_bytes=4,
+                                   gmem_write_bytes=4,
+                                   launch=LaunchConfig(1, 32),
+                                   regs_per_thread=16, shared_per_block=0))
+        assert t.time_s >= K40C.kernel_launch_overhead_s
+
+    def test_bad_coalescing_slows_memory_kernel(self):
+        good = spec(flops=1.0, gmem_read_bytes=1e9,
+                    load_pattern=WarpAccess(word_bytes=4, stride_words=1))
+        bad = good.scaled(load_pattern=WarpAccess(word_bytes=4, stride_words=16))
+        assert time_kernel(K40C, bad).time_s > time_kernel(K40C, good).time_s
+
+    def test_timing_bandwidth_fraction_overrides_pattern(self):
+        bad_pattern = spec(flops=1.0, gmem_read_bytes=1e9,
+                           load_pattern=WarpAccess(word_bytes=4, stride_words=16),
+                           timing_bandwidth_fraction=0.9)
+        t = time_kernel(K40C, bad_pattern)
+        # gld metric still reflects the bad pattern...
+        assert t.gld_efficiency < 0.2
+        # ...but the time matches the cache-served fraction.
+        assert t.memory_time_s < 1e9 / (K40C.memory_bandwidth * 0.3)
+
+    def test_divergence_slows_compute(self):
+        uni = spec()
+        div = spec(divergence=DivergenceProfile(divergent_fraction=0.8,
+                                                branch_paths=2.0))
+        assert time_kernel(K40C, div).time_s > time_kernel(K40C, uni).time_s
+
+
+class TestMetrics:
+    def test_occupancy_fields_consistent(self):
+        t = time_kernel(K40C, spec())
+        assert 0 < t.achieved_occupancy <= t.theoretical_occupancy <= 1.0
+
+    def test_ipc_bounded(self):
+        t = time_kernel(K40C, spec())
+        assert 0 < t.ipc <= K40C.max_ipc_per_sm
+
+    def test_memory_bound_kernel_has_low_ipc(self):
+        cb = time_kernel(K40C, spec())
+        mb = time_kernel(K40C, spec(flops=1e6, gmem_read_bytes=2e9,
+                                    load_pattern=WarpAccess(word_bytes=4,
+                                                            stride_words=8)))
+        assert mb.ipc < cb.ipc
+
+    def test_gld_efficiency_zero_without_reads(self):
+        t = time_kernel(K40C, spec(gmem_read_bytes=0))
+        assert t.gld_efficiency == 0.0
+
+    def test_bank_conflict_events(self):
+        from repro.gpusim.banks import SharedAccess
+        t = time_kernel(K40C, spec(
+            shared_accesses=(SharedAccess(stride_words=8),),
+            shared_traffic_bytes=1e6))
+        conflicts = t.shared_load_bank_conflicts + t.shared_store_bank_conflicts
+        assert conflicts > 0
+
+    def test_no_conflicts_for_stride1(self):
+        from repro.gpusim.banks import SharedAccess
+        t = time_kernel(K40C, spec(
+            shared_accesses=(SharedAccess(stride_words=1),),
+            shared_traffic_bytes=1e6))
+        assert t.shared_load_bank_conflicts == 0
+        assert t.shared_store_bank_conflicts == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(flops=st.floats(1e3, 1e12), read=st.floats(0, 1e9),
+       write=st.floats(0, 1e9), regs=st.integers(16, 128),
+       grid=st.integers(1, 10**5))
+def test_time_always_positive(flops, read, write, regs, grid):
+    s = spec(flops=flops, gmem_read_bytes=read, gmem_write_bytes=write,
+             regs_per_thread=regs,
+             launch=LaunchConfig(grid_blocks=grid, block_threads=256))
+    t = time_kernel(K40C, s)
+    assert t.time_s > 0
+    assert t.compute_time_s >= 0 and t.memory_time_s >= 0

@@ -1,0 +1,85 @@
+"""Hypothesis property suite over the roofline timing engine.
+
+These invariants are what make the sweep results trustworthy: if any
+of them broke, a figure could reverse for spurious reasons.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.device import K40C
+from repro.gpusim.kernels import KernelRole, KernelSpec, LaunchConfig
+from repro.gpusim.timing import time_kernel
+
+
+def spec(flops=1e10, read=1e7, write=1e7, eff=0.7, regs=64, smem=8192,
+         grid=2000, block=256, frac=None):
+    return KernelSpec(name="k", role=KernelRole.GEMM, flops=flops,
+                      gmem_read_bytes=read, gmem_write_bytes=write,
+                      launch=LaunchConfig(grid, block),
+                      regs_per_thread=regs, shared_per_block=smem,
+                      compute_efficiency=eff,
+                      timing_bandwidth_fraction=frac)
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(eff=st.floats(0.05, 0.95), delta=st.floats(0.01, 0.04))
+    def test_higher_efficiency_never_slower(self, eff, delta):
+        a = time_kernel(K40C, spec(eff=eff)).time_s
+        b = time_kernel(K40C, spec(eff=eff + delta)).time_s
+        assert b <= a + 1e-15
+
+    @settings(max_examples=30, deadline=None)
+    @given(flops=st.floats(1e8, 1e12), factor=st.floats(1.01, 4.0))
+    def test_more_work_never_faster(self, flops, factor):
+        a = time_kernel(K40C, spec(flops=flops)).time_s
+        b = time_kernel(K40C, spec(flops=flops * factor)).time_s
+        assert b >= a - 1e-15
+
+    @settings(max_examples=30, deadline=None)
+    @given(frac=st.floats(0.1, 0.9), delta=st.floats(0.01, 0.09))
+    def test_better_bandwidth_fraction_never_slower(self, frac, delta):
+        a = time_kernel(K40C, spec(flops=1.0, read=1e9, frac=frac)).time_s
+        b = time_kernel(K40C, spec(flops=1.0, read=1e9,
+                                   frac=frac + delta)).time_s
+        assert b <= a + 1e-15
+
+    @settings(max_examples=20, deadline=None)
+    @given(grid=st.integers(1, 50))
+    def test_small_grids_never_beat_big_grids_per_block(self, grid):
+        """Per unit of work, a starved device is never faster."""
+        small = time_kernel(K40C, spec(grid=grid)).time_s
+        big = time_kernel(K40C, spec(grid=grid * 100,
+                                     flops=1e10 * 100,
+                                     read=1e7 * 100,
+                                     write=1e7 * 100)).time_s
+        assert big <= small * 100 * (1 + 1e-9)
+
+
+class TestConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(flops=st.floats(1e6, 1e12), read=st.floats(0, 1e9))
+    def test_bound_label_matches_components(self, flops, read):
+        t = time_kernel(K40C, spec(flops=flops, read=read))
+        body = max(t.compute_time_s, t.memory_time_s, t.shared_time_s)
+        assert t.time_s == pytest.approx(
+            body + K40C.kernel_launch_overhead_s, rel=1e-9)
+        if t.bound == "compute":
+            assert t.compute_time_s == body
+        elif t.bound == "memory":
+            assert t.memory_time_s == body
+
+    @settings(max_examples=20, deadline=None)
+    @given(regs=st.integers(16, 128), smem=st.integers(0, 24 * 1024))
+    def test_metrics_always_in_range(self, regs, smem):
+        t = time_kernel(K40C, spec(regs=regs, smem=smem))
+        assert 0 < t.achieved_occupancy <= 1
+        assert 0 < t.warp_execution_efficiency <= 1
+        assert 0 <= t.gld_efficiency <= 1
+        assert 0 <= t.gst_efficiency <= 1
+        assert 0 < t.ipc <= K40C.max_ipc_per_sm
+
+    def test_timing_is_pure(self):
+        s = spec()
+        assert time_kernel(K40C, s).time_s == time_kernel(K40C, s).time_s

@@ -1,0 +1,76 @@
+"""Tests for the chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.config import BASE_CONFIG
+from repro.frameworks.registry import get_implementation
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.stream import Timeline
+from repro.gpusim.trace import timeline_events, to_chrome_trace, trace_events
+
+
+@pytest.fixture(scope="module")
+def session():
+    return get_implementation("fbfft").profile_iteration(BASE_CONFIG).profiler
+
+
+class TestTraceEvents:
+    def test_one_event_per_kernel_and_transfer(self, session):
+        events = trace_events(session)
+        kernels = [e for e in events if e["cat"] == "kernel"]
+        copies = [e for e in events if e["cat"] == "memcpy"]
+        assert len(kernels) == len(session.executions)
+        assert len(copies) == len(session.transfers.records)
+
+    def test_kernels_back_to_back(self, session):
+        kernels = [e for e in trace_events(session) if e["cat"] == "kernel"]
+        for prev, cur in zip(kernels, kernels[1:]):
+            assert cur["ts"] == pytest.approx(prev["ts"] + prev["dur"],
+                                              rel=1e-9)
+
+    def test_durations_match_timings(self, session):
+        kernels = [e for e in trace_events(session) if e["cat"] == "kernel"]
+        total = sum(e["dur"] for e in kernels) / 1e6
+        assert total == pytest.approx(session.gpu_time())
+
+    def test_args_carry_metrics(self, session):
+        ev = trace_events(session)[0]
+        assert "achieved_occupancy" in ev["args"]
+        assert "ipc" in ev["args"]
+
+    def test_async_copies_start_at_zero(self, session):
+        copies = [e for e in trace_events(session)
+                  if e["cat"] == "memcpy" and e["args"]["async"]]
+        if copies:
+            assert min(c["ts"] for c in copies) == 0.0
+
+
+class TestChromeTrace:
+    def test_valid_json_document(self, session):
+        doc = json.loads(to_chrome_trace(session))
+        assert "traceEvents" in doc
+        assert doc["otherData"]["device"] == "Tesla K40c"
+
+    def test_writes_file(self, session, tmp_path):
+        path = tmp_path / "trace.json"
+        to_chrome_trace(session, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestTimelineEvents:
+    def test_streams_become_rows(self):
+        tl = Timeline()
+        tl.stream("copy").enqueue(1.0, "h2d")
+        tl.stream("compute").enqueue(2.0, "kernel")
+        events = timeline_events(tl)
+        assert len(events) == 2
+        assert len({e["tid"] for e in events}) == 2
+
+    def test_times_in_microseconds(self):
+        tl = Timeline()
+        tl.stream("s").enqueue(0.5, "op")
+        ev = timeline_events(tl)[0]
+        assert ev["dur"] == pytest.approx(0.5e6)

@@ -1,0 +1,87 @@
+"""Tests for the PCIe transfer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.device import K40C
+from repro.gpusim.transfer import (TransferEngine, TransferKind,
+                                   exposed_transfer_time)
+
+
+@pytest.fixture
+def engine():
+    return TransferEngine(K40C)
+
+
+class TestCopyTime:
+    def test_pinned_faster_than_pageable(self, engine):
+        n = 100 * 2**20
+        assert (engine.copy_time(n, pinned=True)
+                < engine.copy_time(n, pinned=False))
+
+    def test_bandwidth_math(self, engine):
+        n = int(K40C.pcie_pinned_bandwidth)  # one second of payload
+        t = engine.copy_time(n, pinned=True)
+        assert t == pytest.approx(1.0 + K40C.pcie_latency_s)
+
+    def test_chunking_adds_latency(self, engine):
+        """Many small transfers lose to one large one — the batching
+        advice of section V-D."""
+        n = 2**20
+        assert engine.copy_time(n, chunks=64) > engine.copy_time(n, chunks=1)
+        assert (engine.copy_time(n, chunks=64) - engine.copy_time(n, chunks=1)
+                == pytest.approx(63 * K40C.pcie_latency_s))
+
+    def test_zero_bytes_free(self, engine):
+        assert engine.copy_time(0) == 0.0
+
+    def test_invalid(self, engine):
+        with pytest.raises(ValueError):
+            engine.copy_time(-1)
+        with pytest.raises(ValueError):
+            engine.copy_time(10, chunks=0)
+
+
+class TestRecords:
+    def test_copy_accumulates_stats(self, engine):
+        engine.copy(TransferKind.H2D, 1000, pinned=True, async_=True)
+        engine.copy(TransferKind.D2H, 500)
+        assert engine.total_bytes == 1500
+        assert len(engine.records) == 2
+        assert engine.asynchronous_time() > 0
+        assert engine.synchronous_time() > 0
+        assert engine.total_time == pytest.approx(
+            engine.synchronous_time() + engine.asynchronous_time())
+
+    def test_reset(self, engine):
+        engine.copy(TransferKind.H2D, 1000)
+        engine.reset()
+        assert engine.total_bytes == 0 and not engine.records
+
+
+class TestExposedTime:
+    def test_sync_fully_exposed(self):
+        assert exposed_transfer_time(0.5, 0.0, 10.0) == 0.5
+
+    def test_async_hidden_behind_compute(self):
+        assert exposed_transfer_time(0.0, 0.5, 10.0) == pytest.approx(0.0)
+
+    def test_async_exposed_when_compute_short(self):
+        t = exposed_transfer_time(0.0, 1.0, 0.5, overlap_efficiency=1.0)
+        assert t == pytest.approx(0.5)
+
+    def test_overlap_efficiency_leaks(self):
+        t = exposed_transfer_time(0.0, 1.0, 10.0, overlap_efficiency=0.0)
+        assert t == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            exposed_transfer_time(-1, 0, 0)
+        with pytest.raises(ValueError):
+            exposed_transfer_time(0, 0, 0, overlap_efficiency=2.0)
+
+    @given(sync=st.floats(0, 10), async_=st.floats(0, 10),
+           compute=st.floats(0, 10))
+    def test_bounds(self, sync, async_, compute):
+        t = exposed_transfer_time(sync, async_, compute)
+        assert sync <= t <= sync + async_

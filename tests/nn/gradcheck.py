@@ -1,0 +1,13 @@
+"""Test-local gradient-check shims.
+
+The implementation graduated into the library
+(:mod:`repro.nn.gradcheck`); the test modules import through this shim
+so they exercise the public API.
+"""
+
+from repro.nn.gradcheck import (check_gradients as check_layer_gradients,
+                                numeric_input_gradient,
+                                numeric_param_gradient)
+
+__all__ = ["check_layer_gradients", "numeric_input_gradient",
+           "numeric_param_gradient"]

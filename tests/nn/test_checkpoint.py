@@ -1,0 +1,80 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.nn.checkpoint import (load_state_dict, load_weights, save_weights,
+                                 state_dict)
+from repro.nn.models import lenet5
+
+
+def model():
+    return Sequential(Conv2d(1, 2, 3, rng=0, name="c1"),
+                      BatchNorm2d(2, name="bn1"), ReLU(),
+                      Linear(2, 2, rng=1, name="fc"))
+
+
+class TestStateDict:
+    def test_collects_all_parameters(self):
+        m = model()
+        state = state_dict(m)
+        assert "c1.weight" in state and "fc.bias" in state
+        assert "bn1.gamma" in state
+        assert "bn1.running_mean" in state
+
+    def test_roundtrip_restores_exactly(self, rng):
+        src = model()
+        src.layers[0].weight.value[:] = rng.standard_normal(
+            src.layers[0].weight.shape)
+        src.layers[1].running_mean[:] = [1.5, -2.5]
+        dst = model()
+        load_state_dict(dst, state_dict(src))
+        np.testing.assert_array_equal(dst.layers[0].weight.value,
+                                      src.layers[0].weight.value)
+        np.testing.assert_array_equal(dst.layers[1].running_mean,
+                                      [1.5, -2.5])
+
+    def test_shape_mismatch_rejected(self):
+        state = state_dict(model())
+        state["c1.weight"] = np.zeros((5, 5))
+        with pytest.raises(ShapeError):
+            load_state_dict(model(), state)
+
+    def test_missing_key_strict(self):
+        state = state_dict(model())
+        del state["fc.weight"]
+        with pytest.raises(ShapeError):
+            load_state_dict(model(), state)
+        load_state_dict(model(), state, strict=False)  # tolerated
+
+    def test_extra_key_strict(self):
+        state = state_dict(model())
+        state["mystery"] = np.zeros(3)
+        with pytest.raises(ShapeError):
+            load_state_dict(model(), state)
+
+
+class TestFileRoundtrip:
+    def test_npz_roundtrip(self, tmp_path, rng):
+        src = lenet5(rng=5)
+        path = str(tmp_path / "lenet.npz")
+        save_weights(src, path)
+        dst = lenet5(rng=99)  # different init
+        load_weights(dst, path)
+        x = rng.standard_normal((2, 1, 32, 32))
+        np.testing.assert_array_equal(src.forward(x), dst.forward(x))
+
+    def test_checkpoint_transfers_across_backends(self, tmp_path, rng):
+        """Weights trained under one conv strategy drop into another —
+        the numerical interchangeability the comparison study rests
+        on."""
+        src = lenet5(rng=5)
+        path = str(tmp_path / "lenet.npz")
+        save_weights(src, path)
+        fft_model = lenet5(rng=0, backend="fft")
+        load_weights(fft_model, path)
+        x = rng.standard_normal((2, 1, 32, 32)).astype(np.float64)
+        np.testing.assert_allclose(fft_model.forward(x), src.forward(x),
+                                   rtol=1e-8, atol=1e-8)

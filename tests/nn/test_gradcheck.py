@@ -1,0 +1,89 @@
+"""Finite-difference gradient checks for every layer type.
+
+These are the strongest correctness tests in the NN substrate: the
+analytic backward pass of each layer is compared element-by-element
+against central differences of its own forward pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (AvgPool2d, Conv2d, Dropout, Flatten, Linear,
+                      LocalResponseNorm, MaxPool2d, ReLU)
+
+from .gradcheck import check_layer_gradients
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("backend", [None, "direct", "fft"])
+    def test_small_conv(self, backend, rng):
+        layer = Conv2d(2, 3, 3, backend=backend, rng=1)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_layer_gradients(layer, x, rng)
+
+    def test_strided_padded_conv(self, rng):
+        layer = Conv2d(2, 2, 3, stride=2, padding=1, rng=1)
+        x = rng.standard_normal((1, 2, 7, 7))
+        check_layer_gradients(layer, x, rng)
+
+    def test_no_bias(self, rng):
+        layer = Conv2d(1, 2, 2, bias=False, rng=1)
+        assert len(layer.parameters()) == 1
+        x = rng.standard_normal((1, 1, 5, 5))
+        check_layer_gradients(layer, x, rng)
+
+
+class TestPoolingGradients:
+    def test_maxpool(self, rng):
+        layer = MaxPool2d(2, 2)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_layer_gradients(layer, x, rng)
+
+    def test_maxpool_overlapping(self, rng):
+        layer = MaxPool2d(3, 2)  # AlexNet-style overlapping pool
+        x = rng.standard_normal((1, 2, 7, 7))
+        check_layer_gradients(layer, x, rng)
+
+    def test_avgpool(self, rng):
+        layer = AvgPool2d(2, 2)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_layer_gradients(layer, x, rng)
+
+    def test_avgpool_with_stride_1(self, rng):
+        layer = AvgPool2d(3, 1)
+        x = rng.standard_normal((1, 1, 5, 5))
+        check_layer_gradients(layer, x, rng)
+
+
+class TestSimpleLayers:
+    def test_relu(self, rng):
+        x = rng.standard_normal((3, 4, 5, 5)) + 0.05  # avoid kink at 0
+        check_layer_gradients(ReLU(), x, rng)
+
+    def test_linear(self, rng):
+        layer = Linear(6, 4, rng=1)
+        x = rng.standard_normal((3, 6))
+        check_layer_gradients(layer, x, rng)
+
+    def test_flatten(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        check_layer_gradients(Flatten(), x, rng)
+
+    def test_lrn(self, rng):
+        layer = LocalResponseNorm(size=3, alpha=1e-2, beta=0.75)
+        x = rng.standard_normal((2, 6, 3, 3))
+        check_layer_gradients(layer, x, rng, rtol=1e-3, atol=1e-6)
+
+    def test_lrn_window_wider_than_channels(self, rng):
+        layer = LocalResponseNorm(size=5)
+        x = rng.standard_normal((1, 3, 2, 2))
+        check_layer_gradients(layer, x, rng, rtol=1e-3, atol=1e-6)
+
+    def test_dropout_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=3)
+        x = rng.standard_normal((4, 8))
+        y = layer.forward(x)
+        mask = layer._mask
+        dy = rng.standard_normal(y.shape)
+        dx = layer.backward(dy)
+        assert np.allclose(dx, dy * mask)

@@ -1,0 +1,82 @@
+"""Tests for grouped convolution (AlexNet's two-tower split)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Conv2d
+from repro.nn.models import alexnet
+
+from .gradcheck import check_layer_gradients
+
+
+class TestGroupedConv:
+    def test_weight_shape_shrinks_per_group(self):
+        layer = Conv2d(8, 4, 3, groups=2, rng=0)
+        assert layer.weight.shape == (4, 4, 3, 3)
+
+    def test_groups_partition_channels(self, rng):
+        """A grouped conv equals two independent half-channel convs."""
+        layer = Conv2d(4, 6, 3, groups=2, bias=False, rng=0)
+        x = rng.standard_normal((2, 4, 6, 6))
+        y = layer.forward(x)
+
+        lo = Conv2d(2, 3, 3, bias=False, rng=1)
+        hi = Conv2d(2, 3, 3, bias=False, rng=2)
+        lo.weight.value = layer.weight.value[:3].copy()
+        hi.weight.value = layer.weight.value[3:].copy()
+        np.testing.assert_allclose(y[:, :3], lo.forward(x[:, :2]),
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(y[:, 3:], hi.forward(x[:, 2:]),
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_groups_1_unchanged(self, rng):
+        a = Conv2d(3, 4, 3, rng=5)
+        b = Conv2d(3, 4, 3, groups=1, rng=5)
+        x = rng.standard_normal((1, 3, 5, 5))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_gradcheck_grouped(self, rng):
+        layer = Conv2d(4, 4, 3, groups=2, rng=1)
+        x = rng.standard_normal((2, 4, 6, 6))
+        check_layer_gradients(layer, x, rng)
+
+    def test_depthwise_extreme(self, rng):
+        """groups == channels: depthwise convolution."""
+        layer = Conv2d(4, 4, 3, groups=4, rng=1)
+        assert layer.weight.shape == (4, 1, 3, 3)
+        x = rng.standard_normal((1, 4, 6, 6))
+        check_layer_gradients(layer, x, rng)
+
+    @pytest.mark.parametrize("cin,cout,g", [(3, 4, 2), (4, 3, 2), (4, 4, 0)])
+    def test_invalid_grouping(self, cin, cout, g):
+        with pytest.raises(ShapeError):
+            Conv2d(cin, cout, 3, groups=g, rng=0)
+
+    def test_grouped_works_with_fft_backend(self, rng):
+        a = Conv2d(4, 4, 3, groups=2, rng=3)
+        b = Conv2d(4, 4, 3, groups=2, backend="fft", rng=3)
+        x = rng.standard_normal((1, 4, 6, 6))
+        np.testing.assert_allclose(a.forward(x), b.forward(x),
+                                   rtol=1e-8, atol=1e-8)
+
+
+class TestGroupedAlexNet:
+    def test_original_parameter_count(self):
+        """Krizhevsky's grouped AlexNet has ~61 M parameters (the
+        single-tower variant has ~62.4 M)."""
+        grouped = alexnet(rng=0, grouped=True).parameter_count()
+        single = alexnet(rng=0, grouped=False).parameter_count()
+        assert grouped < single
+        assert 58e6 < grouped < 62e6
+
+    def test_same_output_shape(self):
+        g = alexnet(rng=0, grouped=True)
+        assert g.output_shape((2, 3, 227, 227)) == (2, 1000)
+
+    def test_forward_backward_smoke(self, rng):
+        m = alexnet(num_classes=5, rng=0, grouped=True)
+        x = rng.standard_normal((1, 3, 227, 227)).astype(np.float32) * 0.1
+        y = m.forward(x)
+        dx = m.backward(rng.standard_normal(y.shape))
+        assert np.isfinite(y).all() and np.isfinite(dx).all()

@@ -1,0 +1,209 @@
+"""Behavioural tests for individual layers (beyond gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (AvgPool2d, Conv2d, Dropout, Flatten, Linear,
+                      LocalResponseNorm, MaxPool2d, ReLU, softmax,
+                      SoftmaxCrossEntropy)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, 5, stride=2, padding=1, rng=0)
+        assert layer.output_shape((4, 3, 32, 32)) == (4, 8, 15, 15)
+
+    def test_channel_mismatch(self, rng):
+        layer = Conv2d(3, 8, 3, rng=0)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.standard_normal((1, 4, 8, 8)))
+
+    def test_backward_before_forward(self):
+        layer = Conv2d(1, 1, 3, rng=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 2, 2)))
+
+    def test_conv_config_view(self):
+        layer = Conv2d(3, 8, 5, stride=2, rng=0)
+        cfg = layer.conv_config((4, 3, 32, 32))
+        assert cfg.tuple5 == (4, 32, 8, 5, 2)
+        assert cfg.channels == 3
+
+    def test_conv_config_requires_square(self):
+        layer = Conv2d(3, 8, 5, rng=0)
+        with pytest.raises(ShapeError):
+            layer.conv_config((4, 3, 32, 30))
+
+    def test_he_init_scale(self):
+        layer = Conv2d(16, 8, 3, rng=0)
+        std = layer.weight.value.std()
+        assert 0.5 * np.sqrt(2 / 144) < std < 2.0 * np.sqrt(2 / 144)
+
+    def test_backend_by_implementation_name(self, rng):
+        ref = Conv2d(2, 4, 3, rng=5)
+        alt = Conv2d(2, 4, 3, backend="cudnn", rng=5)
+        x = rng.standard_normal((2, 2, 8, 8))
+        np.testing.assert_allclose(ref.forward(x), alt.forward(x),
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_gradient_accumulates(self, rng):
+        layer = Conv2d(1, 1, 2, rng=0)
+        x = rng.standard_normal((1, 1, 4, 4))
+        layer.forward(x)
+        dy = np.ones((1, 1, 3, 3))
+        layer.backward(dy)
+        g1 = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(dy)
+        np.testing.assert_allclose(layer.weight.grad, 2 * g1)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y = MaxPool2d(2, 2).forward(x)
+        assert np.array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y = AvgPool2d(2, 2).forward(x)
+        assert np.array_equal(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_ceil_mode_shape(self):
+        pool = MaxPool2d(3, 2, ceil_mode=True)
+        assert pool.output_shape((1, 1, 112, 112)) == (1, 1, 56, 56)
+
+    def test_max_backward_routes_to_argmax(self):
+        x = np.zeros((1, 1, 2, 2))
+        x[0, 0, 1, 1] = 5.0
+        pool = MaxPool2d(2, 2)
+        pool.forward(x)
+        dx = pool.backward(np.ones((1, 1, 1, 1)))
+        assert dx[0, 0, 1, 1] == 1.0
+        assert dx.sum() == 1.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            MaxPool2d(0)
+        with pytest.raises(ShapeError):
+            MaxPool2d(3, padding=3)
+
+
+class TestReLU:
+    def test_clips_negatives(self):
+        x = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        assert np.array_equal(ReLU().forward(x), [[0, 2], [0, 0]])
+
+    def test_backward_shape_mismatch(self, rng):
+        r = ReLU()
+        r.forward(rng.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            r.backward(rng.standard_normal((2, 4)))
+
+
+class TestLinear:
+    def test_affine_values(self):
+        layer = Linear(2, 2, rng=0)
+        layer.weight.value = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.bias.value = np.array([10.0, 20.0])
+        y = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.array_equal(y, [[13.0, 27.0]])
+
+    def test_rejects_wrong_features(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(4, 2, rng=0).forward(rng.standard_normal((1, 5)))
+
+    def test_rejects_4d_input(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(4, 2, rng=0).forward(rng.standard_normal((1, 4, 1, 1)))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        d = Dropout(0.9, rng=0).eval()
+        x = rng.standard_normal((8, 8))
+        assert np.array_equal(d.forward(x), x)
+
+    def test_train_mode_zeroes_and_scales(self):
+        d = Dropout(0.5, rng=0)
+        x = np.ones((100, 100))
+        y = d.forward(x)
+        zeros = (y == 0).mean()
+        assert 0.35 < zeros < 0.65
+        kept = y[y != 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_expected_value_preserved(self):
+        d = Dropout(0.3, rng=0)
+        x = np.ones((200, 200))
+        assert d.forward(x).mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_p(self):
+        with pytest.raises(ShapeError):
+            Dropout(1.0)
+
+
+class TestLRN:
+    def test_normalises_downward(self, rng):
+        x = np.abs(rng.standard_normal((1, 8, 4, 4))) + 1.0
+        y = LocalResponseNorm(5, alpha=1.0, beta=0.75).forward(x)
+        assert (np.abs(y) < np.abs(x)).all()
+
+    def test_identity_at_tiny_alpha(self, rng):
+        x = rng.standard_normal((1, 4, 3, 3))
+        y = LocalResponseNorm(3, alpha=1e-12).forward(x)
+        np.testing.assert_allclose(y, x, rtol=1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ShapeError):
+            LocalResponseNorm(size=4)
+        with pytest.raises(ShapeError):
+            LocalResponseNorm(alpha=-1.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((5, 9)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        z = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+    def test_loss_of_perfect_prediction_small(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_classes(self):
+        logits = np.zeros((4, 10))
+        loss = SoftmaxCrossEntropy().forward(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        sce = SoftmaxCrossEntropy()
+        sce.forward(rng.standard_normal((6, 5)), np.arange(6) % 5)
+        g = sce.backward()
+        np.testing.assert_allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradient_finite_difference(self, rng):
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([0, 2, 3])
+        sce = SoftmaxCrossEntropy()
+        sce.forward(logits, labels)
+        g = sce.backward()
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (2, 1)]:
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            num = (SoftmaxCrossEntropy().forward(lp, labels)
+                   - SoftmaxCrossEntropy().forward(lm, labels)) / (2 * eps)
+            assert g[idx] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+    def test_label_validation(self):
+        with pytest.raises(ShapeError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0, 5]))
+        with pytest.raises(ShapeError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0]))

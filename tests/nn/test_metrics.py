@@ -1,0 +1,86 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.metrics import (accuracy, confusion_matrix, per_class_accuracy,
+                              topk_accuracy)
+
+
+@pytest.fixture
+def toy():
+    logits = np.array([
+        [3.0, 1.0, 0.0],   # pred 0
+        [0.0, 2.0, 1.0],   # pred 1
+        [0.0, 1.0, 2.0],   # pred 2
+        [1.5, 1.0, 0.0],   # pred 0
+    ])
+    labels = np.array([0, 1, 1, 2])
+    return logits, labels
+
+
+class TestAccuracy:
+    def test_top1(self, toy):
+        logits, labels = toy
+        assert accuracy(logits, labels) == pytest.approx(0.5)
+
+    def test_top2_catches_runner_up(self, toy):
+        logits, labels = toy
+        # sample 2's label (1) is the second-highest logit.
+        assert topk_accuracy(logits, labels, k=2) == pytest.approx(0.75)
+
+    def test_topk_equals_everything_at_full_k(self, toy):
+        logits, labels = toy
+        assert topk_accuracy(logits, labels, k=3) == 1.0
+
+    def test_topk_validation(self, toy):
+        logits, labels = toy
+        with pytest.raises(ShapeError):
+            topk_accuracy(logits, labels, k=0)
+        with pytest.raises(ShapeError):
+            topk_accuracy(logits, labels, k=4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_topk_geq_top1_property(self, rng):
+        logits = rng.standard_normal((64, 10))
+        labels = rng.integers(0, 10, 64)
+        a1 = accuracy(logits, labels)
+        for k in (2, 3, 5, 10):
+            assert topk_accuracy(logits, labels, k) >= a1
+
+
+class TestConfusionMatrix:
+    def test_counts(self, toy):
+        logits, labels = toy
+        cm = confusion_matrix(logits, labels)
+        assert cm.sum() == 4
+        assert cm[0, 0] == 1   # class 0 correct
+        assert cm[1, 1] == 1   # one class-1 correct
+        assert cm[1, 2] == 1   # one class-1 predicted 2
+        assert cm[2, 0] == 1   # class 2 predicted 0
+
+    def test_diagonal_trace_is_correct_count(self, rng):
+        logits = rng.standard_normal((100, 5))
+        labels = rng.integers(0, 5, 100)
+        cm = confusion_matrix(logits, labels)
+        assert np.trace(cm) == round(accuracy(logits, labels) * 100)
+
+    def test_per_class(self, toy):
+        logits, labels = toy
+        pca = per_class_accuracy(confusion_matrix(logits, labels))
+        assert pca[0] == 1.0
+        assert pca[1] == 0.5
+        assert pca[2] == 0.0
+
+    def test_per_class_nan_for_absent_class(self):
+        cm = np.array([[2, 0], [0, 0]])
+        pca = per_class_accuracy(cm)
+        assert pca[0] == 1.0 and np.isnan(pca[1])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ShapeError):
+            per_class_accuracy(np.zeros((2, 3)))

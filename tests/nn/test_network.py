@@ -1,0 +1,155 @@
+"""Tests for the Sequential and Graph containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (Concat, Conv2d, Flatten, Linear, ReLU, Sequential)
+from repro.nn.network import Graph
+
+from .gradcheck import numeric_input_gradient
+
+
+class TestSequential:
+    def test_forward_chains(self, rng):
+        model = Sequential(ReLU(), Flatten())
+        x = rng.standard_normal((2, 3, 2, 2))
+        y = model.forward(x)
+        assert y.shape == (2, 12)
+        assert (y >= 0).all()
+
+    def test_backward_full_chain_gradcheck(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=0), ReLU(), Flatten(),
+                           Linear(2 * 4 * 4, 3, rng=1))
+        x = rng.standard_normal((2, 1, 6, 6)) + 0.05
+        y = model.forward(x)
+        dy = rng.standard_normal(y.shape)
+        model.forward(x)
+        dx = model.backward(dy)
+        np.testing.assert_allclose(
+            dx, numeric_input_gradient(model, x, dy), rtol=1e-4, atol=1e-6)
+
+    def test_parameters_collected(self):
+        model = Sequential(Conv2d(1, 2, 3, rng=0), Linear(4, 2, rng=0))
+        assert len(model.parameters()) == 4
+
+    def test_shape_walk(self):
+        model = Sequential(Conv2d(3, 8, 3, rng=0), ReLU())
+        walk = model.shape_walk((1, 3, 8, 8))
+        assert len(walk) == 2
+        assert walk[0][2] == (1, 8, 6, 6)
+        assert walk[1][2] == (1, 8, 6, 6)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(ReLU(), ReLU())
+        model.eval()
+        assert all(not l.training for l in model)
+
+    def test_add_rejects_non_layer(self):
+        with pytest.raises(TypeError):
+            Sequential().add("not a layer")
+
+    def test_len_and_iter(self):
+        model = Sequential(ReLU(), ReLU(), ReLU())
+        assert len(model) == 3
+        assert len(list(model)) == 3
+
+
+class TestGraph:
+    def build_branchy(self):
+        """input -> conv -> {branch a: relu, branch b: conv} -> concat."""
+        g = Graph()
+        g.add("stem", Conv2d(1, 2, 3, rng=0))
+        g.add("a", ReLU(), "stem")
+        g.add("b", Conv2d(2, 3, 1, rng=1), "stem")
+        g.add("merge", Concat(), ["a", "b"])
+        return g
+
+    def test_forward_shapes(self, rng):
+        g = self.build_branchy()
+        y = g.forward(rng.standard_normal((2, 1, 6, 6)))
+        assert y.shape == (2, 5, 4, 4)
+
+    def test_output_shape_matches_forward(self, rng):
+        g = self.build_branchy()
+        x = rng.standard_normal((2, 1, 6, 6))
+        assert g.output_shape(x.shape) == g.forward(x).shape
+
+    def test_backward_gradcheck_through_branches(self, rng):
+        g = self.build_branchy()
+        x = rng.standard_normal((1, 1, 5, 5)) + 0.05
+        y = g.forward(x)
+        dy = rng.standard_normal(y.shape)
+        g.forward(x)
+        dx = g.backward(dy)
+        np.testing.assert_allclose(
+            dx, numeric_input_gradient(g, x, dy), rtol=1e-4, atol=1e-6)
+
+    def test_fanout_gradients_accumulate(self, rng):
+        """A node consumed by two branches receives the sum of their
+        gradients — checked against a hand-built equivalent."""
+        g = Graph()
+        g.add("double_a", ReLU())
+        g.add("double_b", ReLU(), "input")
+        g.add("merge", Concat(), ["double_a", "double_b"])
+        x = np.abs(rng.standard_normal((1, 2, 3, 3)))  # all positive
+        g.forward(x)
+        dy = rng.standard_normal((1, 4, 3, 3))
+        dx = g.backward(dy)
+        np.testing.assert_allclose(dx, dy[:, :2] + dy[:, 2:])
+
+    def test_insertion_order_enforced(self):
+        g = Graph()
+        with pytest.raises(ShapeError):
+            g.add("x", ReLU(), "later")
+
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add("x", ReLU())
+        with pytest.raises(ShapeError):
+            g.add("x", ReLU())
+
+    def test_multi_input_requires_concat(self):
+        g = Graph()
+        g.add("a", ReLU())
+        g.add("b", ReLU())
+        with pytest.raises(ShapeError):
+            g.add("c", ReLU(), ["a", "b"])
+
+    def test_set_output(self, rng):
+        g = Graph()
+        g.add("a", ReLU())
+        g.add("b", ReLU(), "a")
+        g.set_output("a")
+        assert g.output_node == "a"
+
+    def test_parameters_collected(self):
+        g = self.build_branchy()
+        assert len(g.parameters()) == 4  # two convs x (w, b)
+
+
+class TestConcat:
+    def test_forward_concatenates_channels(self, rng):
+        xs = [rng.standard_normal((2, c, 3, 3)) for c in (1, 2, 3)]
+        y = Concat().forward(xs)
+        assert y.shape == (2, 6, 3, 3)
+        np.testing.assert_allclose(y[:, 1:3], xs[1])
+
+    def test_backward_splits(self, rng):
+        c = Concat()
+        xs = [rng.standard_normal((1, 2, 2, 2)) for _ in range(2)]
+        c.forward(xs)
+        dy = rng.standard_normal((1, 4, 2, 2))
+        grads = c.backward(dy)
+        assert len(grads) == 2
+        np.testing.assert_allclose(grads[0], dy[:, :2])
+        np.testing.assert_allclose(grads[1], dy[:, 2:])
+
+    def test_mismatched_spatial_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Concat().forward([rng.standard_normal((1, 1, 2, 2)),
+                              rng.standard_normal((1, 1, 3, 3))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            Concat().forward([])

@@ -1,0 +1,87 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.module import Parameter
+from repro.nn.schedules import (ScheduledSGD, constant, poly_decay,
+                                step_decay, warmup)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant(0.1)
+        assert s(0) == s(1000) == 0.1
+
+    def test_step_decay(self):
+        s = step_decay(1.0, drop=0.1, every=10)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_poly_decay_endpoints(self):
+        s = poly_decay(1.0, total_steps=100, power=1.0)
+        assert s(0) == 1.0
+        assert s(50) == pytest.approx(0.5)
+        assert s(100) == 0.0
+        assert s(200) == 0.0  # clamps past the horizon
+
+    def test_poly_decay_power(self):
+        gentle = poly_decay(1.0, 100, power=0.5)
+        steep = poly_decay(1.0, 100, power=2.0)
+        assert gentle(50) > steep(50)
+
+    def test_warmup_ramps(self):
+        s = warmup(constant(1.0), steps=4)
+        assert s(0) == pytest.approx(0.25)
+        assert s(1) == pytest.approx(0.5)
+        assert s(3) == pytest.approx(1.0)
+        assert s(100) == 1.0
+
+    @pytest.mark.parametrize("bad", [
+        lambda: constant(0.0),
+        lambda: step_decay(1.0, drop=0.0),
+        lambda: step_decay(1.0, every=0),
+        lambda: poly_decay(1.0, 0),
+        lambda: warmup(constant(1.0), 0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ShapeError):
+            bad()
+
+
+class TestScheduledSGD:
+    def test_lr_follows_schedule(self):
+        p = Parameter(np.zeros(1))
+        opt = ScheduledSGD([p], step_decay(1.0, 0.1, every=2), momentum=0.0)
+        for _ in range(4):
+            p.grad[:] = [1.0]
+            opt.step()
+        assert opt.lr_history == pytest.approx([1.0, 1.0, 0.1, 0.1])
+        # total update: -(1 + 1 + 0.1 + 0.1)
+        assert p.value[0] == pytest.approx(-2.2)
+
+    def test_zero_lr_steps_are_noops(self):
+        p = Parameter(np.array([5.0]))
+        opt = ScheduledSGD([p], poly_decay(1.0, 1), momentum=0.0)
+        p.grad[:] = [1.0]
+        opt.step()   # lr = 1 at step 0
+        first = p.value.copy()
+        p.grad[:] = [1.0]
+        opt.step()   # lr = 0 beyond the horizon
+        np.testing.assert_array_equal(p.value, first)
+
+    def test_trains_a_model(self, rng):
+        """Warm-up + decay trains the toy problem at least as far as a
+        fixed rate does."""
+        from repro.nn import Linear, ReLU, Sequential, Trainer
+        x = rng.standard_normal((128, 4))
+        labels = (x[:, 0] > 0).astype(int)
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        opt = ScheduledSGD(model.parameters(),
+                           warmup(step_decay(0.2, 0.5, every=30), steps=5))
+        trainer = Trainer(model, opt)
+        losses = [trainer.train_step(x, labels)[0] for _ in range(60)]
+        assert losses[-1] < 0.3 * losses[0]

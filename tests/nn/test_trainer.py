@@ -1,0 +1,109 @@
+"""Tests for SGD and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.nn import Linear, ReLU, Sequential, Flatten, SGD, Trainer
+from repro.nn.module import Parameter
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[:] = [0.5, -0.5]
+        SGD([p], lr=0.1, momentum=0.0).step()
+        np.testing.assert_allclose(p.value, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = [1.0]
+        opt.step()  # v = -1, p = -1
+        opt.step()  # v = -1.5, p = -2.5
+        np.testing.assert_allclose(p.value, [-2.5])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1)
+        p.grad[:] = [0.0]
+        opt.step()
+        np.testing.assert_allclose(p.value, [10.0 - 0.1 * 1.0])
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad[:] = [5.0]
+        SGD([p]).zero_grad()
+        assert p.grad[0] == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(lr=0.0), dict(lr=-1.0), dict(momentum=1.0),
+        dict(momentum=-0.1), dict(weight_decay=-1.0),
+    ])
+    def test_invalid_hyperparams(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], **kwargs)
+
+
+def linear_problem(rng, n=256):
+    """Linearly separable 2-class data in 4 dims."""
+    x = rng.standard_normal((n, 4))
+    labels = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x.astype(np.float64), labels
+
+
+class TestTrainer:
+    def test_loss_decreases_on_separable_problem(self, rng):
+        x, labels = linear_problem(rng)
+        model = Sequential(Linear(4, 16, rng=0), ReLU(), Linear(16, 2, rng=1))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        losses = [trainer.train_step(x, labels)[0] for _ in range(40)]
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_accuracy_improves(self, rng):
+        x, labels = linear_problem(rng)
+        model = Sequential(Linear(4, 16, rng=0), ReLU(), Linear(16, 2, rng=1))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        first_acc = trainer.train_step(x, labels)[1]
+        for _ in range(60):
+            _, acc = trainer.train_step(x, labels)
+        assert acc > max(first_acc, 0.9)
+
+    def test_fit_collects_history(self, rng):
+        x, labels = linear_problem(rng, n=64)
+        model = Sequential(Linear(4, 2, rng=0))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        result = trainer.fit([(x, labels)] * 10)
+        assert len(result.losses) == 10
+        assert result.final_loss == result.losses[-1]
+
+    def test_fit_rejects_empty(self, rng):
+        model = Sequential(Linear(4, 2, rng=0))
+        trainer = Trainer(model, SGD(model.parameters()))
+        with pytest.raises(ValueError):
+            trainer.fit([])
+
+    def test_divergence_detected(self, rng):
+        x, labels = linear_problem(rng, n=32)
+        model = Sequential(Linear(4, 2, rng=0))
+        model.layers[0].weight.value[:] = np.nan  # poisoned checkpoint
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        with pytest.raises(ConvergenceError):
+            trainer.train_step(x, labels)
+
+    def test_evaluate_does_not_update(self, rng):
+        x, labels = linear_problem(rng, n=64)
+        model = Sequential(Linear(4, 2, rng=0))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        before = model.layers[0].weight.value.copy()
+        trainer.evaluate(x, labels)
+        np.testing.assert_array_equal(model.layers[0].weight.value, before)
+
+    def test_callback_invoked(self, rng):
+        x, labels = linear_problem(rng, n=32)
+        model = Sequential(Linear(4, 2, rng=0))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.01))
+        seen = []
+        trainer.fit([(x, labels)] * 3,
+                    callback=lambda step, loss, acc: seen.append(step))
+        assert seen == [0, 1, 2]

@@ -1,0 +1,70 @@
+"""Tests for tensor layout conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ShapeError
+from repro.tensor.layout import (Layout, chwn_to_nchw, convert, nchw_to_chwn,
+                                 transpose_bytes)
+
+
+def small_tensor():
+    return arrays(np.float64,
+                  st.tuples(st.integers(1, 4), st.integers(1, 4),
+                            st.integers(1, 4), st.integers(1, 4)),
+                  elements=st.floats(-10, 10))
+
+
+class TestConvert:
+    def test_nchw_to_chwn_moves_axes(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        y = nchw_to_chwn(x)
+        assert y.shape == (3, 4, 5, 2)
+        assert y[1, 2, 3, 0] == x[0, 1, 2, 3]
+
+    @given(x=small_tensor())
+    def test_chwn_roundtrip(self, x):
+        assert np.array_equal(chwn_to_nchw(nchw_to_chwn(x)), x)
+
+    @given(x=small_tensor())
+    def test_hwbd_roundtrip(self, x):
+        y = convert(x, Layout.NCHW, Layout.HWBD)
+        back = convert(y, Layout.HWBD, Layout.NCHW)
+        assert np.array_equal(back, x)
+
+    def test_identity_conversion(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        assert np.array_equal(convert(x, Layout.NCHW, Layout.NCHW), x)
+
+    def test_bdhw_aliases_nchw(self):
+        assert Layout.BDHW is Layout.NCHW
+
+    def test_copy_is_contiguous(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        y = convert(x, Layout.NCHW, Layout.CHWN, copy=True)
+        assert y.flags["C_CONTIGUOUS"]
+
+    def test_view_mode_shares_memory(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        y = convert(x, Layout.NCHW, Layout.CHWN, copy=False)
+        assert np.shares_memory(x, y)
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ShapeError):
+            convert(rng.standard_normal((2, 3)), Layout.NCHW, Layout.CHWN)
+
+    def test_hwbd_axis_semantics(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        y = convert(x, Layout.NCHW, Layout.HWBD)
+        assert y.shape == (4, 5, 2, 3)
+        assert y[1, 2, 0, 1] == x[0, 1, 1, 2]
+
+
+class TestTransposeBytes:
+    def test_read_plus_write(self):
+        assert transpose_bytes((2, 3, 4, 5)) == 2 * 120 * 4
+
+    def test_itemsize(self):
+        assert transpose_bytes((10,), itemsize=8) == 160

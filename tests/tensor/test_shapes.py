@@ -1,0 +1,93 @@
+"""Tests for conv/pool shape arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor.shapes import (conv_input_gradient_size, conv_output_size,
+                                 pool_output_size, same_padding)
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize("i,k,s,p,expected", [
+        (128, 11, 1, 0, 118),
+        (227, 11, 4, 0, 55),
+        (32, 3, 1, 1, 32),
+        (224, 7, 2, 3, 112),
+        (5, 5, 1, 0, 1),
+        (13, 3, 1, 0, 11),
+    ])
+    def test_known_geometries(self, i, k, s, p, expected):
+        assert conv_output_size(i, k, s, p) == expected
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(4, 5)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(input_size=0, kernel_size=1),
+        dict(input_size=8, kernel_size=0),
+        dict(input_size=8, kernel_size=3, stride=0),
+        dict(input_size=8, kernel_size=3, padding=-1),
+    ])
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ShapeError):
+            conv_output_size(**kwargs)
+
+    @given(i=st.integers(1, 64), k=st.integers(1, 16), s=st.integers(1, 4),
+           p=st.integers(0, 4))
+    def test_inverse_roundtrip(self, i, k, s, p):
+        """conv_input_gradient_size recovers an input the forward pass
+        could have come from (exactly, modulo stride remainder)."""
+        if k > i + 2 * p or k <= 2 * p:
+            return
+        o = conv_output_size(i, k, s, p)
+        recovered = conv_input_gradient_size(o, k, s, p)
+        # The recovered size is the smallest input with this output.
+        assert recovered <= i
+        assert i - recovered < s
+        assert conv_output_size(recovered, k, s, p) == o
+
+
+class TestPoolOutputSize:
+    def test_even_pool(self):
+        assert pool_output_size(32, 2, 2) == 16
+
+    def test_ceil_mode_partial_window(self):
+        # Caffe: 112 -> pool 3/2 ceil -> 56.
+        assert pool_output_size(112, 3, 2, ceil_mode=True) == 56
+        # floor mode gives 55.
+        assert pool_output_size(112, 3, 2, ceil_mode=False) == 55
+
+    def test_ceil_clips_out_of_range_window(self):
+        # A window that would start past the input is dropped.
+        assert pool_output_size(7, 3, 2, padding=1, ceil_mode=True) == 4
+
+    def test_default_stride_equals_window(self):
+        assert pool_output_size(12, 3) == 4
+
+    def test_window_too_large(self):
+        with pytest.raises(ShapeError):
+            pool_output_size(4, 9)
+
+    @given(i=st.integers(2, 100), w=st.integers(1, 8), s=st.integers(1, 8))
+    def test_ceil_geq_floor(self, i, w, s):
+        if w > i:
+            return
+        assert (pool_output_size(i, w, s, ceil_mode=True)
+                >= pool_output_size(i, w, s, ceil_mode=False))
+
+
+class TestSamePadding:
+    @pytest.mark.parametrize("k,p", [(1, 0), (3, 1), (5, 2), (11, 5)])
+    def test_odd_kernels(self, k, p):
+        assert same_padding(k) == p
+        assert conv_output_size(32, k, 1, p) == 32
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ShapeError):
+            same_padding(4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ShapeError):
+            same_padding(0)

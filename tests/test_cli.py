@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_advise_args(self):
+        args = build_parser().parse_args(
+            ["advise", "64", "128", "64", "11", "1"])
+        assert (args.b, args.i, args.f, args.k, args.s, args.c) == (
+            64, 128, 64, 11, 1, 3)
+
+    def test_channels_optional(self):
+        args = build_parser().parse_args(
+            ["compare", "64", "128", "64", "11", "1", "16"])
+        assert args.c == 16
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3d" in out and "table2" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Conv5" in capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 1
+
+    def test_advise(self, capsys):
+        assert main(["advise", "64", "128", "64", "11", "1"]) == 0
+        assert "Recommendation: fbfft" in capsys.readouterr().out
+
+    def test_advise_with_budget(self, capsys):
+        assert main(["advise", "64", "128", "64", "11", "1",
+                     "--memory", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "cuda-convnet2" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "64", "128", "64", "11", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fbfft" in out and "-" in out  # fbfft unsupported at s=2
+
+    def test_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        assert "gradient-buffer" in capsys.readouterr().out
+
+
+class TestExtendedCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "K40c" in out and "TITAN X" in out
+
+    def test_export(self, tmp_path, capsys):
+        target = str(tmp_path / "csv")
+        assert main(["export", target]) == 0
+        import os
+        files = os.listdir(target)
+        assert "fig3_kernel.csv" in files
+        assert "fig6_metrics.csv" in files
+        assert len(files) == 13
+
+    def test_report(self, tmp_path, capsys):
+        """The one-command study regeneration (paper artifacts only —
+        fig2's full sweep is exercised by the benchmarks)."""
+        from repro.core.full_report import generate_report
+        text = generate_report(include_extensions=False,
+                               experiments=["table1", "table2", "fig3e"])
+        assert "table2" in text and "```" in text
+        assert "Conv5" in text
+
+    def test_report_unknown_experiment(self):
+        from repro.core.full_report import generate_report
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            generate_report(experiments=["figZZ"])
+
+    def test_audit(self, capsys):
+        assert main(["audit", "64", "128", "64", "11", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "audit of" in out

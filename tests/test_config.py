@@ -1,0 +1,125 @@
+"""Tests for repro.config: the 5-tuple space and sweeps."""
+
+import pytest
+
+from repro.config import (BASE_CONFIG, SWEEPS, TABLE1_CONFIGS, ConvConfig,
+                          sweep_configs)
+from repro.errors import ShapeError
+
+
+class TestConvConfig:
+    def test_base_tuple_matches_paper(self):
+        assert BASE_CONFIG.tuple5 == (64, 128, 64, 11, 1)
+
+    def test_output_size_valid_convolution(self):
+        cfg = ConvConfig(batch=1, input_size=128, filters=1, kernel_size=11)
+        assert cfg.output_size == 118
+
+    def test_output_size_with_stride(self):
+        cfg = ConvConfig(batch=1, input_size=227, filters=96, kernel_size=11,
+                         stride=4)
+        assert cfg.output_size == 55
+
+    def test_output_size_with_padding(self):
+        cfg = ConvConfig(batch=1, input_size=32, filters=1, kernel_size=3,
+                         padding=1)
+        assert cfg.output_size == 32
+
+    def test_shapes(self):
+        cfg = ConvConfig(batch=4, input_size=16, filters=8, kernel_size=5,
+                         channels=3)
+        assert cfg.input_shape == (4, 3, 16, 16)
+        assert cfg.weight_shape == (8, 3, 5, 5)
+        assert cfg.output_shape == (4, 8, 12, 12)
+
+    def test_forward_macs(self):
+        cfg = ConvConfig(batch=2, input_size=8, filters=4, kernel_size=3,
+                         channels=3)
+        o = 6
+        assert cfg.forward_macs == 2 * 4 * 3 * o * o * 9
+        assert cfg.forward_flops == 2 * cfg.forward_macs
+        assert cfg.training_flops == 3 * cfg.forward_flops
+
+    def test_scaled_replaces_fields(self):
+        cfg = BASE_CONFIG.scaled(batch=128)
+        assert cfg.batch == 128
+        assert cfg.input_size == BASE_CONFIG.input_size
+
+    @pytest.mark.parametrize("field,value", [
+        ("batch", 0), ("batch", -1), ("input_size", 0), ("filters", 0),
+        ("kernel_size", 0), ("stride", 0), ("channels", 0),
+    ])
+    def test_rejects_nonpositive(self, field, value):
+        kwargs = dict(batch=1, input_size=8, filters=1, kernel_size=3)
+        kwargs[field] = value
+        with pytest.raises(ShapeError):
+            ConvConfig(**kwargs)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ShapeError):
+            ConvConfig(batch=1, input_size=8, filters=1, kernel_size=3,
+                       padding=-1)
+
+    def test_rejects_kernel_larger_than_padded_input(self):
+        with pytest.raises(ShapeError):
+            ConvConfig(batch=1, input_size=4, filters=1, kernel_size=9)
+
+    def test_padding_can_admit_large_kernel(self):
+        cfg = ConvConfig(batch=1, input_size=4, filters=1, kernel_size=6,
+                         padding=1)
+        assert cfg.output_size == 1
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BASE_CONFIG.batch = 1
+
+
+class TestTable1:
+    def test_table1_has_five_layers(self):
+        assert list(TABLE1_CONFIGS) == ["Conv1", "Conv2", "Conv3", "Conv4",
+                                        "Conv5"]
+
+    def test_table1_tuples_match_paper(self):
+        expected = {
+            "Conv1": (128, 128, 96, 11, 1),
+            "Conv2": (128, 128, 96, 3, 1),
+            "Conv3": (128, 32, 128, 9, 1),
+            "Conv4": (128, 16, 128, 7, 1),
+            "Conv5": (128, 13, 384, 3, 1),
+        }
+        for name, tup in expected.items():
+            assert TABLE1_CONFIGS[name].tuple5 == tup
+
+
+class TestSweeps:
+    def test_sweep_names(self):
+        assert set(SWEEPS) == {"batch", "input", "filters", "kernel", "stride"}
+
+    def test_batch_sweep_range(self):
+        cfgs = sweep_configs("batch")
+        assert cfgs[0].batch == 32 and cfgs[-1].batch == 512
+        assert all(c.batch % 32 == 0 for c in cfgs)
+        # Only batch varies.
+        assert {c.input_size for c in cfgs} == {128}
+
+    def test_input_sweep_range(self):
+        cfgs = sweep_configs("input")
+        assert cfgs[0].input_size == 32 and cfgs[-1].input_size == 256
+        assert len(cfgs) == 15
+
+    def test_filter_sweep_step16(self):
+        cfgs = sweep_configs("filters")
+        assert all(c.filters % 16 == 0 for c in cfgs)
+        assert cfgs[0].filters == 32 and cfgs[-1].filters == 512
+
+    def test_kernel_sweep_range(self):
+        ks = [c.kernel_size for c in sweep_configs("kernel")]
+        assert ks == list(range(2, 14))
+
+    def test_stride_sweep_range(self):
+        ss = [c.stride for c in sweep_configs("stride")]
+        assert ss == [1, 2, 3, 4]
+
+    def test_unknown_sweep_raises(self):
+        with pytest.raises(KeyError):
+            sweep_configs("nope")

@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (AllocationError, ConvergenceError, DeviceOOMError,
+                          ProfilerError, ReproError, ShapeError,
+                          UnsupportedConfigError)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (ShapeError("x"), UnsupportedConfigError("impl", "why"),
+                DeviceOOMError(1, 2, 3), AllocationError("x"),
+                ProfilerError("x"), ConvergenceError("x")):
+        assert isinstance(exc, ReproError)
+
+
+def test_shape_error_is_value_error():
+    assert isinstance(ShapeError("x"), ValueError)
+
+
+def test_oom_is_memory_error_and_carries_state():
+    e = DeviceOOMError(requested=100, in_use=200, capacity=250)
+    assert isinstance(e, MemoryError)
+    assert e.requested == 100 and e.in_use == 200 and e.capacity == 250
+    assert "100" in str(e)
+
+
+def test_unsupported_config_message():
+    e = UnsupportedConfigError("cuda-convnet2", "batch must be a multiple of 32")
+    assert "cuda-convnet2" in str(e)
+    assert e.reason.startswith("batch")

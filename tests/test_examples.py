@@ -1,0 +1,71 @@
+"""The example scripts must actually run.
+
+Each example is executed in a subprocess (the fast ones end-to-end,
+the slow ones with arguments that keep them quick) and its output
+spot-checked.  This is the executable guarantee behind the README's
+examples table.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "fbfft" in out
+        assert "Recommendation" in out
+
+    def test_reproduce_figure_lists(self):
+        out = run_example("reproduce_figure.py")
+        assert "fig3d" in out
+
+    def test_reproduce_figure_single(self):
+        out = run_example("reproduce_figure.py", "table2")
+        assert "116" in out  # cuda-convnet2 registers
+
+    def test_reproduce_figure_unknown_fails(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "reproduce_figure.py"), "figX"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 1
+
+    def test_choose_implementation(self):
+        out = run_example("choose_implementation.py")
+        assert "Recommendation" in out
+        # The four scenarios produce at least two distinct winners.
+        import re
+        winners = set(re.findall(r"Recommendation: (\S+)", out))
+        assert len(winners) >= 2
+
+    def test_per_layer_mix(self):
+        out = run_example("per_layer_mix.py", "AlexNet", "64")
+        assert "oracle mix" in out
+        assert "Verdict" in out
+
+    def test_profile_model(self):
+        out = run_example("profile_model.py", "AlexNet", "cudnn")
+        assert "Conv" in out and "hottest conv layer" in out
+
+    def test_train_lenet5_short(self):
+        # Full example trains 6 epochs (~1-2 min); exercised instead by
+        # tests/test_integration.py.  Here just check the help path via
+        # a tiny import-run with an unknown backend raising cleanly.
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "train_lenet5.py"), "nonsense"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode != 0
+        assert "unknown" in proc.stderr.lower() or "KeyError" in proc.stderr

@@ -1,0 +1,67 @@
+"""Calibration-regression tests.
+
+``benchmarks/calibration_baseline.json`` snapshots the headline
+quantities the reproduction was calibrated to.  Any change to the
+simulator or the calibration tables that moves them more than 5 %
+fails here — update the baseline deliberately (see
+``repro.core.regression.save_baseline``) after re-checking
+EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.regression import (capture_headlines, check_against, compare,
+                                   load_baseline, save_baseline)
+
+BASELINE = pathlib.Path(__file__).parent.parent / "benchmarks" / \
+    "calibration_baseline.json"
+
+
+class TestCompare:
+    def test_no_drift_on_identical(self):
+        head = {"a": 1.0, "b": 2.0}
+        assert compare(head, dict(head)) == []
+
+    def test_drift_detected(self):
+        drifts = compare({"a": 1.0}, {"a": 1.2}, rel_tolerance=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].relative == pytest.approx(0.2)
+
+    def test_within_tolerance_ignored(self):
+        assert compare({"a": 100.0}, {"a": 103.0}, rel_tolerance=0.05) == []
+
+    def test_added_and_removed_keys_flagged(self):
+        drifts = compare({"a": 1.0}, {"b": 1.0})
+        assert {d.key for d in drifts} == {"a", "b"}
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare({}, {}, rel_tolerance=-0.1)
+
+
+class TestBaselineFile:
+    def test_baseline_exists(self):
+        assert BASELINE.exists(), (
+            "regenerate with repro.core.regression.save_baseline")
+
+    def test_current_model_matches_baseline(self):
+        """THE regression gate: the simulator reproduces its own
+        calibration snapshot."""
+        drifts = check_against(str(BASELINE), rel_tolerance=0.05)
+        assert drifts == [], "\n".join(
+            f"{d.key}: baseline {d.baseline} -> current {d.current} "
+            f"({d.relative:.1%})" for d in drifts)
+
+    def test_roundtrip(self, tmp_path):
+        head = capture_headlines()
+        path = tmp_path / "base.json"
+        save_baseline(str(path), head)
+        assert load_baseline(str(path)) == head
+
+    def test_baseline_covers_the_headlines(self):
+        base = load_baseline(str(BASELINE))
+        assert "crossover_k" in base
+        assert "corrmm_conv2_transfer" in base
+        assert any(k.startswith("base_ms/") for k in base)

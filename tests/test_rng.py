@@ -1,0 +1,41 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, make_rng, spawn
+
+
+def test_default_seed_is_deterministic():
+    a = make_rng().standard_normal(8)
+    b = make_rng().standard_normal(8)
+    assert np.array_equal(a, b)
+
+
+def test_int_seed_controls_sequence():
+    assert not np.array_equal(make_rng(1).standard_normal(8),
+                              make_rng(2).standard_normal(8))
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_rejects_bad_seed_type():
+    with pytest.raises(TypeError):
+        make_rng("seed")
+
+
+def test_spawn_independent_streams():
+    children = spawn(make_rng(3), 4)
+    assert len(children) == 4
+    draws = [c.standard_normal(4) for c in children]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+def test_spawn_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn(make_rng(), -1)
