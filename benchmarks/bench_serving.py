@@ -1,0 +1,84 @@
+"""Serving subsystem benches: plan-cache hit path vs cold ranking, and
+the throughput value of dynamic batching under saturating load.
+
+Unlike the figure benches these do not regenerate a paper artifact —
+they quantify the serving layer built on top of the paper's cost
+model.  The rendered comparison is archived as
+``benchmarks/results/serving_throughput.txt``.
+"""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.frameworks.registry import shared_implementations
+from repro.gpusim.device import K40C
+from repro.serve import (BatchPolicy, PlanCache, Server, ServerConfig,
+                         TrafficSpec, batched_config, generate_trace)
+from repro.serve.loadgen import MODEL_SHAPES
+from repro.serve.request import shape_key
+
+#: AlexNet conv2 at a bucketed batch — a representative cached plan key.
+CONV2_KEY = shape_key(MODEL_SHAPES["AlexNet"][1][1])
+#: Long enough that cold plan misses (one per shape x batch bucket)
+#: amortize into a >90% steady-state hit rate.
+SPEC = TrafficSpec(duration_s=6.0, rate_rps=6000, seed=7)
+
+
+def _advisor():
+    return Advisor(K40C, shared_implementations())
+
+
+@pytest.mark.benchmark(group="serving-plan-cache")
+def bench_plan_cold_ranking(benchmark):
+    """Full 7-way ranking on every call — the cache-miss path."""
+    advisor = _advisor()
+    config = batched_config(CONV2_KEY, 32)
+    plan = benchmark(advisor.plan, config)
+    assert plan is not None
+    benchmark.extra_info["implementation"] = plan.implementation
+
+
+@pytest.mark.benchmark(group="serving-plan-cache")
+def bench_plan_cache_hit(benchmark):
+    """Memoized lookup of the same plan — the steady-state path."""
+    advisor = _advisor()
+    cache = PlanCache(capacity=8)
+    key = (CONV2_KEY, 32, K40C.name)
+    compute = lambda: advisor.plan(batched_config(CONV2_KEY, 32))
+    cache.get_or_compute(key, compute)  # warm
+    plan = benchmark(cache.get_or_compute, key, compute)
+    assert plan is not None
+    assert cache.hit_rate > 0.99
+
+
+@pytest.mark.benchmark(group="serving-throughput")
+def bench_dynamic_batching_throughput(benchmark, save_artifact):
+    """Batched vs forced batch=1 on the same saturating trace."""
+    trace = generate_trace(SPEC)
+
+    def run_both():
+        batched = Server(ServerConfig()).run(trace)
+        single = Server(ServerConfig(policy=BatchPolicy(
+            max_batch=1, max_wait_s=0.0))).run(trace)
+        return batched, single
+
+    batched, single = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    speedup = batched.throughput_rps / single.throughput_rps
+    lines = [
+        f"serving throughput on {SPEC.rate_rps:.0f} rps x "
+        f"{SPEC.duration_s:.0f} s (seed {SPEC.seed})",
+        "",
+        "== dynamic batching ==",
+        batched.render(),
+        "",
+        "== forced batch=1 ==",
+        single.render(),
+        "",
+        f"dynamic batching throughput speedup: x{speedup:.2f}",
+    ]
+    save_artifact("serving_throughput", "\n".join(lines))
+    assert batched.throughput_rps > single.throughput_rps
+    assert batched.plan_cache["hit_rate"] > 0.9
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["batched_rps"] = round(batched.throughput_rps, 1)
+    benchmark.extra_info["single_rps"] = round(single.throughput_rps, 1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Serve a minute of mixed CNN inference traffic on the virtual clock.
+
+Generates 60 simulated seconds of bursty AlexNet/VGG/GoogLeNet
+arrivals, serves them with dynamic batching and the per-shape plan
+cache, then re-serves the identical trace with batching disabled.
+The gap between the two reports is the paper's Fig. 3 batch-size
+leverage applied to a serving system: larger effective batches move
+every layer to a cheaper operating point, and sometimes to a
+different winning implementation entirely.
+
+Everything runs on the simulated clock, so the "minute" of traffic
+takes a few wall seconds and the output is byte-identical per seed.
+
+Run:  python examples/serve_traffic.py            # seed 7, 60 s
+      python examples/serve_traffic.py 21         # another seed
+      python examples/serve_traffic.py 7 5        # quick 5 s run
+"""
+
+import sys
+
+from repro.serve import (BatchPolicy, ServerConfig, TrafficSpec,
+                         generate_trace, serve_trace, trace_summary)
+
+
+def main(seed: int = 7, duration_s: float = 60.0) -> None:
+    spec = TrafficSpec(duration_s=duration_s, rate_rps=3000,
+                       pattern="bursty", seed=seed)
+    trace = generate_trace(spec)
+    print(trace_summary(trace, spec))
+    print()
+
+    print("== dynamic batching ==")
+    batched = serve_trace(trace)
+    print(batched.render())
+    print()
+
+    print("== forced batch=1 ==")
+    single = serve_trace(trace, ServerConfig(
+        policy=BatchPolicy(max_batch=1, max_wait_s=0.0)))
+    print(single.render())
+    print()
+
+    speedup = batched.throughput_rps / single.throughput_rps
+    print(f"dynamic batching throughput speedup: x{speedup:.2f}")
+    if "fbfft" in batched.implementations and \
+            "fbfft" not in single.implementations:
+        print("Note: fbfft only enters the dispatch mix once batching "
+              "raises the effective batch size — the Fig. 3a crossover.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7,
+         float(sys.argv[2]) if len(sys.argv) > 2 else 60.0)

@@ -20,6 +20,11 @@ Commands
     Run the consistency audits on every implementation.
 ``report <path>``
     Regenerate the full study as one markdown document.
+``serve [--rate ... --duration ...]``
+    Run simulated inference traffic through the serving subsystem.
+``loadgen [--seed ...]``
+    Generate a deterministic trace and compare dynamic batching
+    against forced batch=1 on it.
 """
 
 from __future__ import annotations
@@ -67,6 +72,8 @@ def cmd_advise(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    import json
+
     config = _config_from_args(args)
     rows = []
     for impl in all_implementations():
@@ -77,6 +84,16 @@ def cmd_compare(args) -> int:
         rows.append([impl.paper_name,
                      f"{p.total_time_s * 1000:.2f}",
                      f"{impl.peak_memory_bytes(config) / 2**20:.0f}"])
+    if args.json:
+        records = [
+            {"implementation": name,
+             "time_ms": None if t == "-" else float(t),
+             "memory_mb": None if m == "-" else float(m)}
+            for name, t, m in rows
+        ]
+        print(json.dumps({"config": str(config), "results": records},
+                         indent=2))
+        return 0
     print(table(["Implementation", "Time (ms)", "Memory (MB)"], rows,
                 title=f"{config}"))
     return 0
@@ -135,6 +152,73 @@ def cmd_audit(args) -> int:
     return 0 if ok else 1
 
 
+def _traffic_spec(args):
+    from .serve import TrafficSpec
+
+    return TrafficSpec(duration_s=args.duration, rate_rps=args.rate,
+                       pattern=args.pattern, seed=args.seed)
+
+
+def _server_config(args):
+    from .gpusim.device import DEVICES
+    from .serve import BatchPolicy, ServerConfig
+
+    return ServerConfig(
+        policy=BatchPolicy(max_batch=args.max_batch,
+                           max_wait_s=args.max_wait_ms / 1000.0,
+                           bucket=not args.no_bucket),
+        queue_depth=args.queue_depth,
+        timeout_s=args.timeout_ms / 1000.0,
+        device=DEVICES[args.device],
+        plan_cache_capacity=args.cache_capacity,
+    )
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from .serve import Server, generate_trace, trace_summary
+
+    spec = _traffic_spec(args)
+    trace = generate_trace(spec)
+    report = Server(_server_config(args)).run(trace)
+    if args.json:
+        print(json.dumps({"traffic": {"arrivals": len(trace),
+                                      "duration_s": spec.duration_s,
+                                      "pattern": spec.pattern,
+                                      "seed": spec.seed},
+                          "stats": report.to_dict()}, indent=2))
+        return 0
+    print(trace_summary(trace, spec))
+    print()
+    print(report.render())
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from .serve import BatchPolicy, Server, generate_trace, trace_summary
+    from dataclasses import replace
+
+    spec = _traffic_spec(args)
+    trace = generate_trace(spec)
+    print(trace_summary(trace, spec))
+
+    config = _server_config(args)
+    batched = Server(config).run(trace)
+    print("\n== dynamic batching ==")
+    print(batched.render())
+
+    single = Server(replace(config, policy=BatchPolicy(
+        max_batch=1, max_wait_s=0.0))).run(trace)
+    print("\n== forced batch=1 ==")
+    print(single.render())
+
+    speedup = (batched.throughput_rps / single.throughput_rps
+               if single.throughput_rps else float("inf"))
+    print(f"\ndynamic batching throughput speedup: x{speedup:.2f}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .core.full_report import write_report
 
@@ -168,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "advise":
             p.add_argument("--memory", type=int, default=None,
                            help="device memory budget in MB")
+        if name == "compare":
+            p.add_argument("--json", action="store_true",
+                           help="machine-readable output")
         p.set_defaults(fn=fn)
 
     sub.add_parser("ablations",
@@ -198,12 +285,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--no-extensions", action="store_true",
                           help="paper artifacts only")
     p_report.set_defaults(fn=cmd_report)
+
+    def add_traffic_args(p) -> None:
+        from .gpusim.device import DEVICES
+        from .rng import DEFAULT_SEED
+
+        p.add_argument("--duration", type=float, default=10.0,
+                       help="simulated seconds of traffic (default 10)")
+        p.add_argument("--rate", type=float, default=2000.0,
+                       help="mean offered load in req/s (default 2000)")
+        p.add_argument("--pattern", choices=("poisson", "bursty"),
+                       default="poisson", help="arrival process")
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                       help="trace seed (runs are deterministic per seed)")
+        p.add_argument("--max-batch", type=int, default=64,
+                       help="dynamic batcher size cap (default 64)")
+        p.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="batching latency guard (default 2 ms)")
+        p.add_argument("--no-bucket", action="store_true",
+                       help="disable power-of-two batch padding")
+        p.add_argument("--queue-depth", type=int, default=512,
+                       help="admission queue bound (default 512)")
+        p.add_argument("--timeout-ms", type=float, default=250.0,
+                       help="queueing timeout before shedding (default 250 ms)")
+        p.add_argument("--cache-capacity", type=int, default=128,
+                       help="plan cache entries (default 128)")
+        p.add_argument("--device", choices=sorted(DEVICES),
+                       default="Tesla K40c", help="modelled GPU")
+
+    p_serve = sub.add_parser(
+        "serve", help="run simulated inference traffic end-to-end")
+    add_traffic_args(p_serve)
+    p_serve.add_argument("--json", action="store_true",
+                         help="machine-readable stats output")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="generate a trace; compare dynamic batching "
+                        "vs forced batch=1 on it")
+    add_traffic_args(p_loadgen)
+    # loadgen's point is the batched-vs-unbatched contrast, which needs
+    # an offered load past the batch=1 saturation point (~4k req/s on
+    # the K40c model).
+    p_loadgen.set_defaults(fn=cmd_loadgen, rate=6000.0)
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.fn(args)
+    parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv:
+        parser.print_usage(sys.stderr)
+        print(f"{parser.prog}: a subcommand is required "
+              "(see --help)", file=sys.stderr)
+        return 2
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

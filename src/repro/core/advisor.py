@@ -45,6 +45,25 @@ class Candidate:
 
 
 @dataclass(frozen=True)
+class RankedPlan:
+    """The advisor's decision distilled to what a dispatcher needs.
+
+    This is the cacheable unit: it carries no live objects, so it can
+    be memoized per ``(shape, batch, device)`` by
+    :class:`repro.serve.plan_cache.PlanCache` and replayed at dispatch
+    time without re-ranking.
+    """
+
+    implementation: str
+    time_s: float
+    peak_memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.time_s <= 0:
+            raise ValueError(f"plan time must be positive, got {self.time_s}")
+
+
+@dataclass(frozen=True)
 class Recommendation:
     """Advisor output: ranked feasible candidates plus rationale."""
 
@@ -115,6 +134,22 @@ class Advisor:
         rationale = self._rationale(config, best, memory_budget)
         return Recommendation(config=config, candidates=candidates,
                               best=best.implementation, rationale=rationale)
+
+    def plan(self, config: ConvConfig,
+             memory_budget: Optional[int] = None) -> Optional[RankedPlan]:
+        """Rank once and return the winner as a cacheable plan.
+
+        Unlike :meth:`recommend`, the result is a plain value object
+        (no candidate list, no prose rationale) suitable for per-shape
+        memoization; ``None`` means no implementation is feasible.
+        """
+        candidates = self.evaluate(config, memory_budget)
+        for c in candidates:
+            if c.feasible:
+                return RankedPlan(implementation=c.implementation,
+                                  time_s=c.time_s,
+                                  peak_memory_bytes=c.peak_memory_bytes)
+        return None
 
     def _rationale(self, config: ConvConfig, best: Candidate,
                    memory_budget: Optional[int]) -> str:

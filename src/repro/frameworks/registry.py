@@ -42,3 +42,34 @@ def get_implementation(name: str) -> ConvImplementation:
         raise KeyError(
             f"unknown implementation {name!r}; options: {sorted(impls)}"
         ) from None
+
+
+#: Memoized instances for hot-path dispatch.  The adapters hold no
+#: per-call state (numerics and plans are pure functions of the
+#: config), so the serving scheduler shares one instance per class
+#: instead of re-instantiating seven adapters per batch.
+_SHARED: Dict[str, ConvImplementation] = {}
+
+
+def shared_implementations() -> List[ConvImplementation]:
+    """The seven implementations as shared singletons (paper order)."""
+    if not _SHARED:
+        for impl in all_implementations():
+            _SHARED[impl.name] = impl
+    return list(_SHARED.values())
+
+
+def resolve_implementation(name: str) -> ConvImplementation:
+    """Shared-instance lookup by registry name *or* paper name.
+
+    The advisor ranks by ``paper_name`` (``"cuDNN"``) while the
+    registry keys by ``name`` (``"cudnn"``); dispatchers hold whichever
+    string they were handed, so accept both.
+    """
+    shared_implementations()
+    by_paper = {impl.paper_name: impl for impl in _SHARED.values()}
+    impl = _SHARED.get(name) or by_paper.get(name)
+    if impl is None:
+        options = sorted(_SHARED) + sorted(by_paper)
+        raise KeyError(f"unknown implementation {name!r}; options: {options}")
+    return impl

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from ..errors import AllocationError, DeviceOOMError
 from .device import DeviceSpec
@@ -45,6 +45,11 @@ class DeviceAllocator:
         Bytes considered permanently allocated before the workload runs
         (CUDA context + framework runtime).  The paper's ``nvidia-smi``
         numbers include this; ~100 MB is typical for CUDA 7.5.
+
+    An *observer* callable may be attached with :meth:`set_observer`;
+    it receives ``(event, buffer, in_use)`` on every successful
+    ``alloc``/``free``.  The serving scheduler uses this to keep a
+    live memory watermark per batch without wrapping every call site.
     """
 
     def __init__(self, device: DeviceSpec, baseline: int = 100 * 2**20):
@@ -58,6 +63,12 @@ class DeviceAllocator:
         self._next_handle = 1
         self._in_use = baseline
         self._peak = baseline
+        self._observer: Optional[Callable[[str, Buffer, int], None]] = None
+
+    def set_observer(self,
+                     fn: Optional[Callable[[str, Buffer, int], None]]) -> None:
+        """Attach (or with ``None`` detach) the alloc/free observer."""
+        self._observer = fn
 
     # -- queries -----------------------------------------------------------
 
@@ -99,6 +110,8 @@ class DeviceAllocator:
         self._live[buf.handle] = buf
         self._in_use += rounded
         self._peak = max(self._peak, self._in_use)
+        if self._observer is not None:
+            self._observer("alloc", buf, self._in_use)
         return buf
 
     def free(self, buf: Buffer) -> None:
@@ -107,6 +120,8 @@ class DeviceAllocator:
         if stored is None:
             raise AllocationError(f"free of unknown or already-freed buffer {buf.handle}")
         self._in_use -= stored.rounded_size
+        if self._observer is not None:
+            self._observer("free", stored, self._in_use)
 
     def free_all(self) -> None:
         """Release every live buffer (end of benchmark iteration)."""

@@ -37,6 +37,42 @@ from .kernels import KernelSpec
 from .occupancy import achieved_occupancy, occupancy
 
 
+class SimClock:
+    """Deterministic virtual clock for simulated sessions.
+
+    The serving subsystem (:mod:`repro.serve`) advances this clock by
+    the simulated kernel/transfer times produced here, so a whole
+    traffic run is reproducible to the bit from its seed — no wall
+    time is ever read.  Time only moves forward.
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        if start_s < 0:
+            raise ValueError(f"start_s must be non-negative, got {start_s}")
+        self._now = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt_s: float) -> float:
+        """Move forward by ``dt_s`` seconds; returns the new time."""
+        if dt_s < 0:
+            raise ValueError(f"cannot advance by negative time {dt_s}")
+        self._now += dt_s
+        return self._now
+
+    def advance_to(self, t_s: float) -> float:
+        """Move forward to absolute time ``t_s`` (no-op if already
+        past it — the clock never rewinds)."""
+        self._now = max(self._now, float(t_s))
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(t={self._now:.6f}s)"
+
+
 #: Resident-warp x ILP product at which the SM pipelines saturate.
 #: GK110 needs ~30 independent instruction streams to cover its
 #: arithmetic latency (9-11 cycles) across 4 schedulers.

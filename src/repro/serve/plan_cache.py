@@ -1,0 +1,88 @@
+"""LRU plan cache.
+
+Ranking the seven implementations for one configuration means seven
+simulated profiles — fine offline, far too slow per batch.  Since the
+ranking is a pure function of ``(shape, batch, device)``, the cache
+memoizes the advisor's :class:`~repro.core.advisor.RankedPlan` per key
+with LRU eviction, and the batcher's power-of-two bucketing keeps the
+key space tiny, so steady-state dispatch is a dictionary hit.
+
+Infeasible configurations are cached too (as ``None``): re-discovering
+"nothing fits" per batch would be the same wasted ranking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
+
+from ..core.advisor import RankedPlan
+
+#: Sentinel distinguishing "not cached" from a cached None (infeasible).
+_MISSING = object()
+
+
+class PlanCache:
+    """LRU map from hashable plan keys to :class:`RankedPlan` (or
+    ``None`` for cached infeasibility), with hit/miss/eviction
+    counters."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Optional[RankedPlan]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: Hashable):
+        """Cached value or the module sentinel; counts hit/miss and
+        refreshes recency on hit."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return _MISSING
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, plan: Optional[RankedPlan]) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = plan
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Optional[RankedPlan]]
+                       ) -> Optional[RankedPlan]:
+        """The dispatch entry point: one lookup, ranking only on miss."""
+        value = self.get(key)
+        if value is not _MISSING:
+            return value
+        plan = compute()
+        self.put(key, plan)
+        return plan
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,108 @@
+"""Bounded admission queue with timeout-based shedding.
+
+Requests are kept in per-shape FIFO lanes (the batcher drains one lane
+per batch) under a single global depth bound.  Two load-control
+mechanisms, both counted:
+
+* **admission rejection** — a request arriving at a full queue is
+  refused outright (the client sees an immediate "server busy");
+* **shedding** — an admitted request whose queueing delay exceeds its
+  timeout is dropped before service (serving it late would be wasted
+  work; real serving stacks shed exactly like this).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .request import Request, ShapeKey
+
+
+class AdmissionQueue:
+    """FIFO-per-shape queue with one global depth bound."""
+
+    def __init__(self, max_depth: int = 256):
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        # Ordered so iteration order (and thus tie-breaking between
+        # equally old lanes) is deterministic: insertion order.
+        self._lanes: "OrderedDict[ShapeKey, Deque[Request]]" = OrderedDict()
+        self._depth = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def lane_sizes(self) -> Dict[ShapeKey, int]:
+        return {k: len(d) for k, d in self._lanes.items() if d}
+
+    def oldest_lane(self) -> Optional[Tuple[ShapeKey, Request]]:
+        """The lane whose head request has waited longest, as
+        ``(key, head)``; ``None`` when empty.  Ties break by lane
+        insertion order, keeping the scan deterministic."""
+        best: Optional[Tuple[ShapeKey, Request]] = None
+        for key, lane in self._lanes.items():
+            if not lane:
+                continue
+            if best is None or lane[0].arrival_s < best[1].arrival_s:
+                best = (key, lane[0])
+        return best
+
+    def oldest_arrival(self) -> Optional[float]:
+        head = self.oldest_lane()
+        return None if head is None else head[1].arrival_s
+
+    # -- mutation ----------------------------------------------------------
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request`` unless the queue is full."""
+        if self._depth >= self.max_depth:
+            self.rejected += 1
+            return False
+        lane = self._lanes.get(request.key)
+        if lane is None:
+            lane = self._lanes[request.key] = deque()
+        lane.append(request)
+        self._depth += 1
+        self.admitted += 1
+        return True
+
+    def take(self, key: ShapeKey, n: int) -> List[Request]:
+        """Remove and return up to ``n`` requests from one lane."""
+        lane = self._lanes.get(key)
+        if lane is None:
+            return []
+        out: List[Request] = []
+        while lane and len(out) < n:
+            out.append(lane.popleft())
+        self._depth -= len(out)
+        return out
+
+    def push_front(self, key: ShapeKey, requests: List[Request]) -> None:
+        """Return requests to the head of their lane, preserving order
+        (used when an OOM forces a batch split)."""
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._lanes[key] = deque()
+        for req in reversed(requests):
+            lane.appendleft(req)
+        self._depth += len(requests)
+
+    def shed_expired(self, now_s: float) -> List[Request]:
+        """Drop every admitted request whose deadline has passed."""
+        dropped: List[Request] = []
+        for lane in self._lanes.values():
+            kept = deque(r for r in lane if not r.expired(now_s))
+            if len(kept) != len(lane):
+                dropped.extend(r for r in lane if r.expired(now_s))
+                lane.clear()
+                lane.extend(kept)
+        self._depth -= len(dropped)
+        self.shed += len(dropped)
+        return dropped

@@ -1,0 +1,179 @@
+"""The serving worker loop.
+
+A single simulated device drains the admission queue batch by batch:
+
+1. admit every arrival due by now (bounded queue — overflow rejected);
+2. shed requests whose queueing deadline passed;
+3. ask the dynamic batcher for the next same-shape batch;
+4. resolve the batch's plan — plan-cache hit, or advisor ranking on a
+   miss — then replay the chosen implementation's memory plan through
+   the device allocator and advance the
+   :class:`~repro.gpusim.timing.SimClock` by the simulated service
+   time;
+5. if the batch does not fit device memory, split it in half and try
+   the halves (a single sample that still does not fit is shed).
+
+Time is entirely virtual: service times come from the gpusim roofline
+model (via the advisor's ranking), waiting comes from the arrival
+trace, and no wall clock is ever consulted — a run is a pure function
+of its trace and configuration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.advisor import Advisor, RankedPlan
+from ..errors import DeviceOOMError
+from ..frameworks.calibration import CONTEXT_BYTES
+from ..frameworks.registry import resolve_implementation, shared_implementations
+from ..gpusim.allocator import DeviceAllocator
+from ..gpusim.device import DeviceSpec, K40C
+from ..gpusim.timing import SimClock
+from .batcher import BatchPolicy, DynamicBatcher
+from .loadgen import Arrival
+from .plan_cache import PlanCache
+from .queue import AdmissionQueue
+from .request import Completion, Request, ShapeKey, batched_config
+from .stats import ServingStats, StatsReport
+
+#: The advisor ranks full training iterations (forward + two backward
+#: passes of equal direct-algorithm cost — see
+#: :attr:`repro.config.ConvConfig.training_flops`); inference serves
+#: the forward pass only.
+FORWARD_FRACTION = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a serving run is parameterised by."""
+
+    policy: BatchPolicy = BatchPolicy()
+    queue_depth: int = 512
+    timeout_s: float = 0.25
+    device: DeviceSpec = K40C
+    plan_cache_capacity: int = 128
+    memory_budget: Optional[int] = None   # bytes; None = device capacity
+    forward_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+class Server:
+    """One simulated inference server over one device."""
+
+    def __init__(self, config: ServerConfig = ServerConfig(),
+                 advisor: Optional[Advisor] = None,
+                 record_timeline: bool = False):
+        self.config = config
+        self.advisor = advisor or Advisor(
+            device=config.device, implementations=shared_implementations())
+        self.plan_cache = PlanCache(config.plan_cache_capacity)
+        self.clock = SimClock()
+        #: (simulated time, bytes in use) per allocator event, when
+        #: timeline recording is on.
+        self.memory_timeline: List[Tuple[float, int]] = []
+        self._allocator = DeviceAllocator(config.device,
+                                          baseline=CONTEXT_BYTES)
+        if record_timeline:
+            self._allocator.set_observer(
+                lambda event, buf, in_use:
+                self.memory_timeline.append((self.clock.now_s, in_use)))
+
+    # ------------------------------------------------------------------
+
+    def _plan_for(self, key: ShapeKey, batch: int) -> Optional[RankedPlan]:
+        cache_key = (key, batch, self.config.device.name)
+        return self.plan_cache.get_or_compute(
+            cache_key,
+            lambda: self.advisor.plan(batched_config(key, batch),
+                                      memory_budget=self.config.memory_budget))
+
+    def _service_time(self, plan: RankedPlan) -> float:
+        scale = FORWARD_FRACTION if self.config.forward_only else 1.0
+        return plan.time_s * scale
+
+    def _execute(self, requests: List[Request], key: ShapeKey,
+                 stats: ServingStats) -> None:
+        """Serve one group of same-shape requests, splitting on OOM."""
+        padded = self.config.policy.padded(len(requests))
+        plan = self._plan_for(key, padded)
+        if plan is None:
+            stats.oom_shed += len(requests)
+            return
+        impl = resolve_implementation(plan.implementation)
+        config = batched_config(key, padded)
+        buffers = []
+        try:
+            for tag, size in impl.memory_plan(config):
+                if size > 0:
+                    buffers.append(self._allocator.alloc(size, tag=tag))
+        except DeviceOOMError:
+            for buf in buffers:
+                self._allocator.free(buf)
+            if len(requests) > 1:
+                stats.oom_splits += 1
+                mid = (len(requests) + 1) // 2
+                self._execute(requests[:mid], key, stats)
+                self._execute(requests[mid:], key, stats)
+            else:
+                stats.oom_shed += 1
+            return
+        start = self.clock.now_s
+        finish = self.clock.advance(self._service_time(plan))
+        for buf in buffers:
+            self._allocator.free(buf)
+        stats.record_batch(padded, len(requests), plan.implementation)
+        stats.record_completions([
+            Completion(request=r, start_s=start, finish_s=finish,
+                       batch=padded, fill=len(requests),
+                       implementation=plan.implementation)
+            for r in requests])
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Sequence[Arrival]) -> StatsReport:
+        """Serve one arrival trace to completion; returns the report."""
+        stats = ServingStats()
+        queue = AdmissionQueue(self.config.queue_depth)
+        batcher = DynamicBatcher(self.config.policy)
+        pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
+        while pending or len(queue):
+            while pending and pending[0].t_s <= self.clock.now_s:
+                arrival = pending.popleft()
+                stats.offered += 1
+                queue.offer(Request(
+                    rid=arrival.rid, model=arrival.model, layer=arrival.layer,
+                    key=arrival.key, arrival_s=arrival.t_s,
+                    timeout_s=self.config.timeout_s))
+            queue.shed_expired(self.clock.now_s)
+            batch = batcher.next_batch(queue, self.clock.now_s,
+                                       drain=not pending)
+            if batch is not None:
+                self._execute(list(batch.requests), batch.key, stats)
+                continue
+            if not len(queue) and not pending:
+                break
+            # Nothing releasable: advance to the next event — the next
+            # arrival or the oldest lane's max-wait expiry.
+            events = []
+            if pending:
+                events.append(pending[0].t_s)
+            release = batcher.release_at(queue)
+            if release is not None:
+                events.append(release)
+            self.clock.advance_to(min(events))
+        stats.rejected = queue.rejected
+        stats.shed = queue.shed
+        return stats.finalize(self.clock.now_s, self.plan_cache.stats(),
+                              self._allocator.peak)
+
+
+def serve_trace(trace: Sequence[Arrival],
+                config: ServerConfig = ServerConfig()) -> StatsReport:
+    """Convenience one-shot: run ``trace`` on a fresh server."""
+    return Server(config).run(trace)

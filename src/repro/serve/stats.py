@@ -1,0 +1,165 @@
+"""Serving metrics.
+
+Collected live by the scheduler, frozen into a :class:`StatsReport` at
+the end of a run.  Latencies are arrival-to-finish (queueing wait plus
+service); throughput is completed requests over the simulated
+makespan; everything is derived from virtual time, so reports are
+deterministic for a fixed trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .request import Completion
+
+
+def percentile(sorted_values: List[float], p: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values,
+    ``p`` in [0, 100]."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"p must be in [0, 100], got {p}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = p / 100.0 * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """Frozen end-of-run metrics."""
+
+    duration_s: float          # simulated makespan
+    offered: int
+    completed: int
+    rejected: int              # refused at admission (queue full)
+    shed: int                  # dropped after admission (timeout)
+    oom_splits: int            # batches split because memory didn't fit
+    oom_shed: int              # single requests shed for not fitting
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    mean_batch_fill: float     # real requests per released batch
+    mean_batch_size: float     # padded (executed) batch size
+    batch_histogram: Dict[int, int]  # padded size -> batches released
+    plan_cache: Dict[str, float]
+    peak_memory_mb: float
+    implementations: Dict[str, int]  # paper name -> requests served
+
+    @property
+    def shed_rate(self) -> float:
+        return (self.rejected + self.shed + self.oom_shed) / self.offered \
+            if self.offered else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"simulated duration    {self.duration_s:10.3f} s",
+            f"offered / completed   {self.offered} / {self.completed}",
+            f"rejected / shed / oom {self.rejected} / {self.shed} / {self.oom_shed}"
+            f"  (shed rate {self.shed_rate * 100:.1f} %)",
+            f"throughput            {self.throughput_rps:10.1f} req/s",
+            f"latency p50/p95/p99   {self.latency_p50_ms:.2f} / "
+            f"{self.latency_p95_ms:.2f} / {self.latency_p99_ms:.2f} ms",
+            f"batch fill / size     {self.mean_batch_fill:.2f} / "
+            f"{self.mean_batch_size:.2f}",
+            "batch histogram       " + " ".join(
+                f"{size}:{count}" for size, count in
+                sorted(self.batch_histogram.items())),
+            f"plan cache            {int(self.plan_cache['hits'])} hits / "
+            f"{int(self.plan_cache['misses'])} misses "
+            f"(hit rate {self.plan_cache['hit_rate'] * 100:.1f} %, "
+            f"{int(self.plan_cache['entries'])} entries, "
+            f"{int(self.plan_cache['evictions'])} evictions)",
+            f"peak device memory    {self.peak_memory_mb:10.0f} MB",
+            "dispatch mix          " + " ".join(
+                f"{name}:{count}" for name, count in
+                sorted(self.implementations.items())),
+        ]
+        if self.oom_splits:
+            lines.append(f"oom batch splits      {self.oom_splits}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``--json`` output)."""
+        return {
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "oom_splits": self.oom_splits,
+            "oom_shed": self.oom_shed,
+            "shed_rate": self.shed_rate,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "p50": self.latency_p50_ms,
+                "p95": self.latency_p95_ms,
+                "p99": self.latency_p99_ms,
+            },
+            "mean_batch_fill": self.mean_batch_fill,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_histogram": {str(k): v for k, v in
+                                sorted(self.batch_histogram.items())},
+            "plan_cache": self.plan_cache,
+            "peak_memory_mb": self.peak_memory_mb,
+            "implementations": dict(sorted(self.implementations.items())),
+        }
+
+
+@dataclass
+class ServingStats:
+    """Mutable accumulator the scheduler feeds during a run."""
+
+    offered: int = 0
+    rejected: int = 0
+    shed: int = 0
+    oom_splits: int = 0
+    oom_shed: int = 0
+    completions: List[Completion] = field(default_factory=list)
+    batch_histogram: Dict[int, int] = field(default_factory=dict)
+    batch_fills: List[int] = field(default_factory=list)
+    implementations: Dict[str, int] = field(default_factory=dict)
+
+    def record_batch(self, padded: int, fill: int, implementation: str) -> None:
+        self.batch_histogram[padded] = self.batch_histogram.get(padded, 0) + 1
+        self.batch_fills.append(fill)
+        self.implementations[implementation] = \
+            self.implementations.get(implementation, 0) + fill
+
+    def record_completions(self, completions: List[Completion]) -> None:
+        self.completions.extend(completions)
+
+    def finalize(self, duration_s: float, plan_cache_stats: Dict[str, float],
+                 peak_memory_bytes: int) -> StatsReport:
+        latencies = sorted(c.latency_s for c in self.completions)
+        n_batches = len(self.batch_fills)
+        total_padded = sum(size * count
+                           for size, count in self.batch_histogram.items())
+        return StatsReport(
+            duration_s=duration_s,
+            offered=self.offered,
+            completed=len(self.completions),
+            rejected=self.rejected,
+            shed=self.shed,
+            oom_splits=self.oom_splits,
+            oom_shed=self.oom_shed,
+            throughput_rps=(len(self.completions) / duration_s
+                            if duration_s > 0 else 0.0),
+            latency_p50_ms=percentile(latencies, 50) * 1000,
+            latency_p95_ms=percentile(latencies, 95) * 1000,
+            latency_p99_ms=percentile(latencies, 99) * 1000,
+            mean_batch_fill=(sum(self.batch_fills) / n_batches
+                             if n_batches else 0.0),
+            mean_batch_size=(total_padded / n_batches if n_batches else 0.0),
+            batch_histogram=dict(self.batch_histogram),
+            plan_cache=dict(plan_cache_stats),
+            peak_memory_mb=peak_memory_bytes / 2**20,
+            implementations=dict(self.implementations),
+        )

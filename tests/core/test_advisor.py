@@ -59,3 +59,32 @@ class TestRecommend:
         out = advisor.recommend(BASE_CONFIG).render()
         assert "Recommendation" in out
         assert "fbfft" in out
+
+
+class TestPlan:
+    """The cacheable ranking entry point used by repro.serve."""
+
+    def test_plan_matches_recommend(self, advisor):
+        plan = advisor.plan(BASE_CONFIG)
+        rec = advisor.recommend(BASE_CONFIG)
+        assert plan.implementation == rec.best
+        best = [c for c in rec.candidates if c.feasible][0]
+        assert plan.time_s == best.time_s
+        assert plan.peak_memory_bytes == best.peak_memory_bytes
+
+    def test_plan_respects_budget(self, advisor):
+        plan = advisor.plan(BASE_CONFIG, memory_budget=400 * 2**20)
+        assert plan.implementation == "cuda-convnet2"
+
+    def test_infeasible_returns_none(self, advisor):
+        assert advisor.plan(BASE_CONFIG, memory_budget=1) is None
+
+    def test_plan_is_a_value_object(self, advisor):
+        a = advisor.plan(BASE_CONFIG)
+        b = advisor.plan(BASE_CONFIG)
+        assert a == b and hash(a) == hash(b)
+
+    def test_invalid_plan_time_rejected(self):
+        from repro.core.advisor import RankedPlan
+        with pytest.raises(ValueError):
+            RankedPlan(implementation="x", time_s=0.0, peak_memory_bytes=0)

@@ -1,0 +1,48 @@
+"""Registry lookups, including the shared-instance dispatch path."""
+
+import pytest
+
+from repro.frameworks.registry import (all_implementations,
+                                       get_implementation,
+                                       implementation_map,
+                                       resolve_implementation,
+                                       shared_implementations)
+
+
+class TestFreshInstances:
+    def test_seven_implementations(self):
+        assert len(all_implementations()) == 7
+
+    def test_map_keys_are_registry_names(self):
+        assert "cudnn" in implementation_map()
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown implementation"):
+            get_implementation("tensorrt")
+
+    def test_fresh_instances_are_new_objects(self):
+        assert all_implementations()[0] is not all_implementations()[0]
+
+
+class TestSharedInstances:
+    def test_shared_are_memoized(self):
+        a = shared_implementations()
+        b = shared_implementations()
+        assert [id(x) for x in a] == [id(y) for y in b]
+
+    def test_paper_order_preserved(self):
+        names = [impl.name for impl in shared_implementations()]
+        assert names == [impl.name for impl in all_implementations()]
+
+    def test_resolve_by_registry_name(self):
+        assert resolve_implementation("cudnn").paper_name == "cuDNN"
+
+    def test_resolve_by_paper_name(self):
+        assert resolve_implementation("Theano-CorrMM").name == "theano-corrmm"
+
+    def test_resolve_returns_shared_instance(self):
+        assert resolve_implementation("fbfft") is resolve_implementation("fbfft")
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown implementation"):
+            resolve_implementation("winograd-v9")

@@ -127,3 +127,29 @@ class TestInvariants:
                     st.integers(0, len(live) - 1))))
             assert a.in_use >= 0
             assert a.peak >= a.in_use
+
+
+class TestObserver:
+    """The alloc/free hook the serving scheduler listens on."""
+
+    def test_observer_sees_allocs_and_frees(self, allocator):
+        events = []
+        allocator.set_observer(lambda ev, buf, in_use:
+                               events.append((ev, buf.tag, in_use)))
+        buf = allocator.alloc(1024, tag="x")
+        allocator.free(buf)
+        assert events == [("alloc", "x", 1024), ("free", "x", 0)]
+
+    def test_observer_not_called_on_failed_alloc(self, allocator):
+        events = []
+        allocator.set_observer(lambda *a: events.append(a))
+        with pytest.raises(DeviceOOMError):
+            allocator.alloc(K40C.global_memory_bytes + 1)
+        assert events == []
+
+    def test_observer_detach(self, allocator):
+        events = []
+        allocator.set_observer(lambda *a: events.append(a))
+        allocator.set_observer(None)
+        allocator.alloc(512)
+        assert events == []

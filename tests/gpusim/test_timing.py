@@ -129,3 +129,33 @@ def test_time_always_positive(flops, read, write, regs, grid):
     t = time_kernel(K40C, s)
     assert t.time_s > 0
     assert t.compute_time_s >= 0 and t.memory_time_s >= 0
+
+
+class TestSimClock:
+    """The virtual clock the serving subsystem runs on."""
+
+    def test_starts_at_zero(self):
+        from repro.gpusim.timing import SimClock
+        assert SimClock().now_s == 0.0
+
+    def test_advance_accumulates(self):
+        from repro.gpusim.timing import SimClock
+        clock = SimClock()
+        assert clock.advance(0.5) == 0.5
+        assert clock.advance(0.25) == 0.75
+        assert clock.now_s == 0.75
+
+    def test_advance_to_never_rewinds(self):
+        from repro.gpusim.timing import SimClock
+        clock = SimClock(start_s=1.0)
+        clock.advance_to(0.5)
+        assert clock.now_s == 1.0
+        clock.advance_to(2.0)
+        assert clock.now_s == 2.0
+
+    def test_negative_advance_rejected(self):
+        from repro.gpusim.timing import SimClock
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+        with pytest.raises(ValueError):
+            SimClock(start_s=-1.0)

@@ -1,0 +1,104 @@
+"""Admission queue: bounded depth, FIFO lanes, timeout shedding."""
+
+import pytest
+
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import Request
+
+KEY_A = (27, 256, 5, 1, 96, 2)
+KEY_B = (13, 384, 3, 1, 256, 1)
+
+
+def req(rid, key=KEY_A, arrival=0.0, timeout=0.05):
+    return Request(rid=rid, model="m", layer="l", key=key,
+                   arrival_s=arrival, timeout_s=timeout)
+
+
+class TestAdmission:
+    def test_offer_admits(self):
+        q = AdmissionQueue(max_depth=4)
+        assert q.offer(req(1))
+        assert len(q) == 1
+        assert q.admitted == 1
+
+    def test_bounded_depth_rejects(self):
+        q = AdmissionQueue(max_depth=2)
+        assert q.offer(req(1))
+        assert q.offer(req(2))
+        assert not q.offer(req(3))
+        assert len(q) == 2
+        assert q.rejected == 1
+
+    def test_depth_bound_is_global_across_lanes(self):
+        q = AdmissionQueue(max_depth=2)
+        q.offer(req(1, key=KEY_A))
+        q.offer(req(2, key=KEY_B))
+        assert not q.offer(req(3, key=KEY_A))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+
+class TestLanes:
+    def test_take_is_fifo(self):
+        q = AdmissionQueue()
+        for i in range(5):
+            q.offer(req(i, arrival=i * 0.001))
+        taken = q.take(KEY_A, 3)
+        assert [r.rid for r in taken] == [0, 1, 2]
+        assert len(q) == 2
+
+    def test_take_respects_lane(self):
+        q = AdmissionQueue()
+        q.offer(req(1, key=KEY_A))
+        q.offer(req(2, key=KEY_B))
+        assert [r.rid for r in q.take(KEY_B, 10)] == [2]
+        assert len(q) == 1
+
+    def test_take_empty_lane(self):
+        q = AdmissionQueue()
+        assert q.take(KEY_A, 4) == []
+
+    def test_oldest_lane_picks_longest_waiting_head(self):
+        q = AdmissionQueue()
+        q.offer(req(1, key=KEY_A, arrival=0.010))
+        q.offer(req(2, key=KEY_B, arrival=0.002))
+        key, head = q.oldest_lane()
+        assert key == KEY_B and head.rid == 2
+
+    def test_oldest_lane_tie_breaks_by_insertion(self):
+        q = AdmissionQueue()
+        q.offer(req(1, key=KEY_A, arrival=0.5))
+        q.offer(req(2, key=KEY_B, arrival=0.5))
+        key, _ = q.oldest_lane()
+        assert key == KEY_A
+
+    def test_push_front_preserves_order(self):
+        q = AdmissionQueue()
+        q.offer(req(3))
+        q.push_front(KEY_A, [req(1), req(2)])
+        assert [r.rid for r in q.take(KEY_A, 10)] == [1, 2, 3]
+
+
+class TestShedding:
+    def test_shed_expired_drops_only_expired(self):
+        q = AdmissionQueue()
+        q.offer(req(1, arrival=0.0, timeout=0.010))
+        q.offer(req(2, arrival=0.0, timeout=0.100))
+        dropped = q.shed_expired(0.050)
+        assert [r.rid for r in dropped] == [1]
+        assert len(q) == 1
+        assert q.shed == 1
+
+    def test_shed_nothing_before_deadline(self):
+        q = AdmissionQueue()
+        q.offer(req(1, arrival=0.0, timeout=0.1))
+        assert q.shed_expired(0.1) == []  # deadline is exclusive
+
+    def test_shed_spans_lanes(self):
+        q = AdmissionQueue()
+        q.offer(req(1, key=KEY_A, timeout=0.01))
+        q.offer(req(2, key=KEY_B, timeout=0.01))
+        assert len(q.shed_expired(1.0)) == 2
+        assert len(q) == 0

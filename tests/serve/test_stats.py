@@ -1,0 +1,105 @@
+"""Serving stats: percentiles, accumulation, report rendering."""
+
+import json
+
+import pytest
+
+from repro.serve.request import Completion, Request
+from repro.serve.stats import ServingStats, percentile
+
+KEY = (27, 256, 5, 1, 96, 2)
+
+
+def completion(rid, arrival, start, finish, batch=4, fill=3, impl="cuDNN"):
+    req = Request(rid=rid, model="m", layer="l", key=KEY,
+                  arrival_s=arrival, timeout_s=1.0)
+    return Completion(request=req, start_s=start, finish_s=finish,
+                      batch=batch, fill=fill, implementation=impl)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single(self):
+        assert percentile([3.0], 99) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        vals = [float(i) for i in range(1, 101)]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 100.0
+        assert percentile(vals, 95) == pytest.approx(95.05)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestReport:
+    def make_report(self):
+        stats = ServingStats()
+        stats.offered = 5
+        stats.record_batch(4, 3, "cuDNN")
+        stats.record_completions([
+            completion(0, 0.0, 0.001, 0.002),
+            completion(1, 0.0, 0.001, 0.003),
+            completion(2, 0.001, 0.001, 0.004),
+        ])
+        cache_stats = {"capacity": 8, "entries": 2, "hits": 9, "misses": 1,
+                       "evictions": 0, "hit_rate": 0.9}
+        return stats.finalize(duration_s=2.0, plan_cache_stats=cache_stats,
+                              peak_memory_bytes=256 * 2**20)
+
+    def test_counts_and_throughput(self):
+        rep = self.make_report()
+        assert rep.offered == 5
+        assert rep.completed == 3
+        assert rep.throughput_rps == pytest.approx(1.5)
+        assert rep.peak_memory_mb == pytest.approx(256.0)
+
+    def test_latency_is_arrival_to_finish(self):
+        rep = self.make_report()
+        assert rep.latency_p50_ms == pytest.approx(3.0)
+
+    def test_batch_accounting(self):
+        rep = self.make_report()
+        assert rep.mean_batch_fill == pytest.approx(3.0)
+        assert rep.mean_batch_size == pytest.approx(4.0)
+        assert rep.batch_histogram == {4: 1}
+        assert rep.implementations == {"cuDNN": 3}
+
+    def test_shed_rate(self):
+        stats = ServingStats()
+        stats.offered = 10
+        stats.rejected = 1
+        stats.shed = 2
+        stats.oom_shed = 1
+        rep = stats.finalize(1.0, {"capacity": 1, "entries": 0, "hits": 0,
+                                   "misses": 0, "evictions": 0,
+                                   "hit_rate": 0.0}, 0)
+        assert rep.shed_rate == pytest.approx(0.4)
+
+    def test_render_mentions_key_lines(self):
+        text = self.make_report().render()
+        for needle in ("throughput", "latency p50/p95/p99", "plan cache",
+                       "batch histogram", "dispatch mix"):
+            assert needle in text
+
+    def test_to_dict_is_json_serializable(self):
+        d = self.make_report().to_dict()
+        restored = json.loads(json.dumps(d))
+        assert restored["completed"] == 3
+        assert restored["latency_ms"]["p50"] == pytest.approx(3.0)
+        assert restored["plan_cache"]["hit_rate"] == pytest.approx(0.9)
+
+    def test_empty_run_report(self):
+        stats = ServingStats()
+        rep = stats.finalize(0.0, {"capacity": 1, "entries": 0, "hits": 0,
+                                   "misses": 0, "evictions": 0,
+                                   "hit_rate": 0.0}, 0)
+        assert rep.throughput_rps == 0.0
+        assert rep.shed_rate == 0.0
+        assert rep.mean_batch_fill == 0.0

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -21,6 +23,22 @@ class TestParser:
             ["compare", "64", "128", "64", "11", "1", "16"])
         assert args.c == 16
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.duration == 10.0
+        assert args.rate == 2000.0
+        assert args.max_batch == 64
+        assert not args.json
+
+    def test_loadgen_defaults_to_saturating_rate(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.rate == 6000.0
+
+    def test_no_subcommand_prints_usage_and_fails(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage" in err and "subcommand" in err
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -39,6 +57,14 @@ class TestCommands:
         assert main(["advise", "64", "128", "64", "11", "1"]) == 0
         assert "Recommendation: fbfft" in capsys.readouterr().out
 
+    def test_advise_lists_all_seven_candidates(self, capsys):
+        assert main(["advise", "64", "128", "64", "11", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Scenario:")
+        for name in ("Caffe", "Torch-cunn", "Theano-CorrMM", "Theano-fft",
+                     "cuDNN", "cuda-convnet2", "fbfft"):
+            assert name in out
+
     def test_advise_with_budget(self, capsys):
         assert main(["advise", "64", "128", "64", "11", "1",
                      "--memory", "400"]) == 0
@@ -49,6 +75,20 @@ class TestCommands:
         assert main(["compare", "64", "128", "64", "11", "2"]) == 0
         out = capsys.readouterr().out
         assert "fbfft" in out and "-" in out  # fbfft unsupported at s=2
+
+    def test_compare_table_shape(self, capsys):
+        assert main(["compare", "64", "128", "64", "11", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Implementation" in out and "Time (ms)" in out \
+            and "Memory (MB)" in out
+
+    def test_compare_json(self, capsys):
+        assert main(["compare", "64", "128", "64", "11", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["results"]) == 7
+        by_name = {r["implementation"]: r for r in data["results"]}
+        assert by_name["fbfft"]["time_ms"] is None  # stride 2 unsupported
+        assert by_name["cuDNN"]["time_ms"] > 0
 
     def test_ablations(self, capsys):
         assert main(["ablations"]) == 0
@@ -89,3 +129,51 @@ class TestExtendedCommands:
         assert main(["audit", "64", "128", "64", "11", "1"]) == 0
         out = capsys.readouterr().out
         assert "OK" in out and "audit of" in out
+
+    def test_audit_covers_every_implementation(self, capsys):
+        assert main(["audit", "64", "128", "64", "11", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("audit of") == 7
+
+    def test_audit_strided_config(self, capsys):
+        # Stride 2 rules out the FFT pair; the audit must still pass
+        # (unsupported is consistent, not broken).
+        assert main(["audit", "64", "128", "64", "11", "2"]) == 0
+
+
+class TestServingCommands:
+    SERVE_ARGS = ["--duration", "0.5", "--rate", "800", "--seed", "7"]
+
+    def test_serve(self, capsys):
+        assert main(["serve"] + self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "plan cache" in out
+        assert "trace:" in out
+
+    def test_serve_json(self, capsys):
+        assert main(["serve"] + self.SERVE_ARGS + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["traffic"]["seed"] == 7
+        assert data["stats"]["offered"] > 0
+        assert data["stats"]["completed"] > 0
+        assert set(data["stats"]["latency_ms"]) == {"p50", "p95", "p99"}
+
+    def test_serve_bursty_pattern(self, capsys):
+        assert main(["serve", "--duration", "0.5", "--rate", "800",
+                     "--pattern", "bursty", "--seed", "7"]) == 0
+        assert "bursty" in capsys.readouterr().out
+
+    def test_loadgen_compares_batched_vs_single(self, capsys):
+        assert main(["loadgen", "--duration", "0.5", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "== dynamic batching ==" in out
+        assert "== forced batch=1 ==" in out
+        assert "throughput speedup" in out
+
+    def test_loadgen_is_deterministic(self, capsys):
+        args = ["loadgen", "--duration", "0.5", "--seed", "7"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

@@ -60,6 +60,14 @@ class TestExamples:
         out = run_example("profile_model.py", "AlexNet", "cudnn")
         assert "Conv" in out and "hottest conv layer" in out
 
+    def test_serve_traffic_short(self):
+        # Full example simulates 60 s of traffic (~30 s wall); a 3 s
+        # trace exercises the same code paths.
+        out = run_example("serve_traffic.py", "7", "3")
+        assert "== dynamic batching ==" in out
+        assert "== forced batch=1 ==" in out
+        assert "throughput speedup" in out
+
     def test_train_lenet5_short(self):
         # Full example trains 6 epochs (~1-2 min); exercised instead by
         # tests/test_integration.py.  Here just check the help path via
