@@ -73,17 +73,28 @@ def cmd_advise(args) -> int:
 
 def cmd_compare(args) -> int:
     import json
+    import time
+
+    from .core import evalcache
+    from .core.parallel import make_executor
+    from .gpusim.device import K40C
 
     config = _config_from_args(args)
+    cache = evalcache.DISABLED if args.no_cache else None
+    t0 = time.perf_counter()
+    impls = all_implementations()
+    grid = make_executor(args.workers).map_grid(impls, [config], K40C,
+                                                cache=cache)
+    elapsed = time.perf_counter() - t0
     rows = []
-    for impl in all_implementations():
-        if not impl.supports(config):
+    for impl in impls:
+        record = grid[impl.name][0]
+        if not record.supported:
             rows.append([impl.paper_name, "-", "-"])
             continue
-        p = impl.profile_iteration(config)
-        rows.append([impl.paper_name,
-                     f"{p.total_time_s * 1000:.2f}",
-                     f"{impl.peak_memory_bytes(config) / 2**20:.0f}"])
+        mem = ("-" if record.peak_memory_bytes is None
+               else f"{record.peak_memory_bytes / 2**20:.0f}")
+        rows.append([impl.paper_name, f"{record.time_s * 1000:.2f}", mem])
     if args.json:
         records = [
             {"implementation": name,
@@ -91,7 +102,12 @@ def cmd_compare(args) -> int:
              "memory_mb": None if m == "-" else float(m)}
             for name, t, m in rows
         ]
-        print(json.dumps({"config": str(config), "results": records},
+        store = evalcache.resolve_cache(cache)
+        print(json.dumps({"config": str(config),
+                          "results": records,
+                          "elapsed_s": elapsed,
+                          "workers": args.workers or 1,
+                          "cache": None if store is None else store.stats()},
                          indent=2))
         return 0
     print(table(["Implementation", "Time (ms)", "Memory (MB)"], rows,
@@ -118,15 +134,20 @@ def cmd_export(args) -> int:
     from .core.runtime_comparison import runtime_sweep
     from .core.transfer_overhead import transfer_overhead_profile
 
+    from .core import evalcache
+
+    cache = evalcache.DISABLED if args.no_cache else None
     os.makedirs(args.dir, exist_ok=True)
     for sweep in SWEEPS:
-        runtime_sweep_csv(runtime_sweep(sweep),
+        runtime_sweep_csv(runtime_sweep(sweep, workers=args.workers,
+                                        cache=cache),
                           os.path.join(args.dir, f"fig3_{sweep}.csv"))
-        memory_sweep_csv(memory_sweep(sweep),
+        memory_sweep_csv(memory_sweep(sweep, workers=args.workers,
+                                      cache=cache),
                          os.path.join(args.dir, f"fig5_{sweep}.csv"))
     breakdown_csv(hotspot_layer_analysis(),
                   os.path.join(args.dir, "fig2_breakdown.csv"))
-    metrics_csv(gpu_metric_profile(),
+    metrics_csv(gpu_metric_profile(workers=args.workers, cache=cache),
                 os.path.join(args.dir, "fig6_metrics.csv"))
     transfer_csv(transfer_overhead_profile(),
                  os.path.join(args.dir, "fig7_transfers.csv"))
@@ -255,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "compare":
             p.add_argument("--json", action="store_true",
                            help="machine-readable output")
+            p.add_argument("--workers", type=int, default=None,
+                           help="parallel evaluation workers (default serial)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="bypass the shared evaluation cache")
         p.set_defaults(fn=fn)
 
     sub.add_parser("ablations",
@@ -263,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_export = sub.add_parser("export", help="write figure data as CSV")
     p_export.add_argument("dir", help="output directory")
+    p_export.add_argument("--workers", type=int, default=None,
+                          help="parallel evaluation workers (default serial)")
+    p_export.add_argument("--no-cache", action="store_true",
+                          help="bypass the shared evaluation cache")
     p_export.set_defaults(fn=cmd_export)
 
     sub.add_parser("devices",

@@ -23,7 +23,8 @@ other than 1 are rejected — the shape limitation of Fig. 3(e).
 
 from __future__ import annotations
 
-from typing import Tuple
+import threading
+from typing import Dict, Tuple
 
 import numpy as np
 from scipy import fft as sfft
@@ -54,9 +55,65 @@ def transform_size(input_size: int, kernel_size: int,
     return sfft.next_fast_len(n)
 
 
+# ---------------------------------------------------------------------------
+# rfft2 plan workspaces
+#
+# ``rfft2(x, s=(n, n))`` allocates a fresh (n, n)-padded staging buffer
+# on every call; a training step calls it with the same handful of
+# operand shapes over and over (input, filter and gradient spectra of
+# the three passes).  The workspaces are cached per (operand shape,
+# transform size, dtype) — the pad geometry — so repeated FFT-strategy
+# calls reuse the scratch instead of re-allocating it.  Zero-filling a
+# cached buffer and transforming it is numerically identical to the
+# ``s=`` padding path.
+#
+# The cache is process-wide; the lock only guards the dict (the
+# numeric conv layer runs single-threaded — the parallel sweep
+# executor fans out the *analytic* model, which never calls this).
+# ---------------------------------------------------------------------------
+
+_WS_LOCK = threading.Lock()
+_WORKSPACES: Dict[tuple, np.ndarray] = {}
+_WS_HITS = 0
+_WS_MISSES = 0
+
+
+def workspace_stats() -> Dict[str, int]:
+    """Hit/miss/entry counters of the rfft2 workspace cache."""
+    with _WS_LOCK:
+        return {"entries": len(_WORKSPACES), "hits": _WS_HITS,
+                "misses": _WS_MISSES}
+
+
+def clear_workspaces() -> None:
+    """Drop cached workspaces and reset the counters."""
+    global _WS_HITS, _WS_MISSES
+    with _WS_LOCK:
+        _WORKSPACES.clear()
+        _WS_HITS = 0
+        _WS_MISSES = 0
+
+
 def _spectra(x: np.ndarray, n: int) -> np.ndarray:
     """2-D real FFT of the last two axes, zero-padded to (n, n)."""
-    return np.fft.rfft2(x, s=(n, n))
+    global _WS_HITS, _WS_MISSES
+    h, w = x.shape[-2:]
+    if h == n and w == n:
+        return np.fft.rfft2(x)
+    key = (x.shape, n, x.dtype.str)
+    with _WS_LOCK:
+        buf = _WORKSPACES.get(key)
+        if buf is None:
+            buf = np.zeros(x.shape[:-2] + (n, n), dtype=x.dtype)
+            _WORKSPACES[key] = buf
+            _WS_MISSES += 1
+        else:
+            _WS_HITS += 1
+    # The buffer never escapes this function, and only the operand
+    # region is ever written, so the pad region stays zero across
+    # reuses — no re-clearing needed.
+    buf[..., :h, :w] = x
+    return np.fft.rfft2(buf)
 
 
 def forward(x: np.ndarray, w: np.ndarray, bias=None,

@@ -23,10 +23,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..config import ConvConfig
-from ..errors import DeviceOOMError
 from ..frameworks.base import ConvImplementation
 from ..frameworks.registry import all_implementations
 from ..gpusim.device import DeviceSpec, K40C
+from .evalcache import CacheArg, evaluate
 
 
 @dataclass(frozen=True)
@@ -86,13 +86,23 @@ class Recommendation:
 
 
 class Advisor:
-    """Ranks implementations for a scenario."""
+    """Ranks implementations for a scenario.
+
+    Per-implementation evaluation routes through the shared analytic
+    cache (:mod:`repro.core.evalcache`) — the advisor, the serving
+    scheduler and the figure pipelines all draw on the same records,
+    so a scenario the sweeps already visited ranks without re-running
+    the model.  Pass ``cache=evalcache.DISABLED`` to force recompute,
+    or a private :class:`~repro.core.evalcache.EvalCache` to isolate.
+    """
 
     def __init__(self, device: DeviceSpec = K40C,
-                 implementations: Optional[Sequence[ConvImplementation]] = None):
+                 implementations: Optional[Sequence[ConvImplementation]] = None,
+                 cache: CacheArg = None):
         self.device = device
         self.implementations = (list(implementations) if implementations
                                 else all_implementations())
+        self.cache = cache
 
     def evaluate(self, config: ConvConfig,
                  memory_budget: Optional[int] = None) -> List[Candidate]:
@@ -101,20 +111,18 @@ class Advisor:
             else self.device.global_memory_bytes
         out: List[Candidate] = []
         for impl in self.implementations:
-            if not impl.supports(config):
+            record = evaluate(impl, config, self.device, cache=self.cache)
+            if not record.supported:
                 out.append(Candidate(impl.paper_name, float("inf"), 0,
                                      supported=False, fits_memory=False))
-                continue
-            try:
-                mem = impl.peak_memory_bytes(config, self.device)
-            except DeviceOOMError as e:
+            elif record.oom:
                 out.append(Candidate(impl.paper_name, float("inf"),
-                                     e.requested + e.in_use,
+                                     record.oom_bytes,
                                      supported=True, fits_memory=False))
-                continue
-            t = impl.time_iteration(config, self.device)
-            out.append(Candidate(impl.paper_name, t, mem,
-                                 supported=True, fits_memory=mem <= budget))
+            else:
+                mem = record.peak_memory_bytes
+                out.append(Candidate(impl.paper_name, record.time_s, mem,
+                                     supported=True, fits_memory=mem <= budget))
         # Feasible first, then by time.
         out.sort(key=lambda c: (not c.feasible, c.time_s))
         return out

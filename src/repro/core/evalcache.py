@@ -1,0 +1,429 @@
+"""Shared analytic-evaluation cache.
+
+Every consumer of the performance model — the Fig. 3 runtime sweeps,
+the Fig. 5 memory sweeps, the Fig. 6 metric profiles, the advisor and
+the serving scheduler — needs the same pure derivation per
+``(implementation, configuration, device)`` point: kernel plan →
+occupancy → roofline timing → peak memory → profiler metrics.  Before
+this module each pipeline re-derived it privately (and PR 1's serving
+plan cache memoized only its own rankings), so a full study evaluated
+identical points many times over.
+
+:func:`evaluate` is the single entry point.  It returns an
+:class:`EvalRecord` — the complete analytic evaluation, content-
+addressed by :func:`cache_key` over the implementation name, every
+:class:`~repro.config.ConvConfig` field and the device name — from the
+process-wide :class:`EvalCache` (hit) or by running the model once
+(miss).  Records are plain frozen values: JSON-serializable for the
+optional on-disk store under ``benchmarks/results/``, picklable for
+the :mod:`repro.core.parallel` process pool, and rich enough to answer
+every downstream question (runtime, peak memory/OOM, per-kernel
+timings, runtime-weighted Fig. 6 metric summaries) without touching
+the model again.
+
+Thread safety: the cache takes a lock around its dictionary, and the
+underlying model layers are either pure or memoized with thread-safe
+``lru_cache``, so :class:`repro.core.parallel.SweepExecutor` workers
+may evaluate concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..config import ConvConfig
+from ..errors import DeviceOOMError
+from ..frameworks.base import ConvImplementation
+from ..gpusim.device import DEVICES, DeviceSpec, K40C
+from ..gpusim.metrics import MetricSummary, weighted_summary
+
+#: Bump when the analytic model or the record layout changes in a way
+#: that invalidates stored records; keys embed it, so stale disk
+#: stores miss instead of serving wrong data.
+EVALCACHE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One kernel launch of an evaluation: name, role and the timing /
+    metric row the profiler derived.
+
+    Freshly computed records carry the profiler's own
+    :class:`~repro.gpusim.timing.KernelTiming` rows (no copying on the
+    hot path); records loaded from a JSON store carry these instead.
+    Metric field names match ``KernelTiming`` so
+    :func:`~repro.gpusim.metrics.weighted_summary` aggregates either
+    type interchangeably."""
+
+    name: str
+    role: str
+    time_s: float
+    achieved_occupancy: float
+    ipc: float
+    warp_execution_efficiency: float
+    gld_efficiency: float
+    gst_efficiency: float
+    shared_efficiency: float
+    shared_load_bank_conflicts: int
+    shared_store_bank_conflicts: int
+
+
+_KERNEL_ROW_FIELDS = ("time_s", "achieved_occupancy", "ipc",
+                      "warp_execution_efficiency", "gld_efficiency",
+                      "gst_efficiency", "shared_efficiency",
+                      "shared_load_bank_conflicts",
+                      "shared_store_bank_conflicts")
+
+
+def _kernel_row(kernel) -> dict:
+    """JSON row for one kernel (KernelTiming or KernelRecord)."""
+    row = {f: getattr(kernel, f) for f in _KERNEL_ROW_FIELDS}
+    if isinstance(kernel, KernelRecord):
+        row["name"], row["role"] = kernel.name, kernel.role
+    else:
+        row["name"], row["role"] = kernel.spec.name, kernel.spec.role.value
+    return row
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """The full analytic evaluation of one (implementation, config,
+    device) point."""
+
+    implementation: str          # registry name, e.g. "cudnn"
+    paper_name: str              # figure label, e.g. "cuDNN"
+    config: ConvConfig
+    device: str
+    supported: bool
+    #: Total simulated training-iteration time (None if unsupported).
+    time_s: Optional[float]
+    gpu_time_s: Optional[float]
+    transfer_time_s: Optional[float]
+    exposed_transfer_s: Optional[float]
+    #: Peak device footprint (None if unsupported or OOM).
+    peak_memory_bytes: Optional[int]
+    oom: bool
+    #: requested + in-use bytes at the OOM, when ``oom`` is True.
+    oom_bytes: Optional[int]
+    #: Per-kernel rows: ``KernelTiming`` when computed in-process (the
+    #: profiler's own objects, shared not copied), ``KernelRecord``
+    #: when loaded from a JSON store.  Both shapes feed
+    #: :func:`~repro.gpusim.metrics.weighted_summary`.
+    kernels: Tuple[object, ...]
+
+    def summary(self, top_n: Optional[int] = None) -> MetricSummary:
+        """Runtime-weighted Fig. 6 metric estimate, recomputed from the
+        cached per-kernel rows (any ``top_n``)."""
+        if not self.kernels:
+            raise ValueError(
+                f"no kernel records for {self.implementation} (unsupported?)")
+        return weighted_summary(self.kernels, top_n=top_n)
+
+    # -- JSON (disk store) -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        d = {
+            "implementation": self.implementation,
+            "paper_name": self.paper_name,
+            "config": {
+                "batch": self.config.batch,
+                "input_size": self.config.input_size,
+                "filters": self.config.filters,
+                "kernel_size": self.config.kernel_size,
+                "stride": self.config.stride,
+                "channels": self.config.channels,
+                "padding": self.config.padding,
+            },
+            "device": self.device,
+            "supported": self.supported,
+            "time_s": self.time_s,
+            "gpu_time_s": self.gpu_time_s,
+            "transfer_time_s": self.transfer_time_s,
+            "exposed_transfer_s": self.exposed_transfer_s,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "oom": self.oom,
+            "oom_bytes": self.oom_bytes,
+            "kernels": [_kernel_row(k) for k in self.kernels],
+        }
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EvalRecord":
+        return cls(
+            implementation=d["implementation"],
+            paper_name=d["paper_name"],
+            config=ConvConfig(**d["config"]),
+            device=d["device"],
+            supported=d["supported"],
+            time_s=d["time_s"],
+            gpu_time_s=d["gpu_time_s"],
+            transfer_time_s=d["transfer_time_s"],
+            exposed_transfer_s=d["exposed_transfer_s"],
+            peak_memory_bytes=d["peak_memory_bytes"],
+            oom=d["oom"],
+            oom_bytes=d["oom_bytes"],
+            kernels=tuple(KernelRecord(**k) for k in d["kernels"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# keys
+# ---------------------------------------------------------------------------
+
+def config_key(config: ConvConfig) -> str:
+    """Canonical content key of one configuration: every field, in a
+    fixed order, so equal-but-distinct instances key identically."""
+    return (f"b{config.batch}.i{config.input_size}.f{config.filters}"
+            f".k{config.kernel_size}.s{config.stride}"
+            f".c{config.channels}.p{config.padding}")
+
+
+def cache_key(implementation: str, config: ConvConfig,
+              device: Union[DeviceSpec, str]) -> str:
+    """Content-addressed key of one evaluation point."""
+    device_name = device.name if isinstance(device, DeviceSpec) else device
+    return (f"v{EVALCACHE_VERSION}|{implementation}|{config_key(config)}"
+            f"|{device_name}")
+
+
+# ---------------------------------------------------------------------------
+# the model run (cache-miss path)
+# ---------------------------------------------------------------------------
+
+def compute_record(impl: ConvImplementation, config: ConvConfig,
+                   device: DeviceSpec = K40C) -> EvalRecord:
+    """Run the analytic model once and freeze the result (no cache)."""
+    if not impl.supports(config):
+        return EvalRecord(
+            implementation=impl.name, paper_name=impl.paper_name,
+            config=config, device=device.name, supported=False,
+            time_s=None, gpu_time_s=None, transfer_time_s=None,
+            exposed_transfer_s=None, peak_memory_bytes=None,
+            oom=False, oom_bytes=None, kernels=())
+    profile = impl.profile_iteration(config, device)
+    kernels = tuple(profile.profiler.timings())
+    try:
+        peak: Optional[int] = impl.peak_memory_bytes(config, device)
+        oom, oom_bytes = False, None
+    except DeviceOOMError as e:
+        peak, oom, oom_bytes = None, True, e.requested + e.in_use
+    return EvalRecord(
+        implementation=impl.name, paper_name=impl.paper_name,
+        config=config, device=device.name, supported=True,
+        time_s=profile.total_time_s, gpu_time_s=profile.gpu_time_s,
+        transfer_time_s=profile.transfer_time_s,
+        exposed_transfer_s=profile.exposed_transfer_s,
+        peak_memory_bytes=peak, oom=oom, oom_bytes=oom_bytes,
+        kernels=kernels)
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+class EvalCache:
+    """Process-wide content-addressed store of :class:`EvalRecord`.
+
+    Unbounded by design: the paper's whole sweep space is a few hundred
+    points and a record is ~2 kB, so eviction would only cost rework.
+    An optional JSON store (``path``) makes repeat CLI runs warm-start;
+    loading tolerates missing/stale files (version-mismatched keys
+    simply never match).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._store: Dict[str, EvalRecord] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.path = path
+        if path and os.path.exists(path):
+            self.load(path)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # -- storage -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[EvalRecord]:
+        """Record for ``key`` or None; counts a hit or a miss."""
+        with self._lock:
+            record = self._store.get(key)
+            if record is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return record
+
+    def peek(self, key: str) -> Optional[EvalRecord]:
+        """Like :meth:`get` but without touching the counters."""
+        with self._lock:
+            return self._store.get(key)
+
+    def put(self, record: EvalRecord, key: Optional[str] = None) -> None:
+        if key is None:
+            key = cache_key(record.implementation, record.config,
+                            record.device)
+        with self._lock:
+            self._store[key] = record
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, impl: ConvImplementation, config: ConvConfig,
+                 device: DeviceSpec = K40C) -> EvalRecord:
+        """One evaluation point: cache hit or a single model run."""
+        key = cache_key(impl.name, config, device)
+        record = self.get(key)
+        if record is not None:
+            return record
+        record = compute_record(impl, config, device)
+        with self._lock:
+            self._store[key] = record
+        return record
+
+    # -- disk store --------------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write all records as one JSON document; returns the path."""
+        path = path or self.path
+        if not path:
+            raise ValueError("no path given and none configured")
+        with self._lock:
+            payload = {
+                "version": EVALCACHE_VERSION,
+                "records": {k: r.to_dict() for k, r in self._store.items()},
+            }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, path: str) -> int:
+        """Merge records from a JSON store; returns how many loaded.
+        Stores written by other EVALCACHE_VERSIONs are ignored."""
+        with open(path) as fh:
+            payload = json.load(fh)
+        if payload.get("version") != EVALCACHE_VERSION:
+            return 0
+        records = {k: EvalRecord.from_dict(d)
+                   for k, d in payload["records"].items()}
+        with self._lock:
+            self._store.update(records)
+        return len(records)
+
+
+# ---------------------------------------------------------------------------
+# process-wide default + entry point
+# ---------------------------------------------------------------------------
+
+_default_cache = EvalCache()
+_default_lock = threading.Lock()
+
+
+def get_cache() -> EvalCache:
+    """The process-wide shared cache."""
+    return _default_cache
+
+
+def set_cache(cache: EvalCache) -> EvalCache:
+    """Swap the process-wide cache (returns the previous one)."""
+    global _default_cache
+    with _default_lock:
+        previous = _default_cache
+        _default_cache = cache
+        return previous
+
+
+def reset_cache() -> None:
+    """Drop every record and counter in the process-wide cache."""
+    _default_cache.clear()
+
+
+#: ``cache=DISABLED`` bypasses caching entirely (every call recomputes).
+DISABLED = False
+
+#: What pipeline functions accept: the shared default (None), a
+#: specific cache instance, or DISABLED.
+CacheArg = Union[None, EvalCache, bool]
+
+
+def resolve_cache(cache: CacheArg) -> Optional[EvalCache]:
+    """Map a pipeline ``cache=`` argument onto an actual cache."""
+    if cache is None:
+        return get_cache()
+    if cache is DISABLED:
+        return None
+    return cache
+
+
+_REGISTRY_CLASSES: Optional[frozenset] = None
+
+
+def cacheable(impl: ConvImplementation, device: DeviceSpec) -> bool:
+    """Whether a point may enter the shared store.
+
+    Keys are *names*, so only the seven registry implementations and
+    the catalogued devices are content-addressable.  A test double
+    named ``"cudnn"`` or an ad-hoc :class:`DeviceSpec` reusing a
+    catalogue name would poison the store for every other consumer —
+    such points are computed directly instead.
+    """
+    global _REGISTRY_CLASSES
+    if _REGISTRY_CLASSES is None:
+        from ..frameworks.registry import IMPLEMENTATION_CLASSES
+        _REGISTRY_CLASSES = frozenset(IMPLEMENTATION_CLASSES)
+    if type(impl) not in _REGISTRY_CLASSES:
+        return False
+    known = DEVICES.get(device.name)
+    return known is device or known == device
+
+
+def evaluate(impl: ConvImplementation, config: ConvConfig,
+             device: DeviceSpec = K40C,
+             cache: CacheArg = None) -> EvalRecord:
+    """Evaluate one point through the shared cache.
+
+    ``cache``: None → the process-wide cache; an :class:`EvalCache` →
+    that instance; :data:`DISABLED` → compute without caching.
+    Uncacheable points (see :func:`cacheable`) always compute.
+    """
+    resolved = resolve_cache(cache)
+    if resolved is None or not cacheable(impl, device):
+        return compute_record(impl, config, device)
+    return resolved.evaluate(impl, config, device)

@@ -18,6 +18,8 @@ from ..frameworks.calibration import TABLE2_RESOURCES
 from ..frameworks.registry import all_implementations
 from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.metrics import MetricSummary
+from .evalcache import CacheArg
+from .parallel import make_executor
 from .report import table
 
 
@@ -38,21 +40,31 @@ class MetricRow:
 def gpu_metric_profile(configs: Optional[Dict[str, ConvConfig]] = None,
                        implementations: Optional[Sequence[ConvImplementation]] = None,
                        top_n: int = 5,
-                       device: DeviceSpec = K40C) -> List[MetricRow]:
-    """Reproduce Fig. 6 over the Table-I configurations."""
+                       device: DeviceSpec = K40C,
+                       workers: Optional[int] = None,
+                       cache: CacheArg = None) -> List[MetricRow]:
+    """Reproduce Fig. 6 over the Table-I configurations.
+
+    Evaluations come from the shared cache; the cached per-kernel rows
+    reconstruct the runtime-weighted summary for any ``top_n``.
+    """
     configs = configs or TABLE1_CONFIGS
     impls = list(implementations) if implementations else all_implementations()
+    points = [(impl, config, device)
+              for config in configs.values() for impl in impls]
+    records = make_executor(workers).map_records(points, cache=cache)
     rows: List[MetricRow] = []
+    it = iter(records)
     for cname, config in configs.items():
         for impl in impls:
-            if not impl.supports(config):
+            record = next(it)
+            if not record.supported:
                 continue
-            profile = impl.profile_iteration(config, device)
             rows.append(MetricRow(
                 implementation=impl.paper_name,
                 config_name=cname,
                 config=config,
-                summary=profile.profiler.summary(top_n=top_n),
+                summary=record.summary(top_n=top_n),
             ))
     return rows
 

@@ -14,10 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..config import SWEEPS, ConvConfig, sweep_configs
-from ..errors import DeviceOOMError
 from ..frameworks.base import ConvImplementation
 from ..frameworks.registry import all_implementations
 from ..gpusim.device import DeviceSpec, K40C
+from .evalcache import CacheArg
+from .parallel import make_executor
 from .report import series
 from .runtime_comparison import _X_OF
 
@@ -54,35 +55,33 @@ class MemorySweepResult:
 
 def memory_sweep(sweep: str,
                  implementations: Optional[Sequence[ConvImplementation]] = None,
-                 device: DeviceSpec = K40C) -> MemorySweepResult:
-    """Run one of the five Fig. 5 sweeps."""
+                 device: DeviceSpec = K40C,
+                 workers: Optional[int] = None,
+                 cache: CacheArg = None) -> MemorySweepResult:
+    """Run one of the five Fig. 5 sweeps.
+
+    Shares evaluation records with the runtime and metric pipelines
+    through :mod:`repro.core.evalcache` — a sweep that Fig. 3 already
+    visited re-derives nothing.
+    """
     if sweep not in SWEEPS:
         raise KeyError(f"unknown sweep {sweep!r}; options: {sorted(SWEEPS)}")
     impls = list(implementations) if implementations else all_implementations()
     configs = sweep_configs(sweep)
     xs = [_X_OF[sweep](c) for c in configs]
-    peaks: Dict[str, List[Optional[int]]] = {}
-    ooms: Dict[str, List[bool]] = {}
-    for impl in impls:
-        col: List[Optional[int]] = []
-        oom_col: List[bool] = []
-        for config in configs:
-            if not impl.supports(config):
-                col.append(None)
-                oom_col.append(False)
-                continue
-            try:
-                col.append(impl.peak_memory_bytes(config, device))
-                oom_col.append(False)
-            except DeviceOOMError:
-                col.append(None)
-                oom_col.append(True)
-        peaks[impl.paper_name] = col
-        ooms[impl.paper_name] = oom_col
+    grid = make_executor(workers).map_grid(impls, configs, device, cache=cache)
+    peaks = {impl.paper_name: [r.peak_memory_bytes for r in grid[impl.name]]
+             for impl in impls}
+    ooms = {impl.paper_name: [r.oom for r in grid[impl.name]]
+            for impl in impls}
     return MemorySweepResult(sweep=sweep, xs=xs, configs=configs,
                              peaks=peaks, ooms=ooms)
 
 
-def all_memory_sweeps(device: DeviceSpec = K40C) -> Dict[str, MemorySweepResult]:
+def all_memory_sweeps(device: DeviceSpec = K40C,
+                      workers: Optional[int] = None,
+                      cache: CacheArg = None) -> Dict[str, MemorySweepResult]:
     """All five sweeps of Fig. 5."""
-    return {name: memory_sweep(name, device=device) for name in SWEEPS}
+    return {name: memory_sweep(name, device=device, workers=workers,
+                               cache=cache)
+            for name in SWEEPS}

@@ -1,0 +1,195 @@
+"""Parallel sweep execution over analytic evaluation points.
+
+A full study is hundreds of independent ``(implementation, config,
+device)`` evaluations — 546 for the five Fig. 3 sweeps alone — each a
+pure function of its inputs.  :class:`SweepExecutor` fans them out:
+
+* **dedupe before fan-out** — the five sweeps all pass through the
+  base configuration, and the runtime/memory/metric pipelines revisit
+  the same points, so unique keys are computed once per batch and the
+  shared :class:`~repro.core.evalcache.EvalCache` absorbs repeats
+  across batches;
+* **deterministic results** — whatever the pool's completion order,
+  records are reassembled in input order, so parallel output is
+  byte-identical to the serial path;
+* **serial fallback** — ``workers <= 1`` (the default) runs inline
+  with no pool, no threads, no extra imports.
+
+``kind="thread"`` shares the process's memo caches;
+``kind="process"`` forks workers for true multi-core scaling
+(registry implementations and catalogued devices only, since tasks
+are shipped by name).  ``"auto"`` picks the fork pool on multi-core
+hosts (the model is pure Python, so threads only interleave under the
+GIL) and runs inline on single-core hosts, where any pool is pure
+overhead.  Work is dispatched in ``workers`` contiguous chunks, not
+point-by-point — per-future overhead would otherwise rival the
+memoized evaluations themselves.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ConvConfig
+from ..frameworks.base import ConvImplementation
+from ..gpusim.device import DEVICES, DeviceSpec
+from .evalcache import (CacheArg, EvalRecord, cache_key, cacheable,
+                        compute_record, resolve_cache)
+
+#: One unit of work: evaluate this implementation on this config/device.
+Point = Tuple[ConvImplementation, ConvConfig, DeviceSpec]
+
+_KINDS = ("auto", "serial", "thread", "process")
+
+
+def _run_named_chunk(chunk: Sequence[Tuple[str, ConvConfig, str]]
+                     ) -> List[EvalRecord]:
+    """Process-pool task: rebuild each point from names and evaluate.
+
+    Module-level (picklable) and name-addressed so the parent never
+    ships live adapter objects across the fork boundary.
+    """
+    from ..frameworks.registry import resolve_implementation
+
+    return [compute_record(resolve_implementation(impl_name), config,
+                           DEVICES[device_name])
+            for impl_name, config, device_name in chunk]
+
+
+def _run_chunk(chunk: Sequence[Point]) -> List[EvalRecord]:
+    """Thread-pool task: evaluate a contiguous slice of points."""
+    return [compute_record(impl, cfg, dev) for impl, cfg, dev in chunk]
+
+
+def _chunked(items: Sequence, n: int) -> List[Sequence]:
+    """Split into at most ``n`` contiguous, near-equal slices."""
+    n = min(n, len(items))
+    size, rem = divmod(len(items), n)
+    out, lo = [], 0
+    for i in range(n):
+        hi = lo + size + (1 if i < rem else 0)
+        out.append(items[lo:hi])
+        lo = hi
+    return out
+
+
+class SweepExecutor:
+    """Maps evaluation points to records, optionally in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Pool width.  ``None`` → ``os.cpu_count()``; ``<= 1`` → serial.
+    kind:
+        ``"auto"`` | ``"serial"`` | ``"thread"`` | ``"process"``.
+    """
+
+    def __init__(self, workers: Optional[int] = None, kind: str = "auto"):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown executor kind {kind!r}; "
+                             f"options: {_KINDS}")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        fork_ok = "fork" in multiprocessing.get_all_start_methods()
+        if kind == "auto":
+            if workers <= 1 or (os.cpu_count() or 1) <= 1:
+                kind = "serial"
+            else:
+                kind = "process" if fork_ok else "thread"
+        elif workers <= 1:
+            kind = "serial"
+        if kind == "process" and not fork_ok:
+            kind = "thread"  # spawn re-imports per task; not worth it
+        self.kind = kind
+
+    # -- internals ---------------------------------------------------------
+
+    def _compute_batch(self, tasks: Sequence[Point]) -> List[EvalRecord]:
+        """Evaluate ``tasks`` (no cache involvement), input order."""
+        if self.kind == "serial" or len(tasks) < max(2, self.workers):
+            return [compute_record(impl, cfg, dev)
+                    for impl, cfg, dev in tasks]
+        if self.kind == "process" and all(cacheable(impl, dev)
+                                          for impl, cfg, dev in tasks):
+            named = [(impl.name, cfg, dev.name) for impl, cfg, dev in tasks]
+            ctx = multiprocessing.get_context("fork")
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx) as pool:
+                chunks = pool.map(_run_named_chunk,
+                                  _chunked(named, self.workers))
+                return [r for chunk in chunks for r in chunk]
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers) as pool:
+            futures = [pool.submit(_run_chunk, chunk)
+                       for chunk in _chunked(tasks, self.workers)]
+            return [r for f in futures for r in f.result()]
+
+    # -- API ---------------------------------------------------------------
+
+    def map_records(self, points: Sequence[Point],
+                    cache: CacheArg = None) -> List[EvalRecord]:
+        """Evaluate every point; returns records in input order.
+
+        Duplicate points collapse to one computation.  With a cache
+        (the default — the process-wide store), known keys are served
+        from it and fresh records are added to it.
+        """
+        store = resolve_cache(cache)
+        records: Dict[int, EvalRecord] = {}     # input index -> record
+        by_key: Dict[str, List[int]] = {}       # pending key -> indices
+        raw: List[Tuple[int, Point]] = []       # uncacheable points
+        for i, (impl, cfg, dev) in enumerate(points):
+            if store is None or not cacheable(impl, dev):
+                raw.append((i, (impl, cfg, dev)))
+                continue
+            key = cache_key(impl.name, cfg, dev)
+            if key in by_key:                   # in-batch duplicate
+                by_key[key].append(i)
+                continue
+            hit = store.get(key)
+            if hit is not None:
+                records[i] = hit
+            else:
+                by_key[key] = [i]
+
+        pending = list(by_key.items())
+        tasks: List[Point] = [points[indices[0]] for _, indices in pending]
+        tasks.extend(p for _, p in raw)
+        computed = self._compute_batch(tasks)
+
+        for (key, indices), record in zip(pending, computed):
+            store.put(record, key=key)
+            for i in indices:
+                records[i] = record
+        for (i, _), record in zip(raw, computed[len(pending):]):
+            records[i] = record
+        return [records[i] for i in range(len(points))]
+
+    def map_grid(self, implementations: Sequence[ConvImplementation],
+                 configs: Sequence[ConvConfig], device: DeviceSpec,
+                 cache: CacheArg = None) -> Dict[str, List[EvalRecord]]:
+        """Evaluate the impl × config grid; records per registry name,
+        config order."""
+        points = [(impl, cfg, device)
+                  for impl in implementations for cfg in configs]
+        flat = self.map_records(points, cache=cache)
+        n = len(configs)
+        return {impl.name: flat[j * n:(j + 1) * n]
+                for j, impl in enumerate(implementations)}
+
+
+def make_executor(workers: Optional[int] = None,
+                  kind: str = "auto") -> SweepExecutor:
+    """Executor factory used by the pipeline ``workers=`` arguments.
+
+    ``workers=None`` here means *serial* (the historical pipeline
+    behavior), unlike ``SweepExecutor(workers=None)`` which widens to
+    the CPU count.
+    """
+    return SweepExecutor(workers=1 if workers is None else workers, kind=kind)

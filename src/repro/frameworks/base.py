@@ -29,8 +29,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import ConvConfig
-from ..errors import UnsupportedConfigError
-from ..gpusim.allocator import DeviceAllocator
+from ..errors import DeviceOOMError, UnsupportedConfigError
+from ..gpusim.allocator import ALLOC_GRANULARITY
 from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.kernels import KernelSpec
 from ..gpusim.profiler import Profiler
@@ -184,14 +184,22 @@ class ConvImplementation(abc.ABC):
                           device: DeviceSpec = K40C) -> int:
         """Peak device footprint (the Fig. 5 / nvidia-smi quantity).
 
-        Replays the memory plan through the allocator so OOM behaviour
-        (DeviceOOMError) is faithful.
+        Replays the memory plan with the allocator's exact arithmetic
+        (granularity rounding, baseline context, OOM check per buffer)
+        inlined: the plan is allocate-only, so the peak is the running
+        total and the full :class:`DeviceAllocator` bookkeeping —
+        buffer handles, live tables — is dead weight on this hot path.
+        ``DeviceOOMError`` carries the same fields either way.
         """
-        allocator = DeviceAllocator(device, baseline=CONTEXT_BYTES)
-        for tag, size in self.memory_plan(config):
+        in_use = CONTEXT_BYTES
+        capacity = device.global_memory_bytes
+        for _, size in self.memory_plan(config):
             if size > 0:
-                allocator.alloc(size, tag=tag)
-        return allocator.peak
+                rounded = -(-size // ALLOC_GRANULARITY) * ALLOC_GRANULARITY
+                if in_use + rounded > capacity:
+                    raise DeviceOOMError(rounded, in_use, capacity)
+                in_use += rounded
+        return in_use
 
     def transfer_ops(self, config: ConvConfig) -> List[TransferOp]:
         """Host<->device copies of one training iteration.  Default:

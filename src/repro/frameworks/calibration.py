@@ -25,6 +25,7 @@ from typing import Tuple
 from ..gpusim.banks import SharedAccess
 from ..gpusim.coalescing import WarpAccess
 from ..gpusim.divergence import DivergenceProfile, UNIFORM
+from ..gpusim.memo import cached_instance_hash
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,10 @@ class ResourceUsage:
     registers_per_thread: int
     shared_per_block: int
     block_threads: int
+
+
+# These singletons key every memoized spec-builder lookup.
+cached_instance_hash(ResourceUsage)
 
 
 #: Table II of the paper, plus the dominant block size of each
@@ -73,6 +78,9 @@ class GemmCalibration:
     #: disables the switch.
     asymptote_large: float = None
     m_switch: int = 128
+
+
+cached_instance_hash(GemmCalibration)
 
 
 #: GEMM efficiency per unrolling implementation.

@@ -21,7 +21,10 @@ from ..errors import AllocationError, DeviceOOMError
 from .device import DeviceSpec
 
 
-_GRANULARITY = 512
+#: cudaMalloc-style allocation granularity, bytes.  Public so the
+#: framework adapters' fast-path peak replay rounds identically.
+ALLOC_GRANULARITY = 512
+_GRANULARITY = ALLOC_GRANULARITY
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .memo import cached_instance_hash
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
@@ -77,6 +79,11 @@ class DeviceSpec:
             f"{self.global_memory_bytes / 2**30:.0f} GiB @ "
             f"{self.memory_bandwidth / 1e9:.0f} GB/s"
         )
+
+
+# A handful of device instances are hashed on every memo-cache lookup
+# in the analytic layer; cache the 20-field hash per instance.
+cached_instance_hash(DeviceSpec)
 
 
 def _variant(base: "DeviceSpec", **changes) -> "DeviceSpec":

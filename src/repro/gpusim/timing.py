@@ -34,6 +34,7 @@ from .coalescing import access_efficiency, effective_bandwidth_fraction
 from .device import DeviceSpec
 from .divergence import divergence_slowdown, warp_execution_efficiency
 from .kernels import KernelSpec
+from .memo import memoized
 from .occupancy import achieved_occupancy, occupancy
 
 
@@ -121,8 +122,15 @@ def _utilisation(warps_resident: float, regs_per_thread: int,
     return min(1.0, parallelism / demand)
 
 
+@memoized(maxsize=131072)
 def time_kernel(device: DeviceSpec, spec: KernelSpec) -> KernelTiming:
-    """Time one kernel spec on ``device`` and derive its metrics."""
+    """Time one kernel spec on ``device`` and derive its metrics.
+
+    Pure in ``(device, spec)`` — both frozen dataclasses — so results
+    are memoized (see :mod:`repro.gpusim.memo`): identical launches
+    repeated across sweep points, figure pipelines and serving batches
+    cost one dictionary lookup after the first evaluation.
+    """
     occ = occupancy(device, spec.launch.block_threads,
                     spec.regs_per_thread, spec.shared_per_block)
     ach = achieved_occupancy(device, occ.theoretical,
@@ -158,8 +166,10 @@ def time_kernel(device: DeviceSpec, spec: KernelSpec) -> KernelTiming:
     # --- shared memory phase ----------------------------------------------
     shared_t = 0.0
     smem_eff = shared_efficiency(device, spec.shared_accesses)
-    if spec.shared_traffic_bytes and spec.shared_accesses:
-        degree = max(conflict_degree(device, a) for a in spec.shared_accesses)
+    conflicted = spec.shared_accesses and spec.shared_traffic_bytes
+    degree = max(conflict_degree(device, a)
+                 for a in spec.shared_accesses) if conflicted else 1
+    if conflicted:
         smem_peak = (device.sm_count * device.shared_banks
                      * device.bank_width_bytes * device.clock_hz * 2.0)  # 64-bit mode
         shared_t = spec.shared_traffic_bytes * degree / (smem_peak * max(ach, 0.05) * 4)
@@ -192,8 +202,7 @@ def time_kernel(device: DeviceSpec, spec: KernelSpec) -> KernelTiming:
     # Bank-conflict events: replays beyond the first access, counted in
     # 128-byte warp accesses of shared traffic.
     conflicts = 0
-    if spec.shared_accesses and spec.shared_traffic_bytes:
-        degree = max(conflict_degree(device, a) for a in spec.shared_accesses)
+    if conflicted:
         accesses = int(spec.shared_traffic_bytes / 128.0)
         conflicts = accesses * (degree - 1)
     load_conf = conflicts // 2

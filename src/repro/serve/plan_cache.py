@@ -7,6 +7,14 @@ memoizes the advisor's :class:`~repro.core.advisor.RankedPlan` per key
 with LRU eviction, and the batcher's power-of-two bucketing keeps the
 key space tiny, so steady-state dispatch is a dictionary hit.
 
+This is the *plan-level* tier only.  The per-implementation evaluation
+records underneath a ranking live in the process-wide
+:class:`~repro.core.evalcache.EvalCache` (the advisor routes every
+``evaluate`` through it), so a plan-cache miss whose points were
+already touched by a figure pipeline — or by another server — still
+skips the simulation and only re-ranks; this cache's former private
+memoization of those evaluations is retired onto that shared store.
+
 Infeasible configurations are cached too (as ``None``): re-discovering
 "nothing fits" per batch would be the same wasted ranking.
 """

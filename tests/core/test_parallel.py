@@ -1,0 +1,135 @@
+"""Tests for the parallel sweep executor."""
+
+import pytest
+
+from repro.config import BASE_CONFIG, ConvConfig
+from repro.core.evalcache import EvalCache
+from repro.core.parallel import SweepExecutor, _chunked, make_executor
+from repro.frameworks.registry import (resolve_implementation,
+                                       shared_implementations)
+from repro.gpusim.device import K40C
+
+SMALL = ConvConfig(batch=16, input_size=32, filters=16, kernel_size=3,
+                   stride=1, channels=3)
+
+
+class TestConstruction:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(kind="fibers")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=0)
+
+    def test_single_worker_is_serial(self):
+        assert SweepExecutor(workers=1, kind="auto").kind == "serial"
+        assert SweepExecutor(workers=1, kind="thread").kind == "serial"
+
+    def test_make_executor_defaults_to_serial(self):
+        assert make_executor(None).kind == "serial"
+        assert make_executor(None).workers == 1
+
+    def test_make_executor_passes_workers_through(self):
+        ex = make_executor(4, kind="thread")
+        assert ex.workers == 4 and ex.kind == "thread"
+
+
+class TestChunking:
+    def test_covers_everything_in_order(self):
+        items = list(range(10))
+        chunks = _chunked(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) == 3
+
+    def test_no_empty_chunks(self):
+        assert [len(c) for c in _chunked([1, 2], 8)] == [1, 1]
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def points(self):
+        impls = shared_implementations()
+        configs = [SMALL.scaled(batch=16 * (1 + i)) for i in range(3)]
+        return [(impl, cfg, K40C) for impl in impls for cfg in configs]
+
+    def test_thread_pool_matches_serial(self, points):
+        serial = SweepExecutor(workers=1).map_records(
+            points, cache=EvalCache())
+        threaded = SweepExecutor(workers=4, kind="thread").map_records(
+            points, cache=EvalCache())
+        assert [r.to_dict() for r in serial] == \
+               [r.to_dict() for r in threaded]
+
+    def test_records_come_back_in_input_order(self, points):
+        records = SweepExecutor(workers=4, kind="thread").map_records(
+            points, cache=EvalCache())
+        for (impl, cfg, dev), record in zip(points, records):
+            assert record.implementation == impl.name
+            assert record.config == cfg
+            assert record.device == dev.name
+
+
+class TestDedup:
+    def test_duplicate_points_compute_once(self):
+        cudnn = resolve_implementation("cudnn")
+        cache = EvalCache()
+        points = [(cudnn, SMALL, K40C)] * 6
+        records = SweepExecutor(workers=1).map_records(points, cache=cache)
+        assert cache.misses == 1 and len(cache) == 1
+        assert all(r is records[0] for r in records)
+
+    def test_cache_spans_batches(self):
+        cudnn = resolve_implementation("cudnn")
+        cache = EvalCache()
+        executor = SweepExecutor(workers=1)
+        executor.map_records([(cudnn, SMALL, K40C)], cache=cache)
+        executor.map_records([(cudnn, SMALL, K40C)], cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_uncacheable_points_still_evaluate(self):
+        cudnn = resolve_implementation("cudnn")
+
+        class Impostor(type(cudnn)):
+            pass
+
+        cache = EvalCache()
+        points = [(Impostor(), SMALL, K40C), (cudnn, SMALL, K40C)]
+        records = SweepExecutor(workers=1).map_records(points, cache=cache)
+        assert len(records) == 2
+        assert records[0].time_s == pytest.approx(records[1].time_s)
+        assert len(cache) == 1   # only the registry point entered the store
+
+
+class TestMapGrid:
+    def test_grid_shape(self):
+        impls = shared_implementations()
+        configs = [SMALL, SMALL.scaled(batch=32)]
+        grid = SweepExecutor(workers=1).map_grid(
+            impls, configs, K40C, cache=EvalCache())
+        assert set(grid) == {impl.name for impl in impls}
+        for records in grid.values():
+            assert len(records) == len(configs)
+
+    def test_unsupported_points_carry_none_times(self):
+        fbfft = resolve_implementation("fbfft")
+        grid = SweepExecutor(workers=1).map_grid(
+            [fbfft], [BASE_CONFIG.scaled(stride=2)], K40C,
+            cache=EvalCache())
+        record = grid["fbfft"][0]
+        assert not record.supported and record.time_s is None
+
+
+class TestPipelineParity:
+    def test_runtime_sweep_parallel_matches_serial(self):
+        from repro.core.runtime_comparison import runtime_sweep
+        serial = runtime_sweep("batch", cache=EvalCache())
+        threaded = runtime_sweep("batch", workers=4, cache=EvalCache())
+        assert serial.times == threaded.times
+
+    def test_memory_sweep_parallel_matches_serial(self):
+        from repro.core.memory_comparison import memory_sweep
+        serial = memory_sweep("batch", cache=EvalCache())
+        threaded = memory_sweep("batch", workers=4, cache=EvalCache())
+        assert serial.peaks == threaded.peaks
+        assert serial.ooms == threaded.ooms
