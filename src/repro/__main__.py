@@ -25,6 +25,10 @@ Commands
 ``loadgen [--seed ...]``
     Generate a deterministic trace and compare dynamic batching
     against forced batch=1 on it.
+``chaos [--fault-plan ...]``
+    Run the same traffic twice — fault-free and under a named fault
+    plan — and report the resilience stats (retries, fallbacks,
+    breaker trips, shed causes) plus a determinism digest.
 """
 
 from __future__ import annotations
@@ -240,6 +244,66 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import hashlib
+    import json
+
+    from .faults import named_plan
+    from .serve import Server, generate_trace, trace_summary
+
+    if args.quick:
+        args.duration = 1.0
+        args.rate = 1500.0
+    spec = _traffic_spec(args)
+    trace = generate_trace(spec)
+    plan = named_plan(args.fault_plan, duration_s=spec.duration_s)
+    config = _server_config(args)
+    fault_seed = args.fault_seed if args.fault_seed is not None else spec.seed
+
+    def run_once(with_faults):
+        server = Server(config, fault_plan=plan if with_faults else None,
+                        fault_seed=fault_seed)
+        return server.run(trace)
+
+    def digest(report):
+        blob = json.dumps(report.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    baseline = run_once(False)
+    chaos = run_once(True)
+    rerun = run_once(True)
+    deterministic = digest(chaos) == digest(rerun)
+    ratio = (chaos.completed / baseline.completed
+             if baseline.completed else 0.0)
+
+    if args.json:
+        print(json.dumps({
+            "traffic": {"arrivals": len(trace),
+                        "duration_s": spec.duration_s,
+                        "pattern": spec.pattern,
+                        "seed": spec.seed},
+            "fault_plan": {"name": plan.name,
+                           "description": plan.describe(),
+                           "seed": fault_seed},
+            "fault_free": baseline.to_dict(),
+            "chaos": chaos.to_dict(),
+            "completion_ratio": ratio,
+            "unhandled_errors": chaos.unhandled_errors,
+            "deterministic": deterministic,
+            "digest": digest(chaos),
+        }, indent=2))
+    else:
+        print(trace_summary(trace, spec))
+        print(f"\nfault plan: {plan.describe()}")
+        print("\n== fault-free ==")
+        print(baseline.render())
+        print(f"\n== under {plan.name!r} ==")
+        print(chaos.render())
+        print(f"\ncompletion ratio vs fault-free: {ratio:.3f}")
+        print(f"deterministic re-run: {deterministic}")
+    return 0 if deterministic else 1
+
+
 def cmd_report(args) -> int:
     from .core.full_report import write_report
 
@@ -348,6 +412,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", action="store_true",
                          help="machine-readable stats output")
     p_serve.set_defaults(fn=cmd_serve)
+
+    from .faults import PLAN_NAMES
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run traffic under a named fault plan and report "
+                      "the resilience stats")
+    add_traffic_args(p_chaos)
+    p_chaos.add_argument("--fault-plan", choices=PLAN_NAMES, default="chaos",
+                         help="named fault plan (default 'chaos')")
+    p_chaos.add_argument("--fault-seed", type=int, default=None,
+                         help="injector seed (default: the trace seed)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="machine-readable stats output")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="1-second smoke run (CI gate)")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_loadgen = sub.add_parser(
         "loadgen", help="generate a trace; compare dynamic batching "

@@ -20,7 +20,7 @@ guidance:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import ConvConfig
 from ..frameworks.base import ConvImplementation
@@ -151,13 +151,28 @@ class Advisor:
         (no candidate list, no prose rationale) suitable for per-shape
         memoization; ``None`` means no implementation is feasible.
         """
+        ranked = self.plan_ranked(config, memory_budget)
+        return ranked[0] if ranked else None
+
+    def plan_ranked(self, config: ConvConfig,
+                    memory_budget: Optional[int] = None
+                    ) -> Tuple[RankedPlan, ...]:
+        """Every feasible implementation as a cacheable plan, fastest
+        first.
+
+        The resilient dispatcher consumes the whole ordering: when the
+        first choice faults past its retry budget (or its circuit
+        breaker is open) it substitutes the next-ranked plan — the
+        implementations are interchangeable wherever both are feasible,
+        so substitution preserves correctness and only costs the
+        runtime gap the ranking already quantifies.  Empty means no
+        implementation is feasible.
+        """
         candidates = self.evaluate(config, memory_budget)
-        for c in candidates:
-            if c.feasible:
-                return RankedPlan(implementation=c.implementation,
-                                  time_s=c.time_s,
-                                  peak_memory_bytes=c.peak_memory_bytes)
-        return None
+        return tuple(RankedPlan(implementation=c.implementation,
+                                time_s=c.time_s,
+                                peak_memory_bytes=c.peak_memory_bytes)
+                     for c in candidates if c.feasible)
 
     def _rationale(self, config: ConvConfig, best: Candidate,
                    memory_budget: Optional[int]) -> str:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
@@ -336,16 +337,46 @@ class EvalCache:
 
     def load(self, path: str) -> int:
         """Merge records from a JSON store; returns how many loaded.
-        Stores written by other EVALCACHE_VERSIONs are ignored."""
-        with open(path) as fh:
-            payload = json.load(fh)
-        if payload.get("version") != EVALCACHE_VERSION:
+
+        A store that cannot be trusted — truncated or corrupt JSON,
+        malformed records, or a different ``EVALCACHE_VERSION`` — is
+        *quarantined*: renamed to ``<path>.bad`` with a warning, and
+        the cache warm-starts empty.  A damaged disk store must never
+        crash a run (nor silently keep resurfacing on every run).
+        """
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict):
+                raise ValueError("store root is not an object")
+            if payload.get("version") != EVALCACHE_VERSION:
+                raise ValueError(
+                    f"store version {payload.get('version')!r} != "
+                    f"{EVALCACHE_VERSION}")
+            records = {k: EvalRecord.from_dict(d)
+                       for k, d in payload["records"].items()}
+        except OSError as exc:
+            warnings.warn(f"eval cache store {path!r} unreadable "
+                          f"({exc}); starting empty")
             return 0
-        records = {k: EvalRecord.from_dict(d)
-                   for k, d in payload["records"].items()}
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            self._quarantine(path, str(exc))
+            return 0
         with self._lock:
             self._store.update(records)
         return len(records)
+
+    @staticmethod
+    def _quarantine(path: str, reason: str) -> None:
+        """Move a damaged store aside (``<path>.bad``) and warn."""
+        bad = f"{path}.bad"
+        try:
+            os.replace(path, bad)
+            moved = f"quarantined to {bad!r}"
+        except OSError as exc:   # pragma: no cover - racing FS trouble
+            moved = f"could not quarantine ({exc})"
+        warnings.warn(f"eval cache store {path!r} is unusable ({reason}); "
+                      f"{moved}; starting empty")
 
 
 # ---------------------------------------------------------------------------

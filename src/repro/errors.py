@@ -51,6 +51,53 @@ class DeviceOOMError(ReproError, MemoryError):
         )
 
 
+class MemoryPressureError(DeviceOOMError):
+    """An allocation failed only because an injected memory-pressure
+    window has reserved part of the device (the request would have fit
+    the unpressured card).
+
+    Subclasses :class:`DeviceOOMError` so every existing OOM handler
+    keeps working; carries the reserved size so resilient callers can
+    tell "degrade and retry later" (pressure) apart from "will never
+    fit" (true OOM).
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int,
+                 reserved: int):
+        super().__init__(requested, in_use, capacity)
+        self.reserved = reserved
+        # Rewrite the message with the pressure context.
+        self.args = (
+            f"memory pressure: requested {requested} B with {in_use} B in "
+            f"use and {reserved} B reserved of {capacity} B capacity",
+        )
+
+
+class TransientKernelError(ReproError, RuntimeError):
+    """A simulated kernel launch faulted transiently (the ECC
+    single-bit-error / replay class of failure: the launch is safe to
+    retry after the device scrubs and replays).
+
+    Carries the implementation that faulted, the simulated time of the
+    fault and the simulated cost of detection + replay, so a resilient
+    scheduler can charge the retry to the virtual clock.
+    """
+
+    def __init__(self, implementation: str, at_s: float, retry_cost_s: float):
+        self.implementation = implementation
+        self.at_s = at_s
+        self.retry_cost_s = retry_cost_s
+        super().__init__(
+            f"{implementation}: transient kernel fault at t={at_s:.6f}s "
+            f"(replay cost {retry_cost_s * 1e6:.0f} us)"
+        )
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a serving component after it was
+    closed (e.g. offering a request to a drained admission queue)."""
+
+
 class AllocationError(ReproError, ValueError):
     """Misuse of the device allocator (double free, freeing an unknown
     buffer, negative sizes)."""

@@ -1,0 +1,39 @@
+"""Deterministic fault injection.
+
+The failure modes the paper observed — OOM "program crush" (section
+V-B), per-implementation shape limits (section IV-B) — plus the
+operational ones any serving stack meets (transient kernel faults,
+stragglers, cache corruption), expressed as seeded, reproducible
+schedules:
+
+* :mod:`repro.faults.plan` — frozen :class:`FaultPlan` value objects
+  (what strikes, whom, when) and a catalogue of named plans;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` runtime
+  that installs a plan onto a server's clock / allocator / plan cache
+  through the existing observer hooks and raises the typed errors.
+
+A serving run under injection is a pure function of
+``(trace, seed, fault_plan)``; the empty plan is bit-identical to no
+plan at all.  The resilient consumption side lives in
+:mod:`repro.serve` (retries, implementation fallback, circuit
+breaker, degradation).
+"""
+
+from .injector import FaultInjector
+from .plan import (ANY, CacheCorruptionSpec, FaultPlan, MemoryPressureSpec,
+                   NONE, PLAN_NAMES, StragglerSpec, TOP_RANKED,
+                   TransientFaultSpec, named_plan)
+
+__all__ = [
+    "ANY",
+    "CacheCorruptionSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "MemoryPressureSpec",
+    "NONE",
+    "PLAN_NAMES",
+    "StragglerSpec",
+    "TOP_RANKED",
+    "TransientFaultSpec",
+    "named_plan",
+]

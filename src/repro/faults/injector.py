@@ -1,0 +1,111 @@
+"""The runtime half of the fault-injection plane.
+
+A :class:`FaultInjector` turns a frozen
+:class:`~repro.faults.plan.FaultPlan` into live behaviour on one
+simulated server, using only the existing gpusim observer hooks:
+
+* it attaches a *pressure source* to the
+  :class:`~repro.gpusim.allocator.DeviceAllocator` so allocations
+  inside a pressure window see a smaller device and raise
+  :class:`~repro.errors.MemoryPressureError`;
+* it observes the :class:`~repro.gpusim.timing.SimClock` so
+  cache-corruption events fire exactly when simulated time passes
+  their schedule — no polling in the scheduler;
+* the scheduler consults :meth:`check_launch` once per simulated
+  kernel dispatch, which raises
+  :class:`~repro.errors.TransientKernelError` (with the device's ECC
+  scrub-and-replay cost attached) when a transient spec strikes, and
+  :meth:`slowdown` when advancing the clock by a service time.
+
+Determinism: all randomness is drawn from one
+:func:`repro.rng.make_rng` generator seeded at construction, and draws
+happen only for dispatches matching an *active* transient window.
+Because the scheduler itself is deterministic, the draw sequence — and
+therefore the whole run — is a pure function of
+``(trace, seed, fault_plan)``.  A no-op plan never draws, so disabling
+faults reproduces the fault-free run bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TransientKernelError
+from ..gpusim.device import DeviceSpec, K40C
+from ..gpusim.kernels import replay_cost_s
+from ..rng import DEFAULT_SEED, make_rng
+from .plan import FaultPlan, NONE
+
+
+class FaultInjector:
+    """Live fault source for one serving run."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 seed: int = DEFAULT_SEED,
+                 device: DeviceSpec = K40C):
+        self.plan = plan if plan is not None else NONE
+        self.device = device
+        self.seed = seed
+        self._rng = make_rng(seed)
+        #: Corruption events sorted by schedule; fired is a cursor.
+        self._corruptions = sorted(self.plan.corruptions,
+                                   key=lambda c: (c.at_s, c.entries))
+        self._fired = 0
+        self._plan_cache = None
+        #: Counters surfaced into the run's StatsReport.
+        self.faults_injected = 0
+        self.entries_corrupted = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self, clock, allocator=None, plan_cache=None) -> None:
+        """Attach this injector to a server's clock, allocator and plan
+        cache via their observer hooks."""
+        if allocator is not None and self.plan.pressures:
+            allocator.set_pressure(lambda: self.reserve_bytes(clock.now_s))
+        if plan_cache is not None and self._corruptions:
+            self._plan_cache = plan_cache
+            clock.set_observer(self._on_advance)
+
+    def _on_advance(self, old_s: float, new_s: float) -> None:
+        while (self._fired < len(self._corruptions)
+               and self._corruptions[self._fired].at_s <= new_s):
+            spec = self._corruptions[self._fired]
+            self._fired += 1
+            if self._plan_cache is not None:
+                self.entries_corrupted += self._plan_cache.corrupt(spec.entries)
+
+    # -- queries the scheduler makes ---------------------------------------
+
+    def reserve_bytes(self, now_s: float) -> int:
+        """Global-memory bytes withheld by pressure windows at
+        ``now_s`` (the allocator's pressure source)."""
+        return sum(p.reserve_bytes for p in self.plan.pressures
+                   if p.active(now_s))
+
+    def pressure_active(self, now_s: float) -> bool:
+        return any(p.active(now_s) for p in self.plan.pressures)
+
+    def slowdown(self, now_s: float) -> float:
+        """Service-time multiplier at ``now_s`` (1.0 outside straggler
+        windows; overlapping windows compound)."""
+        factor = 1.0
+        for s in self.plan.stragglers:
+            if s.active(now_s):
+                factor *= s.slowdown
+        return factor
+
+    def check_launch(self, now_s: float, implementation: str,
+                     rank: int = 0) -> None:
+        """Called once per simulated kernel dispatch; raises
+        :class:`TransientKernelError` when a transient spec strikes.
+
+        ``rank`` is the dispatch's fallback depth (0 = the advisor's
+        first choice) so ``TOP_RANKED`` plans spare the fallbacks.
+        """
+        for spec in self.plan.transients:
+            if spec.active(now_s) and spec.matches(implementation, rank):
+                if float(self._rng.random()) < spec.rate:
+                    self.faults_injected += 1
+                    raise TransientKernelError(
+                        implementation, now_s, replay_cost_s(self.device))

@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional
 
-from ..errors import AllocationError, DeviceOOMError
+from ..errors import AllocationError, DeviceOOMError, MemoryPressureError
 from .device import DeviceSpec
 
 
@@ -67,11 +67,25 @@ class DeviceAllocator:
         self._in_use = baseline
         self._peak = baseline
         self._observer: Optional[Callable[[str, Buffer, int], None]] = None
+        self._pressure: Optional[Callable[[], int]] = None
 
     def set_observer(self,
                      fn: Optional[Callable[[str, Buffer, int], None]]) -> None:
         """Attach (or with ``None`` detach) the alloc/free observer."""
         self._observer = fn
+
+    def set_pressure(self, fn: Optional[Callable[[], int]]) -> None:
+        """Attach (or with ``None`` detach) a memory-pressure source.
+
+        ``fn`` returns the number of bytes currently reserved away from
+        the workload (the fault-injection plane's simulated co-tenant /
+        fragmentation pressure).  An allocation that would fit the bare
+        device but not the pressured one raises
+        :class:`~repro.errors.MemoryPressureError` instead of the plain
+        :class:`~repro.errors.DeviceOOMError`, so resilient callers can
+        distinguish "retry smaller / later" from "will never fit".
+        """
+        self._pressure = fn
 
     # -- queries -----------------------------------------------------------
 
@@ -90,6 +104,14 @@ class DeviceAllocator:
         return self.device.global_memory_bytes - self._in_use
 
     @property
+    def reserved_bytes(self) -> int:
+        """Bytes currently withheld by the attached pressure source
+        (0 when no source is attached)."""
+        if self._pressure is None:
+            return 0
+        return max(0, int(self._pressure()))
+
+    @property
     def live_buffers(self) -> int:
         return len(self._live)
 
@@ -104,9 +126,13 @@ class DeviceAllocator:
         if size <= 0:
             raise AllocationError(f"allocation size must be positive, got {size}")
         rounded = math.ceil(size / _GRANULARITY) * _GRANULARITY
-        if self._in_use + rounded > self.device.global_memory_bytes:
-            raise DeviceOOMError(rounded, self._in_use,
-                                 self.device.global_memory_bytes)
+        capacity = self.device.global_memory_bytes
+        if self._in_use + rounded > capacity:
+            raise DeviceOOMError(rounded, self._in_use, capacity)
+        reserved = self.reserved_bytes
+        if reserved and self._in_use + rounded > capacity - reserved:
+            raise MemoryPressureError(rounded, self._in_use, capacity,
+                                      reserved)
         buf = Buffer(handle=self._next_handle, size=size,
                      rounded_size=rounded, tag=tag)
         self._next_handle += 1

@@ -56,6 +56,10 @@ class DeviceSpec:
     #: Maximum dual-issue rate: instructions per cycle per SM the
     #: schedulers can sustain (4 warp schedulers x 2 dispatch on GK110).
     max_ipc_per_sm: float = 8.0
+    #: Simulated cost of recovering one transiently-faulted launch:
+    #: ECC scrub + driver-level replay of the kernel.  Charged by the
+    #: fault-injection plane on top of the launch overhead.
+    ecc_retry_cost_s: float = 500e-6
 
     # -- derived quantities -------------------------------------------------
 

@@ -168,3 +168,16 @@ def grid_for(items: int, per_block: int) -> int:
     if per_block <= 0:
         raise ValueError(f"per_block must be positive, got {per_block}")
     return math.ceil(items / per_block)
+
+
+def replay_cost_s(device) -> float:
+    """Simulated cost of recovering one transiently-faulted launch.
+
+    The ECC single-bit-error class of fault is recoverable: the driver
+    scrubs the affected region and replays the launch.  The recovery
+    therefore costs one ECC scrub/replay window
+    (:attr:`~repro.gpusim.device.DeviceSpec.ecc_retry_cost_s`) plus the
+    re-launch overhead.  The fault-injection plane charges this to the
+    virtual clock for every injected transient fault.
+    """
+    return device.ecc_retry_cost_s + device.kernel_launch_overhead_s

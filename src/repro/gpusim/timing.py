@@ -51,23 +51,40 @@ class SimClock:
         if start_s < 0:
             raise ValueError(f"start_s must be non-negative, got {start_s}")
         self._now = float(start_s)
+        self._observer = None
 
     @property
     def now_s(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
+    def set_observer(self, fn) -> None:
+        """Attach (or with ``None`` detach) a time observer.
+
+        ``fn(old_s, new_s)`` fires after every advance that actually
+        moves the clock.  The fault-injection plane uses this to
+        trigger events scheduled at absolute simulated times (e.g.
+        plan-cache corruption) without the scheduler polling.
+        """
+        self._observer = fn
+
     def advance(self, dt_s: float) -> float:
         """Move forward by ``dt_s`` seconds; returns the new time."""
         if dt_s < 0:
             raise ValueError(f"cannot advance by negative time {dt_s}")
+        old = self._now
         self._now += dt_s
+        if self._observer is not None and self._now > old:
+            self._observer(old, self._now)
         return self._now
 
     def advance_to(self, t_s: float) -> float:
         """Move forward to absolute time ``t_s`` (no-op if already
         past it — the clock never rewinds)."""
+        old = self._now
         self._now = max(self._now, float(t_s))
+        if self._observer is not None and self._now > old:
+            self._observer(old, self._now)
         return self._now
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -34,6 +34,7 @@ from .loadgen import Arrival, MODEL_SHAPES, TrafficSpec, generate_trace, trace_s
 from .plan_cache import PlanCache
 from .queue import AdmissionQueue
 from .request import Completion, Request, batched_config, shape_key
+from .resilience import BreakerState, CircuitBreaker, ResilienceConfig
 from .scheduler import Server, ServerConfig, serve_trace
 from .stats import ServingStats, StatsReport
 
@@ -42,11 +43,14 @@ __all__ = [
     "Arrival",
     "Batch",
     "BatchPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "Completion",
     "DynamicBatcher",
     "MODEL_SHAPES",
     "PlanCache",
     "Request",
+    "ResilienceConfig",
     "Server",
     "ServerConfig",
     "serve_trace",

@@ -48,11 +48,18 @@ class BatchPolicy:
         if self.max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
 
-    def padded(self, fill: int) -> int:
-        """Batch size a release of ``fill`` requests executes at."""
+    def padded(self, fill: int, cap: Optional[int] = None) -> int:
+        """Batch size a release of ``fill`` requests executes at.
+
+        ``cap`` tightens the bound below ``max_batch`` for the duration
+        of a memory-pressure window (the scheduler's graceful
+        degradation); callers must have already split ``fill`` down to
+        the cap, so the result never drops below ``fill``.
+        """
+        limit = self.max_batch if cap is None else min(self.max_batch, cap)
         if not self.bucket:
             return fill
-        return min(next_pow2(fill), self.max_batch)
+        return max(fill, min(next_pow2(fill), limit))
 
 
 @dataclass(frozen=True)

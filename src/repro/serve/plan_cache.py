@@ -3,7 +3,9 @@
 Ranking the seven implementations for one configuration means seven
 simulated profiles — fine offline, far too slow per batch.  Since the
 ranking is a pure function of ``(shape, batch, device)``, the cache
-memoizes the advisor's :class:`~repro.core.advisor.RankedPlan` per key
+memoizes the advisor's ranking per key — a tuple of
+:class:`~repro.core.advisor.RankedPlan`, fastest first, so the
+resilient dispatcher can fall back down the same cached ordering —
 with LRU eviction, and the batcher's power-of-two bucketing keeps the
 key space tiny, so steady-state dispatch is a dictionary hit.
 
@@ -43,6 +45,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,6 +88,24 @@ class PlanCache:
         self.put(key, plan)
         return plan
 
+    def corrupt(self, n: int) -> int:
+        """Invalidate up to ``n`` entries, least recently used first.
+
+        The fault-injection plane's "plan-cache corruption" event:
+        dropping an entry is the safe model of corruption — the next
+        dispatch of that key re-ranks (a miss) rather than executing a
+        corrupted plan.  Eviction order is the LRU order, so the effect
+        is deterministic.  Returns how many entries were dropped.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        dropped = 0
+        while self._entries and dropped < n:
+            self._entries.popitem(last=False)
+            dropped += 1
+        self.corruptions += dropped
+        return dropped
+
     def stats(self) -> Dict[str, float]:
         return {
             "capacity": self.capacity,
@@ -92,5 +113,6 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "hit_rate": self.hit_rate,
         }

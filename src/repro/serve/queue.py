@@ -9,6 +9,12 @@ mechanisms, both counted:
 * **shedding** — an admitted request whose queueing delay exceeds its
   timeout is dropped before service (serving it late would be wasted
   work; real serving stacks shed exactly like this).
+
+Shutdown is explicit: :meth:`AdmissionQueue.drain` hands every
+outstanding request back to the caller (to be completed with a
+``ServerClosed`` rejection — never silently dropped) and
+:meth:`AdmissionQueue.close` additionally refuses all further traffic
+with :class:`~repro.errors.ServerClosedError`.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..errors import ServerClosedError
 from .request import Request, ShapeKey
 
 
@@ -30,14 +37,22 @@ class AdmissionQueue:
         # equally old lanes) is deterministic: insertion order.
         self._lanes: "OrderedDict[ShapeKey, Deque[Request]]" = OrderedDict()
         self._depth = 0
+        self._closed = False
         self.admitted = 0
         self.rejected = 0
         self.shed = 0
+        #: Requests returned by drain()/close() — completed with a
+        #: ServerClosed rejection by the caller, counted here.
+        self.closed_out = 0
 
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
         return self._depth
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
 
     def lane_sizes(self) -> Dict[ShapeKey, int]:
         return {k: len(d) for k, d in self._lanes.items() if d}
@@ -61,7 +76,14 @@ class AdmissionQueue:
     # -- mutation ----------------------------------------------------------
 
     def offer(self, request: Request) -> bool:
-        """Admit ``request`` unless the queue is full."""
+        """Admit ``request`` unless the queue is full.
+
+        Raises :class:`ServerClosedError` after :meth:`close` — a
+        closed server must refuse loudly, not enqueue into the void.
+        """
+        if self._closed:
+            raise ServerClosedError(
+                f"queue is closed; request {request.rid} refused")
         if self._depth >= self.max_depth:
             self.rejected += 1
             return False
@@ -93,6 +115,32 @@ class AdmissionQueue:
         for req in reversed(requests):
             lane.appendleft(req)
         self._depth += len(requests)
+
+    def drain(self) -> List[Request]:
+        """Remove and return every outstanding request, in lane order.
+
+        The caller owns completing each one with a ``ServerClosed``
+        rejection (the scheduler records them under the ``closed`` shed
+        cause); the requests are counted in :attr:`closed_out` so
+        nothing disappears from the accounting.
+        """
+        out: List[Request] = []
+        for lane in self._lanes.values():
+            out.extend(lane)
+            lane.clear()
+        self._depth = 0
+        self.closed_out += len(out)
+        return out
+
+    def close(self) -> List[Request]:
+        """Drain the queue and refuse all further offers.
+
+        Returns the outstanding requests exactly as :meth:`drain`
+        does; calling :meth:`close` twice is a no-op returning ``[]``.
+        """
+        drained = self.drain() if not self._closed else []
+        self._closed = True
+        return drained
 
     def shed_expired(self, now_s: float) -> List[Request]:
         """Drop every admitted request whose deadline has passed."""

@@ -1,0 +1,158 @@
+"""Recovery policies for the serving scheduler.
+
+Three layers of defence, each bounded and each counted in the run's
+:class:`~repro.serve.stats.StatsReport`:
+
+1. **Bounded retry with exponential backoff** (in *simulated* time) —
+   transient kernel faults are usually isolated; replaying the launch
+   after an ECC scrub recovers them at a cost the virtual clock pays.
+2. **Implementation fallback** — when retries exhaust, the dispatcher
+   substitutes the advisor's next-ranked feasible implementation (the
+   same cached ordering the plan cache already holds): the paper's
+   seven implementations are interchangeable wherever feasible, so the
+   request completes at a known, quantified slowdown instead of
+   failing.
+3. **Per-implementation circuit breaker** — a streak of faults on one
+   implementation stops being retried at all: the breaker opens after
+   ``threshold`` consecutive faults, dispatch skips straight to the
+   fallback, and after ``cooldown_s`` of simulated time a single
+   half-open probe decides whether to close it again.
+
+The breaker state machine::
+
+            consecutive faults >= threshold
+    CLOSED ---------------------------------> OPEN
+       ^                                        | cooldown elapsed
+       |  probe succeeds                        v
+       +----------------------------------- HALF_OPEN
+                                                | probe faults
+                                                v
+                                              OPEN (re-trip)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the recovery machinery (times are simulated seconds)."""
+
+    #: Launch attempts per implementation per batch (1 = no retry).
+    max_attempts: int = 3
+    #: First backoff delay; attempt ``n`` waits ``base * factor**(n-1)``.
+    backoff_base_s: float = 200e-6
+    backoff_factor: float = 2.0
+    #: Consecutive faults on one implementation that open its breaker.
+    breaker_threshold: int = 5
+    #: Simulated seconds an open breaker waits before one half-open probe.
+    breaker_cooldown_s: float = 0.05
+    #: How many next-ranked implementations a batch may fall back to.
+    max_fallbacks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be >= 0, got {self.breaker_cooldown_s}")
+        if self.max_fallbacks < 0:
+            raise ValueError(
+                f"max_fallbacks must be >= 0, got {self.max_fallbacks}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class _Breaker:
+    __slots__ = ("state", "failures", "opened_at_s")
+
+    def __init__(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at_s = 0.0
+
+
+class CircuitBreaker:
+    """One breaker per implementation, keyed by dispatch name.
+
+    All timing is simulated, so breaker behaviour is as deterministic
+    as the run that drives it.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 0.05):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._breakers: Dict[str, _Breaker] = {}
+        self.trips = 0   # CLOSED/HALF_OPEN -> OPEN transitions
+        self.skips = 0   # dispatches refused because a breaker was open
+
+    def _get(self, implementation: str) -> _Breaker:
+        b = self._breakers.get(implementation)
+        if b is None:
+            b = self._breakers[implementation] = _Breaker()
+        return b
+
+    def state(self, implementation: str) -> BreakerState:
+        return self._get(implementation).state
+
+    def allow(self, implementation: str, now_s: float) -> bool:
+        """May ``implementation`` be dispatched at ``now_s``?
+
+        An open breaker past its cooldown transitions to half-open and
+        allows exactly one probe; a refusal is counted in
+        :attr:`skips`.
+        """
+        b = self._get(implementation)
+        if b.state is BreakerState.OPEN:
+            if now_s >= b.opened_at_s + self.cooldown_s:
+                b.state = BreakerState.HALF_OPEN
+                return True
+            self.skips += 1
+            return False
+        return True
+
+    def record_success(self, implementation: str) -> None:
+        b = self._get(implementation)
+        b.state = BreakerState.CLOSED
+        b.failures = 0
+
+    def record_failure(self, implementation: str, now_s: float) -> None:
+        b = self._get(implementation)
+        b.failures += 1
+        if b.state is BreakerState.HALF_OPEN or b.failures >= self.threshold:
+            if b.state is not BreakerState.OPEN:
+                self.trips += 1
+            b.state = BreakerState.OPEN
+            b.opened_at_s = now_s
+
+    def snapshot(self) -> Dict[str, str]:
+        """Implementation -> state name, for end-of-run reporting."""
+        return {name: b.state.value
+                for name, b in sorted(self._breakers.items())}

@@ -5,38 +5,57 @@ A single simulated device drains the admission queue batch by batch:
 1. admit every arrival due by now (bounded queue — overflow rejected);
 2. shed requests whose queueing deadline passed;
 3. ask the dynamic batcher for the next same-shape batch;
-4. resolve the batch's plan — plan-cache hit, or advisor ranking on a
-   miss — then replay the chosen implementation's memory plan through
-   the device allocator and advance the
+4. resolve the batch's *ranked* plan list — plan-cache hit, or advisor
+   ranking on a miss — then replay the chosen implementation's memory
+   plan through the device allocator and advance the
    :class:`~repro.gpusim.timing.SimClock` by the simulated service
    time;
 5. if the batch does not fit device memory, split it in half and try
-   the halves (a single sample that still does not fit is shed).
+   the halves (a single sample that still does not fit is shed, with
+   its own ``memory`` shed cause).
+
+When a fault plan (:mod:`repro.faults`) is installed the loop grows a
+recovery ladder, every rung bounded and counted:
+
+* a transient kernel fault is retried after the device's ECC
+  scrub-and-replay cost plus exponential backoff — all in *simulated*
+  time;
+* when the retry budget exhausts, dispatch falls back to the advisor's
+  next-ranked implementation (the same cached ordering);
+* a streak of faults opens that implementation's circuit breaker, so
+  dispatch skips it entirely until a half-open probe succeeds;
+* a memory-pressure window degrades gracefully: the batch cap halves
+  before anything is shed, and recovers when the window passes.
 
 Time is entirely virtual: service times come from the gpusim roofline
 model (via the advisor's ranking), waiting comes from the arrival
 trace, and no wall clock is ever consulted — a run is a pure function
-of its trace and configuration.
+of ``(trace, configuration, fault plan, seed)``.  A run without a
+fault plan is bit-identical to the pre-fault-plane scheduler.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.advisor import Advisor, RankedPlan
-from ..errors import DeviceOOMError
+from ..errors import (DeviceOOMError, MemoryPressureError, ReproError,
+                      TransientKernelError)
+from ..faults import FaultInjector, FaultPlan
 from ..frameworks.calibration import CONTEXT_BYTES
 from ..frameworks.registry import resolve_implementation, shared_implementations
 from ..gpusim.allocator import DeviceAllocator
 from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.timing import SimClock
+from ..rng import DEFAULT_SEED
 from .batcher import BatchPolicy, DynamicBatcher
 from .loadgen import Arrival
 from .plan_cache import PlanCache
 from .queue import AdmissionQueue
 from .request import Completion, Request, ShapeKey, batched_config
+from .resilience import CircuitBreaker, ResilienceConfig
 from .stats import ServingStats, StatsReport
 
 #: The advisor ranks full training iterations (forward + two backward
@@ -44,6 +63,10 @@ from .stats import ServingStats, StatsReport
 #: :attr:`repro.config.ConvConfig.training_flops`); inference serves
 #: the forward pass only.
 FORWARD_FRACTION = 1.0 / 3.0
+
+
+class _RetriesExhausted(Exception):
+    """Internal: one implementation burned its whole retry budget."""
 
 
 @dataclass(frozen=True)
@@ -57,6 +80,7 @@ class ServerConfig:
     plan_cache_capacity: int = 128
     memory_budget: Optional[int] = None   # bytes; None = device capacity
     forward_only: bool = True
+    resilience: ResilienceConfig = ResilienceConfig()
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -64,11 +88,19 @@ class ServerConfig:
 
 
 class Server:
-    """One simulated inference server over one device."""
+    """One simulated inference server over one device.
+
+    ``fault_plan`` installs a :class:`~repro.faults.plan.FaultPlan`
+    through a :class:`~repro.faults.injector.FaultInjector` seeded with
+    ``fault_seed``; ``None`` (or a no-op plan) leaves the scheduler on
+    the exact fault-free path.
+    """
 
     def __init__(self, config: ServerConfig = ServerConfig(),
                  advisor: Optional[Advisor] = None,
-                 record_timeline: bool = False):
+                 record_timeline: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 fault_seed: Optional[int] = None):
         self.config = config
         self.advisor = advisor or Advisor(
             device=config.device, implementations=shared_implementations())
@@ -83,56 +115,164 @@ class Server:
             self._allocator.set_observer(
                 lambda event, buf, in_use:
                 self.memory_timeline.append((self.clock.now_s, in_use)))
+        self._injector: Optional[FaultInjector] = None
+        if fault_plan is not None and not fault_plan.is_noop:
+            seed = DEFAULT_SEED if fault_seed is None else fault_seed
+            self._injector = FaultInjector(fault_plan, seed=seed,
+                                           device=config.device)
+            self._injector.install(self.clock, allocator=self._allocator,
+                                   plan_cache=self.plan_cache)
+        self._breaker = CircuitBreaker(
+            threshold=config.resilience.breaker_threshold,
+            cooldown_s=config.resilience.breaker_cooldown_s)
+        #: Degraded batch cap while a memory-pressure window is active;
+        #: None = full policy cap.
+        self._degraded_cap: Optional[int] = None
 
     # ------------------------------------------------------------------
 
-    def _plan_for(self, key: ShapeKey, batch: int) -> Optional[RankedPlan]:
+    def _plan_for(self, key: ShapeKey, batch: int) -> Tuple[RankedPlan, ...]:
         cache_key = (key, batch, self.config.device.name)
         return self.plan_cache.get_or_compute(
             cache_key,
-            lambda: self.advisor.plan(batched_config(key, batch),
-                                      memory_budget=self.config.memory_budget))
+            lambda: self.advisor.plan_ranked(
+                batched_config(key, batch),
+                memory_budget=self.config.memory_budget))
 
     def _service_time(self, plan: RankedPlan) -> float:
         scale = FORWARD_FRACTION if self.config.forward_only else 1.0
         return plan.time_s * scale
 
-    def _execute(self, requests: List[Request], key: ShapeKey,
-                 stats: ServingStats) -> None:
-        """Serve one group of same-shape requests, splitting on OOM."""
-        padded = self.config.policy.padded(len(requests))
-        plan = self._plan_for(key, padded)
-        if plan is None:
-            stats.oom_shed += len(requests)
-            return
+    def _effective_cap(self) -> Optional[int]:
+        """The degraded batch cap, dropped once pressure passes."""
+        if self._degraded_cap is None:
+            return None
+        if self._injector is None or \
+                not self._injector.pressure_active(self.clock.now_s):
+            self._degraded_cap = None
+            return None
+        return self._degraded_cap
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, plan: RankedPlan, rank: int, config,
+                  padded: int, requests: List[Request],
+                  stats: ServingStats) -> None:
+        """Run one batch on one implementation, retrying transient
+        faults up to the resilience budget.
+
+        Raises :class:`_RetriesExhausted` when the budget burns out
+        (the caller falls back to the next-ranked plan) and
+        :class:`DeviceOOMError` / :class:`MemoryPressureError` when the
+        memory plan does not fit (the caller splits or sheds).
+        """
         impl = resolve_implementation(plan.implementation)
-        config = batched_config(key, padded)
-        buffers = []
-        try:
-            for tag, size in impl.memory_plan(config):
-                if size > 0:
-                    buffers.append(self._allocator.alloc(size, tag=tag))
-        except DeviceOOMError:
-            for buf in buffers:
-                self._allocator.free(buf)
-            if len(requests) > 1:
-                stats.oom_splits += 1
-                mid = (len(requests) + 1) // 2
-                self._execute(requests[:mid], key, stats)
-                self._execute(requests[mid:], key, stats)
-            else:
-                stats.oom_shed += 1
-            return
+        res = self.config.resilience
+        attempts = 0
+        while True:
+            buffers = []
+            try:
+                for tag, size in impl.memory_plan(config):
+                    if size > 0:
+                        buffers.append(self._allocator.alloc(size, tag=tag))
+                if self._injector is not None:
+                    self._injector.check_launch(self.clock.now_s,
+                                                plan.implementation, rank)
+            except TransientKernelError as fault:
+                for buf in buffers:
+                    self._allocator.free(buf)
+                self._breaker.record_failure(plan.implementation,
+                                             self.clock.now_s)
+                # The fault is detected and replayed at the device's
+                # ECC scrub cost whether or not we retry.
+                self.clock.advance(fault.retry_cost_s)
+                attempts += 1
+                if attempts >= res.max_attempts:
+                    raise _RetriesExhausted() from fault
+                stats.retries += 1
+                self.clock.advance(res.backoff_s(attempts))
+                continue
+            except DeviceOOMError:
+                for buf in buffers:
+                    self._allocator.free(buf)
+                raise
+            break
         start = self.clock.now_s
-        finish = self.clock.advance(self._service_time(plan))
+        service = self._service_time(plan)
+        if self._injector is not None:
+            service *= self._injector.slowdown(start)
+        finish = self.clock.advance(service)
         for buf in buffers:
             self._allocator.free(buf)
+        if self._injector is not None:
+            self._breaker.record_success(plan.implementation)
         stats.record_batch(padded, len(requests), plan.implementation)
+        if rank > 0:
+            stats.fallback_batches += 1
+            stats.fallback_completions += len(requests)
         stats.record_completions([
             Completion(request=r, start_s=start, finish_s=finish,
                        batch=padded, fill=len(requests),
                        implementation=plan.implementation)
             for r in requests])
+
+    def _split(self, requests: List[Request], key: ShapeKey,
+               stats: ServingStats) -> None:
+        stats.oom_splits += 1
+        mid = (len(requests) + 1) // 2
+        self._execute(requests[:mid], key, stats)
+        self._execute(requests[mid:], key, stats)
+
+    def _execute(self, requests: List[Request], key: ShapeKey,
+                 stats: ServingStats) -> None:
+        """Serve one group of same-shape requests, walking the recovery
+        ladder: retry → fallback → breaker skip → split on OOM →
+        degrade under pressure → shed (counted by cause) last."""
+        cap = self._effective_cap()
+        if cap is not None and len(requests) > cap:
+            for i in range(0, len(requests), cap):
+                self._execute(requests[i:i + cap], key, stats)
+            return
+        padded = self.config.policy.padded(len(requests), cap)
+        plans = self._plan_for(key, padded)
+        if not plans:
+            stats.oom_shed += len(requests)
+            stats.record_shed("infeasible", len(requests))
+            return
+        config = batched_config(key, padded)
+        limit = 1 + self.config.resilience.max_fallbacks
+        for rank, plan in enumerate(plans[:limit]):
+            if self._injector is not None and \
+                    not self._breaker.allow(plan.implementation,
+                                            self.clock.now_s):
+                continue
+            try:
+                self._dispatch(plan, rank, config, padded, requests, stats)
+            except _RetriesExhausted:
+                continue            # substitute the next-ranked plan
+            except MemoryPressureError:
+                stats.pressure_events += 1
+                # Graceful degradation: halve the cap before shedding.
+                self._degraded_cap = max(1, padded // 2)
+                if len(requests) > 1:
+                    self._split(requests, key, stats)
+                else:
+                    stats.oom_shed += 1
+                    stats.record_shed("memory")
+                return
+            except DeviceOOMError:
+                if len(requests) > 1:
+                    self._split(requests, key, stats)
+                else:
+                    stats.oom_shed += 1
+                    stats.record_shed("memory")
+                return
+            if cap is not None:
+                stats.degraded_batches += 1
+            return
+        # Every candidate faulted past its budget or sat behind an open
+        # breaker: the batch is shed, attributed to faults.
+        stats.record_shed("fault", len(requests))
 
     # ------------------------------------------------------------------
 
@@ -141,6 +281,12 @@ class Server:
         stats = ServingStats()
         queue = AdmissionQueue(self.config.queue_depth)
         batcher = DynamicBatcher(self.config.policy)
+        self._degraded_cap = None
+        trips0, skips0 = self._breaker.trips, self._breaker.skips
+        faults0 = corrupted0 = 0
+        if self._injector is not None:
+            faults0 = self._injector.faults_injected
+            corrupted0 = self._injector.entries_corrupted
         pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
         while pending or len(queue):
             while pending and pending[0].t_s <= self.clock.now_s:
@@ -154,7 +300,13 @@ class Server:
             batch = batcher.next_batch(queue, self.clock.now_s,
                                        drain=not pending)
             if batch is not None:
-                self._execute(list(batch.requests), batch.key, stats)
+                try:
+                    self._execute(list(batch.requests), batch.key, stats)
+                except ReproError:
+                    # No recovery layer absorbed it: count the failure
+                    # loudly instead of crashing the serving loop.
+                    stats.unhandled_errors += 1
+                    stats.record_shed("error", len(batch.requests))
                 continue
             if not len(queue) and not pending:
                 break
@@ -169,11 +321,21 @@ class Server:
             self.clock.advance_to(min(events))
         stats.rejected = queue.rejected
         stats.shed = queue.shed
+        stats.closed_shed = queue.closed_out
+        stats.breaker_trips = self._breaker.trips - trips0
+        stats.breaker_skips = self._breaker.skips - skips0
+        if self._injector is not None:
+            stats.faults_injected = self._injector.faults_injected - faults0
+            stats.cache_corruptions = \
+                self._injector.entries_corrupted - corrupted0
         return stats.finalize(self.clock.now_s, self.plan_cache.stats(),
                               self._allocator.peak)
 
 
 def serve_trace(trace: Sequence[Arrival],
-                config: ServerConfig = ServerConfig()) -> StatsReport:
+                config: ServerConfig = ServerConfig(),
+                fault_plan: Optional[FaultPlan] = None,
+                fault_seed: Optional[int] = None) -> StatsReport:
     """Convenience one-shot: run ``trace`` on a fresh server."""
-    return Server(config).run(trace)
+    return Server(config, fault_plan=fault_plan,
+                  fault_seed=fault_seed).run(trace)

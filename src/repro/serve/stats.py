@@ -52,11 +52,37 @@ class StatsReport:
     plan_cache: Dict[str, float]
     peak_memory_mb: float
     implementations: Dict[str, int]  # paper name -> requests served
+    #: Failure taxonomy — every drop attributed to its cause:
+    #: ``timeout`` (deadline passed in queue), ``queue_full`` (refused
+    #: at admission), ``memory`` (a lone sample's allocation failed),
+    #: ``infeasible`` (no implementation feasible for the shape),
+    #: ``closed`` (server shut down with the request queued),
+    #: ``error`` (unhandled fault).  Causes with zero count are omitted.
+    shed_by_cause: Dict[str, int] = field(default_factory=dict)
+    # -- resilience counters (all zero on a fault-free run) ---------------
+    retries: int = 0               # backoff retries after transient faults
+    fallback_batches: int = 0      # batches completed on a lower-ranked impl
+    fallback_completions: int = 0  # requests riding those batches
+    breaker_trips: int = 0         # breaker CLOSED/HALF_OPEN -> OPEN
+    breaker_skips: int = 0         # dispatches skipped on an open breaker
+    faults_injected: int = 0       # transient faults the plan injected
+    pressure_events: int = 0       # allocations refused by memory pressure
+    degraded_batches: int = 0      # batches run under a degraded batch cap
+    cache_corruptions: int = 0     # plan-cache entries invalidated
+    unhandled_errors: int = 0      # faults no recovery layer absorbed
+    closed_shed: int = 0           # requests completed with ServerClosed
 
     @property
     def shed_rate(self) -> float:
-        return (self.rejected + self.shed + self.oom_shed) / self.offered \
-            if self.offered else 0.0
+        dropped = (self.rejected + self.shed + self.oom_shed
+                   + self.closed_shed + self.shed_by_cause.get("error", 0)
+                   + self.shed_by_cause.get("fault", 0))
+        return dropped / self.offered if self.offered else 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed over offered (the chaos harness's headline)."""
+        return self.completed / self.offered if self.offered else 0.0
 
     def render(self) -> str:
         lines = [
@@ -84,7 +110,29 @@ class StatsReport:
         ]
         if self.oom_splits:
             lines.append(f"oom batch splits      {self.oom_splits}")
+        if self.shed_by_cause:
+            lines.append("shed by cause         " + " ".join(
+                f"{cause}:{count}" for cause, count in
+                sorted(self.shed_by_cause.items())))
+        if self._resilience_active():
+            lines.extend([
+                f"faults / retries      {self.faults_injected} / {self.retries}",
+                f"fallback batches/reqs {self.fallback_batches} / "
+                f"{self.fallback_completions}",
+                f"breaker trips / skips {self.breaker_trips} / "
+                f"{self.breaker_skips}",
+                f"pressure / degraded   {self.pressure_events} / "
+                f"{self.degraded_batches}",
+                f"cache corruptions     {self.cache_corruptions}",
+                f"unhandled errors      {self.unhandled_errors}",
+            ])
         return "\n".join(lines)
+
+    def _resilience_active(self) -> bool:
+        return any((self.retries, self.fallback_batches, self.breaker_trips,
+                    self.breaker_skips, self.faults_injected,
+                    self.pressure_events, self.degraded_batches,
+                    self.cache_corruptions, self.unhandled_errors))
 
     def to_dict(self) -> dict:
         """JSON-ready form (``--json`` output)."""
@@ -110,6 +158,20 @@ class StatsReport:
             "plan_cache": self.plan_cache,
             "peak_memory_mb": self.peak_memory_mb,
             "implementations": dict(sorted(self.implementations.items())),
+            "shed_by_cause": dict(sorted(self.shed_by_cause.items())),
+            "resilience": {
+                "retries": self.retries,
+                "fallback_batches": self.fallback_batches,
+                "fallback_completions": self.fallback_completions,
+                "breaker_trips": self.breaker_trips,
+                "breaker_skips": self.breaker_skips,
+                "faults_injected": self.faults_injected,
+                "pressure_events": self.pressure_events,
+                "degraded_batches": self.degraded_batches,
+                "cache_corruptions": self.cache_corruptions,
+                "unhandled_errors": self.unhandled_errors,
+                "closed_shed": self.closed_shed,
+            },
         }
 
 
@@ -122,6 +184,18 @@ class ServingStats:
     shed: int = 0
     oom_splits: int = 0
     oom_shed: int = 0
+    retries: int = 0
+    fallback_batches: int = 0
+    fallback_completions: int = 0
+    breaker_trips: int = 0
+    breaker_skips: int = 0
+    faults_injected: int = 0
+    pressure_events: int = 0
+    degraded_batches: int = 0
+    cache_corruptions: int = 0
+    unhandled_errors: int = 0
+    closed_shed: int = 0
+    shed_by_cause: Dict[str, int] = field(default_factory=dict)
     completions: List[Completion] = field(default_factory=list)
     batch_histogram: Dict[int, int] = field(default_factory=dict)
     batch_fills: List[int] = field(default_factory=list)
@@ -136,12 +210,24 @@ class ServingStats:
     def record_completions(self, completions: List[Completion]) -> None:
         self.completions.extend(completions)
 
+    def record_shed(self, cause: str, n: int = 1) -> None:
+        """Attribute ``n`` dropped requests to one failure cause."""
+        if n:
+            self.shed_by_cause[cause] = self.shed_by_cause.get(cause, 0) + n
+
     def finalize(self, duration_s: float, plan_cache_stats: Dict[str, float],
                  peak_memory_bytes: int) -> StatsReport:
         latencies = sorted(c.latency_s for c in self.completions)
         n_batches = len(self.batch_fills)
         total_padded = sum(size * count
                            for size, count in self.batch_histogram.items())
+        causes = dict(self.shed_by_cause)
+        if self.shed:
+            causes["timeout"] = causes.get("timeout", 0) + self.shed
+        if self.rejected:
+            causes["queue_full"] = causes.get("queue_full", 0) + self.rejected
+        if self.closed_shed:
+            causes["closed"] = causes.get("closed", 0) + self.closed_shed
         return StatsReport(
             duration_s=duration_s,
             offered=self.offered,
@@ -162,4 +248,16 @@ class ServingStats:
             plan_cache=dict(plan_cache_stats),
             peak_memory_mb=peak_memory_bytes / 2**20,
             implementations=dict(self.implementations),
+            shed_by_cause=causes,
+            retries=self.retries,
+            fallback_batches=self.fallback_batches,
+            fallback_completions=self.fallback_completions,
+            breaker_trips=self.breaker_trips,
+            breaker_skips=self.breaker_skips,
+            faults_injected=self.faults_injected,
+            pressure_events=self.pressure_events,
+            degraded_batches=self.degraded_batches,
+            cache_corruptions=self.cache_corruptions,
+            unhandled_errors=self.unhandled_errors,
+            closed_shed=self.closed_shed,
         )

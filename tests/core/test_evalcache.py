@@ -255,3 +255,70 @@ class TestSharedDefault:
             assert store.hits > hits_before
         finally:
             evalcache.set_cache(previous)
+
+
+class TestQuarantine:
+    """A damaged disk store must never take the process down."""
+
+    def _saved(self, tmp_path, cudnn):
+        cache = EvalCache()
+        cache.evaluate(cudnn, SMALL)
+        path = str(tmp_path / "store.json")
+        cache.save(path)
+        return path
+
+    def test_truncated_store_quarantines_and_warms_empty(self, tmp_path,
+                                                         cudnn):
+        path = self._saved(tmp_path, cudnn)
+        blob = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(blob[:len(blob) // 2])   # cut mid-JSON
+        fresh = EvalCache()
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert fresh.load(path) == 0
+        import os
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".bad")
+        # The store is usable (and saveable) after the warm start.
+        fresh.evaluate(cudnn, SMALL)
+        fresh.save(path)
+
+    def test_garbage_json_quarantines(self, tmp_path, cudnn):
+        path = str(tmp_path / "store.json")
+        with open(path, "w") as fh:
+            fh.write("not json at all {{{")
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert EvalCache().load(path) == 0
+
+    def test_wrong_root_type_quarantines(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        with open(path, "w") as fh:
+            json.dump(["a", "list"], fh)
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert EvalCache().load(path) == 0
+
+    def test_version_mismatch_quarantines(self, tmp_path, cudnn):
+        path = self._saved(tmp_path, cudnn)
+        with open(path) as fh:
+            payload = json.load(fh)
+        payload["version"] = evalcache.EVALCACHE_VERSION + 1
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        import os
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert EvalCache().load(path) == 0
+        assert os.path.exists(path + ".bad")
+
+    def test_missing_file_is_not_quarantined(self, tmp_path):
+        path = str(tmp_path / "absent.json")
+        with pytest.warns(UserWarning, match="unreadable"):
+            assert EvalCache().load(path) == 0
+
+    def test_constructor_warm_start_survives_damage(self, tmp_path, cudnn):
+        path = self._saved(tmp_path, cudnn)
+        with open(path, "w") as fh:
+            fh.write("{")
+        with pytest.warns(UserWarning):
+            cache = EvalCache(path=path)
+        cache.evaluate(cudnn, SMALL)
+        assert cache.misses == 1

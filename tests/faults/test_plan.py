@@ -1,0 +1,123 @@
+"""Fault plans: frozen schedules, window semantics, the catalogue."""
+
+import math
+
+import pytest
+
+from repro.faults import (ANY, NONE, PLAN_NAMES, TOP_RANKED,
+                          CacheCorruptionSpec, FaultPlan,
+                          MemoryPressureSpec, StragglerSpec,
+                          TransientFaultSpec, named_plan)
+
+
+class TestTransientSpec:
+    def test_defaults_cover_all_time(self):
+        spec = TransientFaultSpec()
+        assert spec.active(0.0)
+        assert spec.active(1e9)
+
+    def test_window_bounds_are_half_open(self):
+        spec = TransientFaultSpec(start_s=1.0, end_s=2.0)
+        assert not spec.active(0.999)
+        assert spec.active(1.0)
+        assert spec.active(1.999)
+        assert not spec.active(2.0)
+
+    def test_any_matches_everything(self):
+        spec = TransientFaultSpec(implementation=ANY)
+        assert spec.matches("cuDNN", 0)
+        assert spec.matches("fbfft", 3)
+
+    def test_top_ranked_matches_only_rank_zero(self):
+        spec = TransientFaultSpec(implementation=TOP_RANKED)
+        assert spec.matches("cuDNN", 0)
+        assert spec.matches("anything", 0)
+        assert not spec.matches("cuDNN", 1)
+
+    def test_named_target_ignores_rank(self):
+        spec = TransientFaultSpec(implementation="fbfft")
+        assert spec.matches("fbfft", 0)
+        assert spec.matches("fbfft", 2)
+        assert not spec.matches("cuDNN", 0)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            TransientFaultSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            TransientFaultSpec(rate=1.5)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TransientFaultSpec(start_s=-1.0)
+        with pytest.raises(ValueError):
+            TransientFaultSpec(start_s=2.0, end_s=2.0)
+
+
+class TestOtherSpecs:
+    def test_pressure_requires_positive_reserve(self):
+        with pytest.raises(ValueError):
+            MemoryPressureSpec(reserve_bytes=0)
+
+    def test_straggler_requires_slowdown_at_least_one(self):
+        with pytest.raises(ValueError):
+            StragglerSpec(slowdown=0.5)
+        assert StragglerSpec(slowdown=1.0).active(0.0)
+
+    def test_corruption_validation(self):
+        with pytest.raises(ValueError):
+            CacheCorruptionSpec(at_s=-0.1)
+        with pytest.raises(ValueError):
+            CacheCorruptionSpec(at_s=1.0, entries=0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_noop(self):
+        assert FaultPlan(name="x").is_noop
+        assert NONE.is_noop
+
+    def test_any_event_family_defeats_noop(self):
+        assert not FaultPlan(
+            name="x", transients=(TransientFaultSpec(),)).is_noop
+        assert not FaultPlan(
+            name="x", corruptions=(CacheCorruptionSpec(at_s=1.0),)).is_noop
+
+    def test_plans_are_frozen(self):
+        with pytest.raises(Exception):
+            NONE.name = "other"
+
+    def test_describe_mentions_each_family(self):
+        text = named_plan("chaos").describe()
+        for word in ("transient", "pressure", "straggler", "corruption"):
+            assert word in text
+
+
+class TestNamedPlans:
+    def test_every_catalogue_name_builds(self):
+        for name in PLAN_NAMES:
+            plan = named_plan(name)
+            assert plan.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            named_plan("earthquake")
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            named_plan("chaos", duration_s=0.0)
+
+    def test_windows_scale_with_duration(self):
+        short = named_plan("memory-pressure", duration_s=1.0)
+        long = named_plan("memory-pressure", duration_s=10.0)
+        assert short.pressures[0].start_s == pytest.approx(0.2)
+        assert long.pressures[0].start_s == pytest.approx(2.0)
+        # Same fraction of the run in both cases.
+        assert (short.pressures[0].end_s / 1.0
+                == pytest.approx(long.pressures[0].end_s / 10.0))
+
+    def test_transient_top_targets_the_top_rank(self):
+        plan = named_plan("transient-top")
+        assert plan.transients[0].implementation == TOP_RANKED
+        assert plan.transients[0].end_s == math.inf
+
+    def test_building_a_plan_is_deterministic(self):
+        assert named_plan("chaos", 5.0) == named_plan("chaos", 5.0)

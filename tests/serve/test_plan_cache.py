@@ -96,4 +96,4 @@ class TestGetOrCompute:
         assert stats["entries"] == 1
         assert stats["misses"] == 1
         assert set(stats) == {"capacity", "entries", "hits", "misses",
-                              "evictions", "hit_rate"}
+                              "evictions", "corruptions", "hit_rate"}

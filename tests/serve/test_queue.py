@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ServerClosedError
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import Request
 
@@ -102,3 +103,46 @@ class TestShedding:
         q.offer(req(2, key=KEY_B, timeout=0.01))
         assert len(q.shed_expired(1.0)) == 2
         assert len(q) == 0
+
+
+class TestShutdown:
+    def test_drain_returns_everything_in_lane_order(self):
+        q = AdmissionQueue()
+        q.offer(req(1, key=KEY_A))
+        q.offer(req(2, key=KEY_B))
+        q.offer(req(3, key=KEY_A))
+        drained = q.drain()
+        assert [r.rid for r in drained] == [1, 3, 2]
+        assert len(q) == 0
+        assert q.closed_out == 3
+
+    def test_drain_leaves_the_queue_open(self):
+        q = AdmissionQueue()
+        q.offer(req(1))
+        q.drain()
+        assert not q.is_closed
+        assert q.offer(req(2))
+
+    def test_close_drains_and_refuses_further_offers(self):
+        q = AdmissionQueue()
+        q.offer(req(1))
+        drained = q.close()
+        assert [r.rid for r in drained] == [1]
+        assert q.is_closed
+        with pytest.raises(ServerClosedError):
+            q.offer(req(2))
+        assert q.closed_out == 1
+
+    def test_close_twice_is_a_noop(self):
+        q = AdmissionQueue()
+        q.offer(req(1))
+        assert len(q.close()) == 1
+        assert q.close() == []
+        assert q.closed_out == 1
+
+    def test_nothing_is_silently_dropped(self):
+        q = AdmissionQueue(max_depth=8)
+        for i in range(5):
+            q.offer(req(i))
+        drained = q.close()
+        assert q.admitted == len(drained) + len(q)

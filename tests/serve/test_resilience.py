@@ -1,0 +1,253 @@
+"""The recovery ladder: retries, fallback, breaker, chaos determinism."""
+
+import json
+
+import pytest
+
+from repro.faults import (FaultPlan, MemoryPressureSpec, StragglerSpec,
+                          TransientFaultSpec, TOP_RANKED, named_plan)
+from repro.gpusim.device import K40C
+from repro.serve import (BreakerState, CircuitBreaker, ResilienceConfig,
+                         Server, ServerConfig, TrafficSpec, generate_trace,
+                         serve_trace)
+
+SPEC = TrafficSpec(duration_s=0.5, rate_rps=1200.0, seed=11)
+
+
+def report_digest(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SPEC)
+
+
+@pytest.fixture(scope="module")
+def fault_free(trace):
+    return serve_trace(trace, ServerConfig())
+
+
+class TestResilienceConfig:
+    def test_backoff_is_exponential(self):
+        cfg = ResilienceConfig(backoff_base_s=1e-4, backoff_factor=2.0)
+        assert cfg.backoff_s(1) == pytest.approx(1e-4)
+        assert cfg.backoff_s(3) == pytest.approx(4e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_fallbacks=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig().backoff_s(0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        cb = CircuitBreaker(threshold=3, cooldown_s=1.0)
+        for _ in range(2):
+            cb.record_failure("cuDNN", 0.0)
+        assert cb.state("cuDNN") is BreakerState.CLOSED
+        cb.record_failure("cuDNN", 0.0)
+        assert cb.state("cuDNN") is BreakerState.OPEN
+        assert cb.trips == 1
+
+    def test_success_resets_the_streak(self):
+        cb = CircuitBreaker(threshold=2)
+        cb.record_failure("cuDNN", 0.0)
+        cb.record_success("cuDNN")
+        cb.record_failure("cuDNN", 0.0)
+        assert cb.state("cuDNN") is BreakerState.CLOSED
+
+    def test_open_refuses_until_cooldown(self):
+        cb = CircuitBreaker(threshold=1, cooldown_s=1.0)
+        cb.record_failure("cuDNN", 10.0)
+        assert not cb.allow("cuDNN", 10.5)
+        assert cb.skips == 1
+        assert cb.allow("cuDNN", 11.0)          # half-open probe
+        assert cb.state("cuDNN") is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_outcomes(self):
+        cb = CircuitBreaker(threshold=1, cooldown_s=1.0)
+        cb.record_failure("cuDNN", 0.0)
+        assert cb.allow("cuDNN", 2.0)
+        cb.record_failure("cuDNN", 2.0)         # probe faults: re-trip
+        assert cb.state("cuDNN") is BreakerState.OPEN
+        assert cb.trips == 2
+        assert cb.allow("cuDNN", 4.0)
+        cb.record_success("cuDNN")              # probe succeeds: close
+        assert cb.state("cuDNN") is BreakerState.CLOSED
+
+    def test_breakers_are_per_implementation(self):
+        cb = CircuitBreaker(threshold=1, cooldown_s=1.0)
+        cb.record_failure("cuDNN", 0.0)
+        assert not cb.allow("cuDNN", 0.0)
+        assert cb.allow("fbfft", 0.0)
+        assert cb.snapshot() == {"cuDNN": "open", "fbfft": "closed"}
+
+
+class TestFaultFreeIdentity:
+    """Tier-1 guard: the fault plane must be invisible when disabled."""
+
+    def test_none_plan_is_bit_identical(self, trace, fault_free):
+        with_none = serve_trace(trace, ServerConfig(),
+                                fault_plan=named_plan("none"))
+        assert report_digest(with_none) == report_digest(fault_free)
+
+    def test_noop_custom_plan_is_bit_identical(self, trace, fault_free):
+        noop = FaultPlan(name="empty")
+        assert report_digest(serve_trace(trace, ServerConfig(),
+                                         fault_plan=noop)) \
+            == report_digest(fault_free)
+
+    def test_fault_free_run_reports_no_resilience_activity(self, fault_free):
+        assert fault_free.faults_injected == 0
+        assert fault_free.retries == 0
+        assert fault_free.fallback_completions == 0
+        assert fault_free.breaker_trips == 0
+        assert fault_free.unhandled_errors == 0
+
+
+class TestDeterminismUnderChaos:
+    def test_same_inputs_same_report_bytes(self, trace):
+        plan = named_plan("chaos", duration_s=SPEC.duration_s)
+        digests = [
+            report_digest(serve_trace(trace, ServerConfig(),
+                                      fault_plan=plan, fault_seed=99))
+            for _ in range(2)]
+        assert digests[0] == digests[1]
+
+    def test_fault_seed_changes_the_run(self, trace):
+        plan = named_plan("transient-top", duration_s=SPEC.duration_s)
+        a = serve_trace(trace, ServerConfig(), fault_plan=plan, fault_seed=1)
+        b = serve_trace(trace, ServerConfig(), fault_plan=plan, fault_seed=2)
+        assert report_digest(a) != report_digest(b)
+        # ... but the service level stays in the same regime.
+        assert a.offered == b.offered
+
+
+class TestTransientRecovery:
+    @pytest.fixture(scope="class")
+    def chaotic(self, trace):
+        plan = named_plan("transient-top", duration_s=SPEC.duration_s)
+        return serve_trace(trace, ServerConfig(), fault_plan=plan)
+
+    def test_faults_strike_and_retries_absorb_most(self, chaotic):
+        assert chaotic.faults_injected > 0
+        assert chaotic.retries > 0
+
+    def test_fallback_completions_happen(self, chaotic):
+        assert chaotic.fallback_batches > 0
+        assert chaotic.fallback_completions >= chaotic.fallback_batches
+
+    def test_breaker_trips_are_recorded(self, trace):
+        # A certain fault burns the whole retry budget on every batch,
+        # so the top implementation's streak trips its breaker fast.
+        plan = FaultPlan(name="always-top", transients=(
+            TransientFaultSpec(implementation=TOP_RANKED, rate=1.0),))
+        cfg = ServerConfig(resilience=ResilienceConfig(breaker_threshold=3))
+        report = serve_trace(trace, cfg, fault_plan=plan)
+        assert report.breaker_trips > 0
+        assert report.breaker_skips > 0
+        assert report.fallback_completions > 0
+
+    def test_completion_rate_stays_high(self, chaotic, fault_free):
+        assert fault_free.completed > 0
+        assert chaotic.completed >= 0.95 * fault_free.completed
+
+    def test_nothing_goes_unhandled(self, chaotic):
+        assert chaotic.unhandled_errors == 0
+
+    def test_retries_spend_simulated_time(self, chaotic, fault_free):
+        assert chaotic.duration_s > fault_free.duration_s
+
+
+class TestMemoryPressure:
+    def test_pressure_window_degrades_or_sheds(self, trace, fault_free):
+        plan = named_plan("memory-pressure", duration_s=SPEC.duration_s)
+        report = serve_trace(trace, ServerConfig(), fault_plan=plan)
+        assert report.pressure_events > 0
+        assert report.unhandled_errors == 0
+        # Degradation and OOM-splitting absorb the squeeze; anything
+        # shed is attributed to the memory cause, never silent.
+        dropped = report.offered - report.completed
+        accounted = (report.shed + report.rejected + report.oom_shed
+                     + report.shed_by_cause.get("fault", 0)
+                     + report.shed_by_cause.get("error", 0))
+        assert dropped == accounted
+
+    def test_memory_sheds_have_their_own_cause(self, trace):
+        # Leave ~10 MB of usable memory: even single samples cannot
+        # allocate, so everything sheds under the ``memory`` cause.
+        squeeze = FaultPlan(name="squeeze", pressures=(
+            MemoryPressureSpec(
+                reserve_bytes=K40C.global_memory_bytes - 70 * 2**20),))
+        report = serve_trace(trace, ServerConfig(), fault_plan=squeeze)
+        assert report.oom_shed > 0
+        assert report.shed_by_cause.get("memory") == report.oom_shed
+        assert report.unhandled_errors == 0
+
+
+class TestStragglers:
+    def test_whole_run_slowdown_stretches_the_makespan(self, trace,
+                                                       fault_free):
+        plan = FaultPlan(name="molasses",
+                         stragglers=(StragglerSpec(slowdown=4.0),))
+        report = serve_trace(trace, ServerConfig(), fault_plan=plan)
+        assert report.duration_s > fault_free.duration_s
+        assert report.latency_p50_ms > fault_free.latency_p50_ms
+        assert report.faults_injected == 0
+
+    def test_windowed_straggler_raises_tail_latency_only(self, trace,
+                                                         fault_free):
+        plan = named_plan("straggler", duration_s=SPEC.duration_s)
+        report = serve_trace(trace, ServerConfig(), fault_plan=plan)
+        assert report.latency_p99_ms >= fault_free.latency_p99_ms
+        assert report.completed == fault_free.completed
+
+
+class TestCacheCorruption:
+    def test_corruptions_are_counted_and_recomputed(self, trace, fault_free):
+        plan = named_plan("cache-chaos", duration_s=SPEC.duration_s)
+        report = serve_trace(trace, ServerConfig(), fault_plan=plan)
+        assert report.cache_corruptions > 0
+        assert report.plan_cache["corruptions"] == report.cache_corruptions
+        # Evicted plans are recomputed, so service is unaffected.
+        assert report.completed == fault_free.completed
+        assert report.plan_cache["misses"] > fault_free.plan_cache["misses"]
+
+
+class TestServerReuse:
+    def test_counters_do_not_leak_across_runs(self, trace):
+        plan = named_plan("transient-top", duration_s=SPEC.duration_s)
+        server = Server(ServerConfig(), fault_plan=plan)
+        first = server.run(trace)
+        second = server.run(trace)
+        assert first.faults_injected > 0
+        # Deltas, not cumulative totals.
+        assert second.faults_injected < 2 * first.faults_injected
+        assert second.breaker_trips <= first.breaker_trips + 5
+
+
+class TestRecoveryLadderEdges:
+    def test_no_retry_budget_forces_immediate_fallback(self, trace):
+        plan = FaultPlan(name="always", transients=(
+            TransientFaultSpec(implementation=TOP_RANKED, rate=1.0),))
+        cfg = ServerConfig(resilience=ResilienceConfig(max_attempts=1))
+        report = serve_trace(trace, cfg, fault_plan=plan)
+        assert report.retries == 0
+        assert report.fallback_completions > 0
+        assert report.unhandled_errors == 0
+
+    def test_every_impl_faulting_sheds_with_fault_cause(self, trace):
+        plan = FaultPlan(name="all-down", transients=(
+            TransientFaultSpec(implementation="*", rate=1.0),))
+        cfg = ServerConfig(resilience=ResilienceConfig(
+            max_attempts=1, breaker_threshold=1000))
+        report = serve_trace(trace, cfg, fault_plan=plan)
+        assert report.completed == 0
+        assert report.shed_by_cause.get("fault", 0) > 0
+        assert report.unhandled_errors == 0

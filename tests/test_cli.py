@@ -177,3 +177,54 @@ class TestServingCommands:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestChaosCommand:
+    QUICK = ["chaos", "--quick", "--seed", "7"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.fault_plan == "chaos"
+        assert args.fault_seed is None
+        assert not args.quick
+
+    def test_parser_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--fault-plan", "earthquake"])
+
+    def test_human_output(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "fault plan: chaos" in out
+        assert "== fault-free ==" in out
+        assert "== under 'chaos' ==" in out
+        assert "completion ratio" in out
+        assert "deterministic re-run: True" in out
+
+    def test_json_output_meets_resilience_bar(self, capsys):
+        assert main(self.QUICK + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["deterministic"] is True
+        assert data["unhandled_errors"] == 0
+        assert data["completion_ratio"] >= 0.95
+        res = data["chaos"]["resilience"]
+        assert res["fallback_completions"] > 0
+        assert res["breaker_trips"] > 0
+        assert data["fault_free"]["resilience"]["faults_injected"] == 0
+
+    def test_none_plan_matches_serve_stats(self, capsys):
+        serve_args = ["--duration", "0.5", "--rate", "800", "--seed", "7"]
+        assert main(["serve"] + serve_args + ["--json"]) == 0
+        served = json.loads(capsys.readouterr().out)["stats"]
+        assert main(["chaos", "--fault-plan", "none"] + serve_args
+                    + ["--json"]) == 0
+        chaos = json.loads(capsys.readouterr().out)
+        assert chaos["chaos"] == served
+        assert chaos["fault_free"] == served
+        assert chaos["completion_ratio"] == 1.0
+
+    def test_chaos_is_deterministic_across_processes(self, capsys):
+        assert main(self.QUICK + ["--json"]) == 0
+        first = json.loads(capsys.readouterr().out)["digest"]
+        assert main(self.QUICK + ["--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["digest"] == first
