@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Trace a burst of served inference and walk the span tree.
+
+The paper's evidence is nvprof timelines; this example produces the
+serving stack's equivalent.  It runs a short burst of AlexNet traffic
+through the scheduler with the span tracer attached, prints the span
+tree of the first served batch — admission, plan lookup (with the
+advisor ranking and its evalcache accesses nested inside), dispatch,
+and the simulated gpusim kernels as leaves — then exports the whole
+run as Chrome-trace JSON you can drop into https://ui.perfetto.dev
+plus a metrics snapshot.
+
+Everything is simulated time, so the run is deterministic: same seed,
+byte-identical trace file.
+
+Run:  python examples/trace_serving.py              # seed 7
+      python examples/trace_serving.py 21           # another seed
+      python examples/trace_serving.py 7 out.json   # choose the path
+"""
+
+import sys
+
+from repro.obs.export import write_chrome_trace, write_metrics
+from repro.serve import Server, ServerConfig, TrafficSpec, generate_trace
+
+
+def render_span(span, depth=0):
+    pad = "  " * depth
+    label = f"{pad}{span.name}"
+    detail = f"[{span.start_s * 1e3:8.3f} ms +{span.duration_s * 1e6:7.1f} us]"
+    extras = {k: v for k, v in span.attrs.items()
+              if k in ("batch", "fill", "hit", "implementation", "rank",
+                       "role", "result")}
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+    print(f"{label:44s} {detail} {attrs}")
+    for ev in span.events:
+        print(f"{pad}  * {ev.name} @ {ev.t_s * 1e3:.3f} ms")
+    for child in span.children:
+        render_span(child, depth + 1)
+
+
+def main(seed: int = 7, out: str = "serving_trace.json") -> None:
+    spec = TrafficSpec(duration_s=0.25, rate_rps=1200, pattern="bursty",
+                       seed=seed, models=("AlexNet",))
+    trace = generate_trace(spec)
+    server = Server(ServerConfig())
+    tracer = server.enable_tracing()
+    report = server.run(trace)
+
+    root = tracer.roots[0]
+    print(f"span tree: {tracer.span_count()} spans under "
+          f"{root.name!r} ({report.completed} requests served)\n")
+    first_batch = next(c for c in root.children if c.name == "serve.batch")
+    render_span(first_batch)
+
+    print()
+    kernels = [s for s in tracer.walk() if s.cat == "gpu"]
+    print(f"gpusim kernel leaves across the run: {len(kernels)}")
+    launches = server.obs.registry.series("gpusim_kernel_launches_total")
+    for labels, metric in launches[:5]:
+        print(f"  {labels.get('role', '?'):14s} {int(metric.value):6d} "
+              f"launches (model-side)")
+
+    trace_path = write_chrome_trace(out, tracer, server.obs.registry,
+                                    seed=seed) and out
+    metrics_path = out.replace(".json", "_metrics.json")
+    write_metrics(metrics_path, server.obs.registry)
+    print(f"\nwrote {trace_path} (open in https://ui.perfetto.dev) "
+          f"and {metrics_path}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7,
+         sys.argv[2] if len(sys.argv) > 2 else "serving_trace.json")

@@ -29,6 +29,14 @@ Commands
     Run the same traffic twice — fault-free and under a named fault
     plan — and report the resilience stats (retries, fallbacks,
     breaker trips, shed causes) plus a determinism digest.
+``trace [--out ...]``
+    Run one traced serving run and export its span timeline
+    (Chrome-trace/Perfetto JSON, or the JSONL event log).
+
+``serve``, ``chaos`` and ``compare`` also accept ``--trace PATH``
+(record the run's span tree) and ``--metrics [PATH]`` (emit the
+end-of-run metrics snapshot; with no PATH it prints, under ``--json``
+it embeds).
 """
 
 from __future__ import annotations
@@ -47,6 +55,41 @@ from .frameworks.registry import all_implementations
 def _config_from_args(args) -> ConvConfig:
     return ConvConfig(batch=args.b, input_size=args.i, filters=args.f,
                       kernel_size=args.k, stride=args.s, channels=args.c)
+
+
+def _write_trace(path, tracer, registry, **meta) -> None:
+    """Write a recorded span forest: Chrome-trace JSON, or the JSONL
+    event log when ``path`` ends in ``.jsonl``.  Notices go to stderr
+    so ``--json`` stdout stays machine-readable."""
+    from .obs.export import write_chrome_trace, write_jsonl
+
+    if path.endswith(".jsonl"):
+        n = write_jsonl(path, tracer)
+        print(f"wrote {n} trace records to {path}", file=sys.stderr)
+    else:
+        write_chrome_trace(path, tracer, registry, **meta)
+        print(f"wrote {tracer.span_count()}-span trace to {path}",
+              file=sys.stderr)
+
+
+def _emit_metrics(args, registry, embed=None) -> None:
+    """Handle ``--metrics``: ``-`` prints the plain-text snapshot (or
+    embeds it into the ``embed`` JSON document), a path writes the JSON
+    snapshot."""
+    from .obs.export import render_metrics, write_metrics
+
+    target = getattr(args, "metrics", None)
+    if not target:
+        return
+    if target == "-":
+        if embed is not None:
+            embed["metrics"] = registry.snapshot()
+        else:
+            print()
+            print(render_metrics(registry))
+    else:
+        write_metrics(target, registry)
+        print(f"wrote metrics snapshot to {target}", file=sys.stderr)
 
 
 def cmd_list(_args) -> int:
@@ -82,14 +125,25 @@ def cmd_compare(args) -> int:
     from .core import evalcache
     from .core.parallel import make_executor
     from .gpusim.device import K40C
+    from .obs.context import NULL_OBS, Observability, obs_session
 
     config = _config_from_args(args)
     cache = evalcache.DISABLED if args.no_cache else None
+    obs = NULL_OBS
+    if args.trace or args.metrics:
+        from .gpusim.timing import SimClock
+        from .obs.tracer import SimTracer
+        obs = Observability(
+            tracer=SimTracer(SimClock()) if args.trace else None)
     t0 = time.perf_counter()
     impls = all_implementations()
-    grid = make_executor(args.workers).map_grid(impls, [config], K40C,
-                                                cache=cache)
+    with obs_session(obs):
+        grid = make_executor(args.workers).map_grid(impls, [config], K40C,
+                                                    cache=cache)
     elapsed = time.perf_counter() - t0
+    if args.trace:
+        _write_trace(args.trace, obs.tracer, obs.registry,
+                     command="compare", config=str(config))
     rows = []
     for impl in impls:
         record = grid[impl.name][0]
@@ -107,15 +161,17 @@ def cmd_compare(args) -> int:
             for name, t, m in rows
         ]
         store = evalcache.resolve_cache(cache)
-        print(json.dumps({"config": str(config),
-                          "results": records,
-                          "elapsed_s": elapsed,
-                          "workers": args.workers or 1,
-                          "cache": None if store is None else store.stats()},
-                         indent=2))
+        doc = {"config": str(config),
+               "results": records,
+               "elapsed_s": elapsed,
+               "workers": args.workers or 1,
+               "cache": None if store is None else store.stats()}
+        _emit_metrics(args, obs.registry, embed=doc)
+        print(json.dumps(doc, indent=2))
         return 0
     print(table(["Implementation", "Time (ms)", "Memory (MB)"], rows,
                 title=f"{config}"))
+    _emit_metrics(args, obs.registry)
     return 0
 
 
@@ -206,17 +262,26 @@ def cmd_serve(args) -> int:
 
     spec = _traffic_spec(args)
     trace = generate_trace(spec)
-    report = Server(_server_config(args)).run(trace)
+    server = Server(_server_config(args))
+    if args.trace:
+        server.enable_tracing()
+    report = server.run(trace)
+    if args.trace:
+        _write_trace(args.trace, server.obs.tracer, server.obs.registry,
+                     command="serve", seed=spec.seed)
     if args.json:
-        print(json.dumps({"traffic": {"arrivals": len(trace),
-                                      "duration_s": spec.duration_s,
-                                      "pattern": spec.pattern,
-                                      "seed": spec.seed},
-                          "stats": report.to_dict()}, indent=2))
+        doc = {"traffic": {"arrivals": len(trace),
+                           "duration_s": spec.duration_s,
+                           "pattern": spec.pattern,
+                           "seed": spec.seed},
+               "stats": report.to_dict()}
+        _emit_metrics(args, server.obs.registry, embed=doc)
+        print(json.dumps(doc, indent=2))
         return 0
     print(trace_summary(trace, spec))
     print()
     print(report.render())
+    _emit_metrics(args, server.obs.registry)
     return 0
 
 
@@ -260,24 +325,33 @@ def cmd_chaos(args) -> int:
     config = _server_config(args)
     fault_seed = args.fault_seed if args.fault_seed is not None else spec.seed
 
-    def run_once(with_faults):
+    def run_once(with_faults, trace_path=None):
         server = Server(config, fault_plan=plan if with_faults else None,
                         fault_seed=fault_seed)
-        return server.run(trace)
+        if trace_path:
+            server.enable_tracing()
+        report = server.run(trace)
+        if trace_path:
+            _write_trace(trace_path, server.obs.tracer, server.obs.registry,
+                         command="chaos", seed=spec.seed,
+                         fault_plan=plan.name)
+        return report, server
 
     def digest(report):
         blob = json.dumps(report.to_dict(), sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
 
-    baseline = run_once(False)
-    chaos = run_once(True)
-    rerun = run_once(True)
+    baseline, _ = run_once(False)
+    # Only the first chaos run is traced; the untraced re-run doubles
+    # as a check that tracing never changes the simulated outcome.
+    chaos, chaos_server = run_once(True, trace_path=args.trace)
+    rerun, _ = run_once(True)
     deterministic = digest(chaos) == digest(rerun)
     ratio = (chaos.completed / baseline.completed
              if baseline.completed else 0.0)
 
     if args.json:
-        print(json.dumps({
+        doc = {
             "traffic": {"arrivals": len(trace),
                         "duration_s": spec.duration_s,
                         "pattern": spec.pattern,
@@ -291,7 +365,9 @@ def cmd_chaos(args) -> int:
             "unhandled_errors": chaos.unhandled_errors,
             "deterministic": deterministic,
             "digest": digest(chaos),
-        }, indent=2))
+        }
+        _emit_metrics(args, chaos_server.obs.registry, embed=doc)
+        print(json.dumps(doc, indent=2))
     else:
         print(trace_summary(trace, spec))
         print(f"\nfault plan: {plan.describe()}")
@@ -301,7 +377,33 @@ def cmd_chaos(args) -> int:
         print(chaos.render())
         print(f"\ncompletion ratio vs fault-free: {ratio:.3f}")
         print(f"deterministic re-run: {deterministic}")
+        _emit_metrics(args, chaos_server.obs.registry)
     return 0 if deterministic else 1
+
+
+def cmd_trace(args) -> int:
+    from .faults import named_plan
+    from .serve import Server, generate_trace, trace_summary
+
+    spec = _traffic_spec(args)
+    trace = generate_trace(spec)
+    plan = (named_plan(args.fault_plan, duration_s=spec.duration_s)
+            if args.fault_plan else None)
+    server = Server(_server_config(args), fault_plan=plan,
+                    fault_seed=spec.seed)
+    tracer = server.enable_tracing()
+    report = server.run(trace)
+    print(trace_summary(trace, spec))
+    if plan is not None:
+        print(f"\nfault plan: {plan.describe()}")
+    print()
+    print(report.render())
+    _write_trace(args.out, tracer, server.obs.registry,
+                 command="trace", seed=spec.seed,
+                 fault_plan=plan.name if plan else None)
+    print(f"trace: {tracer.span_count()} spans -> {args.out}")
+    _emit_metrics(args, server.obs.registry)
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -310,6 +412,18 @@ def cmd_report(args) -> int:
     write_report(args.path, include_extensions=not args.no_extensions)
     print(f"wrote {args.path}")
     return 0
+
+
+def _add_obs_args(p) -> None:
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record the run's span tree to PATH as "
+                        "Chrome-trace/Perfetto JSON (a .jsonl extension "
+                        "selects the JSONL event log)")
+    p.add_argument("--metrics", metavar="PATH", nargs="?", const="-",
+                   default=None,
+                   help="emit the end-of-run metrics snapshot: to PATH as "
+                        "JSON, printed (or embedded under --json) when "
+                        "PATH is omitted")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -344,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="parallel evaluation workers (default serial)")
             p.add_argument("--no-cache", action="store_true",
                            help="bypass the shared evaluation cache")
+            _add_obs_args(p)
         p.set_defaults(fn=fn)
 
     sub.add_parser("ablations",
@@ -411,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_traffic_args(p_serve)
     p_serve.add_argument("--json", action="store_true",
                          help="machine-readable stats output")
+    _add_obs_args(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     from .faults import PLAN_NAMES
@@ -427,7 +543,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable stats output")
     p_chaos.add_argument("--quick", action="store_true",
                          help="1-second smoke run (CI gate)")
+    _add_obs_args(p_chaos)
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one traced serving run and export the span "
+                      "timeline")
+    add_traffic_args(p_trace)
+    p_trace.add_argument("--out", default="serving_trace.json",
+                         help="trace output path (default "
+                              "serving_trace.json; a .jsonl extension "
+                              "selects the JSONL event log)")
+    p_trace.add_argument("--fault-plan", choices=PLAN_NAMES, default=None,
+                         help="inject a named fault plan into the traced run")
+    p_trace.add_argument("--metrics", metavar="PATH", nargs="?", const="-",
+                         default=None,
+                         help="also emit the metrics snapshot (to PATH, or "
+                              "printed when PATH is omitted)")
+    # A traced second of traffic is plenty to read; heavier runs are
+    # one --duration/--rate away.
+    p_trace.set_defaults(fn=cmd_trace, duration=1.0, rate=1000.0)
 
     p_loadgen = sub.add_parser(
         "loadgen", help="generate a trace; compare dynamic batching "

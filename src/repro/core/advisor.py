@@ -26,6 +26,7 @@ from ..config import ConvConfig
 from ..frameworks.base import ConvImplementation
 from ..frameworks.registry import all_implementations
 from ..gpusim.device import DeviceSpec, K40C
+from ..obs.context import get_obs
 from .evalcache import CacheArg, evaluate
 
 
@@ -110,21 +111,26 @@ class Advisor:
         budget = memory_budget if memory_budget is not None \
             else self.device.global_memory_bytes
         out: List[Candidate] = []
-        for impl in self.implementations:
-            record = evaluate(impl, config, self.device, cache=self.cache)
-            if not record.supported:
-                out.append(Candidate(impl.paper_name, float("inf"), 0,
-                                     supported=False, fits_memory=False))
-            elif record.oom:
-                out.append(Candidate(impl.paper_name, float("inf"),
-                                     record.oom_bytes,
-                                     supported=True, fits_memory=False))
-            else:
-                mem = record.peak_memory_bytes
-                out.append(Candidate(impl.paper_name, record.time_s, mem,
-                                     supported=True, fits_memory=mem <= budget))
-        # Feasible first, then by time.
-        out.sort(key=lambda c: (not c.feasible, c.time_s))
+        with get_obs().tracer.span(
+                "advisor.rank", cat="advisor", device=self.device.name,
+                implementations=len(self.implementations)) as sp:
+            for impl in self.implementations:
+                record = evaluate(impl, config, self.device, cache=self.cache)
+                if not record.supported:
+                    out.append(Candidate(impl.paper_name, float("inf"), 0,
+                                         supported=False, fits_memory=False))
+                elif record.oom:
+                    out.append(Candidate(impl.paper_name, float("inf"),
+                                         record.oom_bytes,
+                                         supported=True, fits_memory=False))
+                else:
+                    mem = record.peak_memory_bytes
+                    out.append(Candidate(impl.paper_name, record.time_s, mem,
+                                         supported=True,
+                                         fits_memory=mem <= budget))
+            # Feasible first, then by time.
+            out.sort(key=lambda c: (not c.feasible, c.time_s))
+            sp.annotate(feasible=sum(1 for c in out if c.feasible))
         return out
 
     def recommend(self, config: ConvConfig,

@@ -41,6 +41,7 @@ from ..errors import DeviceOOMError
 from ..frameworks.base import ConvImplementation
 from ..gpusim.device import DEVICES, DeviceSpec, K40C
 from ..gpusim.metrics import MetricSummary, weighted_summary
+from ..obs.context import get_obs
 
 #: Bump when the analytic model or the record layout changes in a way
 #: that invalidates stored records; keys embed it, so stale disk
@@ -453,8 +454,26 @@ def evaluate(impl: ConvImplementation, config: ConvConfig,
     ``cache``: None → the process-wide cache; an :class:`EvalCache` →
     that instance; :data:`DISABLED` → compute without caching.
     Uncacheable points (see :func:`cacheable`) always compute.
+
+    Every call reports into the active observability context
+    (:mod:`repro.obs`): an ``evalcache.evaluate`` span and one tick of
+    ``evalcache_requests_total{result="hit"|"miss"|"uncached"}``.
     """
     resolved = resolve_cache(cache)
-    if resolved is None or not cacheable(impl, device):
-        return compute_record(impl, config, device)
-    return resolved.evaluate(impl, config, device)
+    obs = get_obs()
+    with obs.tracer.span("evalcache.evaluate", cat="evalcache",
+                         implementation=impl.name) as sp:
+        if resolved is None or not cacheable(impl, device):
+            result = "uncached"
+            record = compute_record(impl, config, device)
+        else:
+            key = cache_key(impl.name, config, device)
+            record = resolved.get(key)
+            result = "hit" if record is not None else "miss"
+            if record is None:
+                record = compute_record(impl, config, device)
+                resolved.put(record, key)
+        sp.annotate(result=result, config=config_key(config),
+                    time_s=record.time_s)
+    obs.registry.counter("evalcache_requests_total", result=result).inc()
+    return record

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import ConvConfig
 from ..frameworks.base import ConvImplementation
 from ..gpusim.device import DEVICES, DeviceSpec
+from ..obs.context import get_obs
 from .evalcache import (CacheArg, EvalRecord, cache_key, cacheable,
                         compute_record, resolve_cache)
 
@@ -139,36 +140,49 @@ class SweepExecutor:
         Duplicate points collapse to one computation.  With a cache
         (the default — the process-wide store), known keys are served
         from it and fresh records are added to it.
+
+        Each batch records a ``parallel.map`` span and ticks
+        ``parallel_points_total`` / ``parallel_computed_total`` in the
+        active metrics registry — the gap between the two is the work
+        the dedup + cache pass saved.
         """
-        store = resolve_cache(cache)
-        records: Dict[int, EvalRecord] = {}     # input index -> record
-        by_key: Dict[str, List[int]] = {}       # pending key -> indices
-        raw: List[Tuple[int, Point]] = []       # uncacheable points
-        for i, (impl, cfg, dev) in enumerate(points):
-            if store is None or not cacheable(impl, dev):
-                raw.append((i, (impl, cfg, dev)))
-                continue
-            key = cache_key(impl.name, cfg, dev)
-            if key in by_key:                   # in-batch duplicate
-                by_key[key].append(i)
-                continue
-            hit = store.get(key)
-            if hit is not None:
-                records[i] = hit
-            else:
-                by_key[key] = [i]
+        obs = get_obs()
+        with obs.tracer.span("parallel.map", cat="parallel",
+                             points=len(points), kind=self.kind,
+                             workers=self.workers) as sp:
+            store = resolve_cache(cache)
+            records: Dict[int, EvalRecord] = {}     # input index -> record
+            by_key: Dict[str, List[int]] = {}       # pending key -> indices
+            raw: List[Tuple[int, Point]] = []       # uncacheable points
+            for i, (impl, cfg, dev) in enumerate(points):
+                if store is None or not cacheable(impl, dev):
+                    raw.append((i, (impl, cfg, dev)))
+                    continue
+                key = cache_key(impl.name, cfg, dev)
+                if key in by_key:                   # in-batch duplicate
+                    by_key[key].append(i)
+                    continue
+                hit = store.get(key)
+                if hit is not None:
+                    records[i] = hit
+                else:
+                    by_key[key] = [i]
 
-        pending = list(by_key.items())
-        tasks: List[Point] = [points[indices[0]] for _, indices in pending]
-        tasks.extend(p for _, p in raw)
-        computed = self._compute_batch(tasks)
+            pending = list(by_key.items())
+            tasks: List[Point] = [points[indices[0]]
+                                  for _, indices in pending]
+            tasks.extend(p for _, p in raw)
+            computed = self._compute_batch(tasks)
+            sp.annotate(computed=len(tasks))
 
-        for (key, indices), record in zip(pending, computed):
-            store.put(record, key=key)
-            for i in indices:
+            for (key, indices), record in zip(pending, computed):
+                store.put(record, key=key)
+                for i in indices:
+                    records[i] = record
+            for (i, _), record in zip(raw, computed[len(pending):]):
                 records[i] = record
-        for (i, _), record in zip(raw, computed[len(pending):]):
-            records[i] = record
+        obs.registry.counter("parallel_points_total").inc(len(points))
+        obs.registry.counter("parallel_computed_total").inc(len(tasks))
         return [records[i] for i in range(len(points))]
 
     def map_grid(self, implementations: Sequence[ConvImplementation],

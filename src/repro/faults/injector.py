@@ -33,6 +33,7 @@ from typing import Optional
 from ..errors import TransientKernelError
 from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.kernels import replay_cost_s
+from ..obs.context import get_obs
 from ..rng import DEFAULT_SEED, make_rng
 from .plan import FaultPlan, NONE
 
@@ -73,7 +74,13 @@ class FaultInjector:
             spec = self._corruptions[self._fired]
             self._fired += 1
             if self._plan_cache is not None:
-                self.entries_corrupted += self._plan_cache.corrupt(spec.entries)
+                corrupted = self._plan_cache.corrupt(spec.entries)
+                self.entries_corrupted += corrupted
+                obs = get_obs()
+                obs.tracer.event("fault.cache_corruption", at_s=spec.at_s,
+                                 entries=corrupted)
+                obs.registry.counter("faults_injected_total",
+                                     kind="cache_corruption").inc(corrupted)
 
     # -- queries the scheduler makes ---------------------------------------
 
@@ -107,5 +114,7 @@ class FaultInjector:
             if spec.active(now_s) and spec.matches(implementation, rank):
                 if float(self._rng.random()) < spec.rate:
                     self.faults_injected += 1
+                    get_obs().registry.counter(
+                        "faults_injected_total", kind="transient").inc()
                     raise TransientKernelError(
                         implementation, now_s, replay_cost_s(self.device))

@@ -12,9 +12,10 @@ estimates of Fig. 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ProfilerError
+from ..obs.context import get_obs
 from .device import DeviceSpec, K40C
 from .kernels import KernelSpec
 from .metrics import MetricSummary, kernel_shares, runtime_shares, weighted_summary
@@ -53,6 +54,16 @@ class Profiler:
         self.executions: List[KernelExecution] = []
         self.transfers = TransferEngine(device)
         self._active = False
+        self._observer: Optional[Callable[[KernelExecution], None]] = None
+
+    def set_observer(
+            self,
+            observer: Optional[Callable[[KernelExecution], None]]) -> None:
+        """Call ``observer`` with each :class:`KernelExecution` as it is
+        recorded (``None`` detaches).  The observability plane uses this
+        to stream kernel launches into a live trace without the profiler
+        knowing about tracers."""
+        self._observer = observer
 
     # -- session management ----------------------------------------------------
 
@@ -83,7 +94,12 @@ class Profiler:
         balanced usage.
         """
         timing = time_kernel(self.device, spec)
-        self.executions.append(KernelExecution(timing))
+        execution = KernelExecution(timing)
+        self.executions.append(execution)
+        get_obs().registry.counter("gpusim_kernel_launches_total",
+                                   role=spec.role.value).inc()
+        if self._observer is not None:
+            self._observer(execution)
         return timing
 
     def launch_all(self, specs: Sequence[KernelSpec]) -> List[KernelTiming]:
@@ -92,6 +108,9 @@ class Profiler:
     def record_transfer(self, kind: TransferKind, nbytes: int,
                         pinned: bool = False, async_: bool = False,
                         chunks: int = 1) -> TransferRecord:
+        get_obs().registry.counter(
+            "gpusim_transfers_total",
+            kind=getattr(kind, "value", str(kind))).inc()
         return self.transfers.copy(kind, nbytes, pinned=pinned,
                                    async_=async_, chunks=chunks)
 

@@ -6,6 +6,15 @@ JSON format (``chrome://tracing`` / Perfetto).  This module serialises
 a :class:`~repro.gpusim.profiler.Profiler` session — kernels laid out
 back-to-back on a GPU row, transfers on a copy-engine row — so the
 simulated executions can be inspected with standard tooling.
+
+The documents are Perfetto-valid: process/thread metadata rows name
+the GPU rows (shared with :mod:`repro.obs.export`, so a session trace
+and a unified serving trace label the ``gpusim`` process identically)
+and per-row timestamps are strictly monotonic.  For *cross-layer*
+timelines — serving spans and kernel leaves in one file — use
+:func:`repro.obs.export.write_chrome_trace`, which supersedes this
+module for traced runs; this one remains the zero-setup exporter for
+a bare profiler session.
 """
 
 from __future__ import annotations
@@ -13,12 +22,21 @@ from __future__ import annotations
 import json
 from typing import List, Optional
 
+from ..obs.export import ensure_monotonic, metadata_events
 from .profiler import Profiler
 from .stream import Timeline
 
 #: Trace-event categories.
 _CAT_KERNEL = "kernel"
 _CAT_COPY = "memcpy"
+
+#: The gpusim process/thread rows, matching
+#: :data:`repro.obs.export._ROWS` ("gpusim" is pid 2 there too).
+_PID = 2
+_TID_COMPUTE = 1
+_TID_COPY = 2
+_GPU_ROWS = {_PID: ("gpusim", {_TID_COMPUTE: "compute",
+                               _TID_COPY: "copy engine"})}
 
 
 def trace_events(profiler: Profiler) -> List[dict]:
@@ -28,7 +46,9 @@ def trace_events(profiler: Profiler) -> List[dict]:
     execute back-to-back on one stream, as in the benchmarked
     frameworks); transfers go on the copy row, async copies overlapped
     from time zero, synchronous ones appended after the kernels they
-    block.
+    block.  Timestamps are strictly monotonic per row (zero-duration
+    launches are nudged forward a nanosecond rather than colliding,
+    which Perfetto's importer rejects).
     """
     events: List[dict] = []
     t = 0.0
@@ -38,8 +58,8 @@ def trace_events(profiler: Profiler) -> List[dict]:
             "name": e.name,
             "cat": _CAT_KERNEL,
             "ph": "X",
-            "pid": 0,
-            "tid": 1,  # compute stream
+            "pid": _PID,
+            "tid": _TID_COMPUTE,
             "ts": t * 1e6,                      # microseconds
             "dur": timing.time_s * 1e6,
             "args": {
@@ -66,14 +86,14 @@ def trace_events(profiler: Profiler) -> List[dict]:
             "name": rec.kind.value,
             "cat": _CAT_COPY,
             "ph": "X",
-            "pid": 0,
-            "tid": 2,  # copy engine
+            "pid": _PID,
+            "tid": _TID_COPY,
             "ts": start * 1e6,
             "dur": rec.time_s * 1e6,
             "args": {"bytes": rec.bytes, "pinned": rec.pinned,
                      "async": rec.async_},
         })
-    return events
+    return ensure_monotonic(events)
 
 
 def to_chrome_trace(profiler: Profiler, path: Optional[str] = None) -> str:
@@ -82,7 +102,7 @@ def to_chrome_trace(profiler: Profiler, path: Optional[str] = None) -> str:
     Returns the JSON string either way.
     """
     doc = {
-        "traceEvents": trace_events(profiler),
+        "traceEvents": metadata_events(_GPU_ROWS) + trace_events(profiler),
         "displayTimeUnit": "ms",
         "otherData": {
             "device": profiler.device.name,
@@ -90,7 +110,7 @@ def to_chrome_trace(profiler: Profiler, path: Optional[str] = None) -> str:
             "gpu_time_s": profiler.gpu_time(),
         },
     }
-    text = json.dumps(doc, indent=1)
+    text = json.dumps(doc, indent=1, sort_keys=True)
     if path is not None:
         with open(path, "w") as fh:
             fh.write(text)

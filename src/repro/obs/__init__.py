@@ -1,0 +1,62 @@
+"""repro.obs — the unified observability plane.
+
+The source paper is itself an observability exercise: its figures come
+from nvprof kernel timelines and per-kernel counters.  This package
+gives the grown-up stack the same power over *simulated* runs, across
+every layer at once:
+
+* :mod:`repro.obs.tracer` — simulated-time span tracing with nested
+  spans, span events and a zero-cost :data:`NULL_TRACER`; one served
+  request becomes one span tree from admission to its gpusim kernel
+  leaves, with fault injections annotated on the affected spans;
+* :mod:`repro.obs.metrics` — a labeled metrics registry (counters,
+  gauges, histograms) that serve, evalcache, faults and gpusim publish
+  into; :class:`repro.serve.stats.ServingStats` is a view over it;
+* :mod:`repro.obs.context` — run-scoped propagation so the advisor,
+  the evaluation cache and the fault plane find the active tracer
+  without signature plumbing;
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON (serving rows
+  and GPU rows in one timeline), a JSONL structured event log, and
+  deterministic metrics snapshots;
+* :mod:`repro.obs.hist` — the one shared implementation of the
+  percentile / summary math.
+
+Everything is deterministic: same seed, same trace, byte-identical
+exports.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .context import NULL_OBS, Observability, get_obs, obs_session, set_obs
+from .export import (chrome_trace, jsonl_lines, render_metrics, span_events,
+                     write_chrome_trace, write_jsonl, write_metrics)
+from .hist import percentile, summarize
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NULL_REGISTRY, NullRegistry)
+from .tracer import NULL_TRACER, NullTracer, SimTracer, Span, SpanEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "SimTracer",
+    "Span",
+    "SpanEvent",
+    "chrome_trace",
+    "get_obs",
+    "jsonl_lines",
+    "obs_session",
+    "percentile",
+    "render_metrics",
+    "set_obs",
+    "span_events",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

@@ -1,0 +1,236 @@
+"""Exporters: Chrome-trace/Perfetto JSON, JSONL event log, metrics.
+
+The unified timeline this module writes is the cross-layer view the
+profiler-only :mod:`repro.gpusim.trace` could not give: serving-side
+spans (scheduler, plan lookups, advisor rankings, evalcache accesses)
+and gpusim kernel leaves land in one document as separate Perfetto
+*processes*, with fault injections as instant events on the affected
+rows.  :mod:`repro.gpusim.trace` remains for profiler-session-only
+exports and shares this module's row helpers.
+
+All output is deterministic: events are emitted in depth-first span
+order, sorted per row by ``(ts, -dur)`` (the Chrome convention for
+nested complete events), and serialised with sorted keys — two
+same-seed runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .tracer import SimTracer, Span
+
+#: Span category → (pid, process name, tid, thread name).  Everything
+#: serving-side shares one process; gpusim kernel leaves get their own
+#: so the GPU row reads like an nvprof timeline under the scheduler row.
+_ROWS: Dict[str, Tuple[int, str, int, str]] = {
+    "serve": (1, "serve", 1, "scheduler"),
+    "advisor": (1, "serve", 1, "scheduler"),
+    "evalcache": (1, "serve", 1, "scheduler"),
+    "parallel": (1, "serve", 1, "scheduler"),
+    "faults": (1, "serve", 1, "scheduler"),
+    "gpu": (2, "gpusim", 1, "compute"),
+    "memcpy": (2, "gpusim", 2, "copy engine"),
+}
+_DEFAULT_ROW = (1, "serve", 1, "scheduler")
+
+
+def _row(cat: str) -> Tuple[int, str, int, str]:
+    return _ROWS.get(cat, _DEFAULT_ROW)
+
+
+def metadata_events(rows: Dict[int, Tuple[str, Dict[int, str]]]) -> List[dict]:
+    """Perfetto ``M`` rows naming processes and threads.
+
+    ``rows`` maps pid → (process name, {tid: thread name}).
+    """
+    events: List[dict] = []
+    for pid in sorted(rows):
+        process, tids = rows[pid]
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": process}})
+        for tid in sorted(tids):
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": tids[tid]}})
+    return events
+
+
+def ensure_monotonic(events: List[dict], step_us: float = 1e-3) -> List[dict]:
+    """Sort timed events per ``(pid, tid)`` row and force strictly
+    increasing timestamps (equal or regressing ``ts`` is nudged forward
+    by ``step_us``).
+
+    For flat rows — back-to-back kernels, transfer engines — this is
+    exactly what Perfetto's JSON importer wants; rows with *nested*
+    complete events should use :func:`sort_events` instead, which
+    preserves containment.  Metadata (``M``) events pass through
+    untouched, ahead of the timeline.
+    """
+    meta = [e for e in events if e.get("ph") == "M"]
+    timed = [e for e in events if e.get("ph") != "M"]
+    timed.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    last: Dict[Tuple[int, int], float] = {}
+    out: List[dict] = []
+    for e in timed:
+        row = (e["pid"], e["tid"])
+        ts = e["ts"]
+        floor = last.get(row)
+        if floor is not None and ts <= floor:
+            ts = floor + step_us
+            e = dict(e, ts=ts)
+        last[row] = ts
+        out.append(e)
+    return meta + out
+
+
+def sort_events(events: List[dict]) -> List[dict]:
+    """Chrome ordering for rows that may nest: per row by
+    ``(ts, -dur)`` so an enclosing span precedes the spans it
+    contains.  Metadata rows stay in front."""
+    meta = [e for e in events if e.get("ph") == "M"]
+    timed = sorted((e for e in events if e.get("ph") != "M"),
+                   key=lambda e: (e["pid"], e["tid"], e["ts"],
+                                  -e.get("dur", 0.0)))
+    return meta + timed
+
+
+# ---------------------------------------------------------------------------
+# span forest → trace events
+# ---------------------------------------------------------------------------
+
+def _span_event(span: Span) -> dict:
+    pid, _, tid, _ = _row(span.cat)
+    return {
+        "name": span.name,
+        "cat": span.cat,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": span.start_s * 1e6,          # microseconds
+        "dur": span.duration_s * 1e6,
+        "args": dict(span.attrs),
+    }
+
+
+def _instant(name: str, cat: str, t_s: float, attrs: dict,
+             pid: int, tid: int) -> dict:
+    return {"name": name, "cat": cat, "ph": "i", "s": "t",
+            "pid": pid, "tid": tid, "ts": t_s * 1e6,
+            "args": dict(attrs)}
+
+
+def span_events(tracer: SimTracer) -> List[dict]:
+    """Flatten a tracer's span forest into Chrome trace events
+    (complete ``X`` events for spans, instant ``i`` events for span
+    events), depth-first."""
+    events: List[dict] = []
+    for span in tracer.walk():
+        pid, _, tid, _ = _row(span.cat)
+        events.append(_span_event(span))
+        for ev in span.events:
+            events.append(_instant(ev.name, span.cat, ev.t_s, ev.attrs,
+                                   pid, tid))
+    pid, _, tid, _ = _DEFAULT_ROW
+    for ev in tracer.orphan_events:
+        events.append(_instant(ev.name, "orphan", ev.t_s, ev.attrs,
+                               pid, tid))
+    return events
+
+
+def _used_rows(events: List[dict]) -> Dict[int, Tuple[str, Dict[int, str]]]:
+    rows: Dict[int, Tuple[str, Dict[int, str]]] = {}
+    names = {(pid, tid): (process, thread)
+             for pid, process, tid, thread in _ROWS.values()}
+    for e in events:
+        pid, tid = e["pid"], e["tid"]
+        process, thread = names.get((pid, tid), (f"pid{pid}", f"tid{tid}"))
+        rows.setdefault(pid, (process, {}))[1].setdefault(tid, thread)
+    return rows
+
+
+def chrome_trace(tracer: SimTracer,
+                 registry: Optional[MetricsRegistry] = None,
+                 **meta) -> dict:
+    """The full Chrome-trace document for one traced run.
+
+    ``meta`` lands in ``otherData`` next to span/event totals; when a
+    registry is given, its snapshot is embedded there too, so one file
+    carries the timeline *and* the end-of-run metric state.
+    """
+    events = span_events(tracer)
+    other = dict(sorted(meta.items()))
+    other["spans"] = tracer.span_count()
+    other["events"] = sum(len(s.events) for s in tracer.walk()) \
+        + len(tracer.orphan_events)
+    if registry is not None:
+        other["metrics"] = registry.snapshot()
+    return {
+        "traceEvents": metadata_events(_used_rows(events))
+        + sort_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(path: str, tracer: SimTracer,
+                       registry: Optional[MetricsRegistry] = None,
+                       **meta) -> str:
+    """Serialise :func:`chrome_trace` to ``path``; returns the JSON."""
+    text = json.dumps(chrome_trace(tracer, registry, **meta),
+                      indent=1, sort_keys=True)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# JSONL structured event log
+# ---------------------------------------------------------------------------
+
+def jsonl_lines(tracer: SimTracer) -> List[str]:
+    """One JSON object per span and per span event, depth-first —
+    the grep-able form of the same tree."""
+    lines: List[str] = []
+    for span in tracer.walk():
+        lines.append(json.dumps(
+            {"type": "span", "sid": span.sid, "parent": span.parent_sid,
+             "name": span.name, "cat": span.cat, "start_s": span.start_s,
+             "end_s": span.end_s, "attrs": dict(span.attrs)},
+            sort_keys=True))
+        for ev in span.events:
+            lines.append(json.dumps(
+                {"type": "event", "span": span.sid, "name": ev.name,
+                 "t_s": ev.t_s, "attrs": dict(ev.attrs)}, sort_keys=True))
+    for ev in tracer.orphan_events:
+        lines.append(json.dumps(
+            {"type": "event", "span": None, "name": ev.name,
+             "t_s": ev.t_s, "attrs": dict(ev.attrs)}, sort_keys=True))
+    return lines
+
+
+def write_jsonl(path: str, tracer: SimTracer) -> int:
+    """Write the JSONL event log; returns the line count."""
+    lines = jsonl_lines(tracer)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+# ---------------------------------------------------------------------------
+# metrics snapshots
+# ---------------------------------------------------------------------------
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Plain-text snapshot (the ``--metrics`` console form)."""
+    return registry.render()
+
+
+def write_metrics(path: str, registry: MetricsRegistry) -> str:
+    """Deterministic JSON snapshot of a registry; returns the JSON."""
+    text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return text

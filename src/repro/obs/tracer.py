@@ -1,0 +1,267 @@
+"""Simulated-time span tracer.
+
+The paper's evidence is nvprof timelines; this is the serving stack's
+equivalent.  A :class:`SimTracer` records *spans* — named, nested
+intervals of simulated time read from a clock exposing ``now_s``
+(usually a :class:`~repro.gpusim.timing.SimClock`) — plus point-in-time
+*span events* (fault injections, sheds, admissions).  One served
+request produces one coherent tree: scheduler batch → plan lookup →
+advisor ranking → evalcache accesses → dispatch with its gpusim kernel
+launches as leaves.
+
+Because time is virtual and the serving loop is single-threaded,
+context propagation is a plain span stack: ``tracer.span(...)`` opens
+a child of whatever span is currently open.  Everything is
+deterministic — same trace, same seed, same span tree, byte for byte.
+
+Disabled observability must cost nothing on the hot path (this repo
+targets a single-CPU box), so the :data:`NULL_TRACER` singleton
+answers every call with shared no-op objects: no allocation, no
+branching at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class SpanEvent:
+    """A point-in-time annotation on a span (fault strike, shed,
+    admission...)."""
+
+    __slots__ = ("name", "t_s", "attrs")
+
+    def __init__(self, name: str, t_s: float, attrs: Dict[str, object]):
+        self.name = name
+        self.t_s = t_s
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanEvent({self.name!r}, t={self.t_s:.6f}s)"
+
+
+class Span:
+    """One named interval of simulated time, with children and events.
+
+    Created by :meth:`SimTracer.span` and used as a context manager::
+
+        with tracer.span("serve.batch", cat="serve", fill=3) as sp:
+            sp.event("fault.transient", attempt=1)
+            sp.annotate(outcome="ok")
+
+    ``start_s``/``end_s`` are read from the tracer's clock on enter /
+    exit; ``end_s`` is ``None`` while the span is open.
+    """
+
+    __slots__ = ("tracer", "name", "cat", "attrs", "sid", "parent_sid",
+                 "start_s", "end_s", "children", "events")
+
+    def __init__(self, tracer: "SimTracer", name: str, cat: str,
+                 attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.attrs = attrs
+        self.sid = 0                      # assigned on enter
+        self.parent_sid: Optional[int] = None
+        self.start_s: float = 0.0
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+        self.events: List[SpanEvent] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def annotate(self, **attrs) -> "Span":
+        """Merge attributes into the span (overwrites same keys)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Attach a point event at the tracer clock's current time."""
+        self.events.append(SpanEvent(name, self.tracer.clock.now_s, attrs))
+
+    @property
+    def duration_s(self) -> float:
+        """Span length (0.0 while still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._close(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end_s is None else f"{self.duration_s:.6f}s"
+        return f"Span({self.name!r}, cat={self.cat!r}, {state})"
+
+
+class SimTracer:
+    """Span recorder over a simulated clock.
+
+    ``clock`` is anything with a ``now_s`` attribute; the serving
+    scheduler passes its :class:`~repro.gpusim.timing.SimClock` so
+    spans land on the same timeline the batcher and fault plane run
+    on.  Finished top-level spans accumulate in :attr:`roots`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_sid = 1
+        #: Events recorded while no span was open (kept so nothing is
+        #: silently dropped; exported as root-level instants).
+        self.orphan_events: List[SpanEvent] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "span", **attrs) -> Span:
+        """A new span, opened when entered as a context manager."""
+        return Span(self, name, cat, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Point event on the currently open span (orphan if none)."""
+        ev = SpanEvent(name, self.clock.now_s, attrs)
+        if self._stack:
+            self._stack[-1].events.append(ev)
+        else:
+            self.orphan_events.append(ev)
+
+    def add_span(self, name: str, cat: str, start_s: float, end_s: float,
+                 **attrs) -> Span:
+        """Attach an already-timed span (e.g. a gpusim kernel leaf laid
+        out inside a dispatch window) under the current span."""
+        if end_s < start_s:
+            raise ValueError(f"span ends before it starts: "
+                             f"[{start_s}, {end_s}]")
+        sp = Span(self, name, cat, attrs)
+        sp.sid = self._next_sid
+        self._next_sid += 1
+        sp.start_s = start_s
+        sp.end_s = end_s
+        self._attach(sp)
+        return sp
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def span_count(self) -> int:
+        """Total finished spans across all roots."""
+        def count(span: Span) -> int:
+            return 1 + sum(count(c) for c in span.children)
+        return sum(count(r) for r in self.roots)
+
+    def walk(self):
+        """Yield every finished span depth-first, roots in order."""
+        def visit(span: Span):
+            yield span
+            for child in span.children:
+                yield from visit(child)
+        for root in self.roots:
+            yield from visit(root)
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with this name, depth-first order."""
+        return [s for s in self.walk() if s.name == name]
+
+    # -- internals ---------------------------------------------------------
+
+    def _open(self, span: Span) -> None:
+        span.sid = self._next_sid
+        self._next_sid += 1
+        span.start_s = self.clock.now_s
+        if self._stack:
+            span.parent_sid = self._stack[-1].sid
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.end_s = self.clock.now_s
+        self._attach(span)
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            span.parent_sid = self._stack[-1].sid
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+
+class _NullSpan:
+    """Shared do-nothing span: every method returns instantly."""
+
+    __slots__ = ()
+    name = ""
+    cat = ""
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+
+    def annotate(self, **attrs) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a no-op on shared objects.
+
+    Kept deliberately allocation-free so instrumentation can stay
+    unconditional at call sites — ``with tracer.span(...)`` costs two
+    method calls and nothing else when tracing is off.
+    """
+
+    __slots__ = ()
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, cat: str = "span", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def add_span(self, name: str, cat: str, start_s: float, end_s: float,
+                 **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def span_count(self) -> int:
+        return 0
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+
+#: Process-wide disabled tracer (the default everywhere).
+NULL_TRACER = NullTracer()

@@ -32,6 +32,17 @@ model (via the advisor's ranking), waiting comes from the arrival
 trace, and no wall clock is ever consulted — a run is a pure function
 of ``(trace, configuration, fault plan, seed)``.  A run without a
 fault plan is bit-identical to the pre-fault-plane scheduler.
+
+Every run reports into the observability plane (:mod:`repro.obs`): the
+stats accumulator is a view over the run's metrics registry, and when
+a :class:`~repro.obs.tracer.SimTracer` is attached (see
+:meth:`Server.enable_tracing`) the loop records one span tree per run
+— admission events, batch spans, plan lookups (with the advisor
+ranking and evalcache accesses nested inside on a miss), dispatch
+attempts with their gpusim kernel launches as leaves, and fault
+injections as span events on the affected spans.  The default tracer
+is the no-op :data:`~repro.obs.tracer.NULL_TRACER`, which keeps the
+untraced hot path byte-identical to the pre-observability scheduler.
 """
 
 from __future__ import annotations
@@ -49,6 +60,8 @@ from ..frameworks.registry import resolve_implementation, shared_implementations
 from ..gpusim.allocator import DeviceAllocator
 from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.timing import SimClock
+from ..obs.context import Observability, obs_session
+from ..obs.tracer import SimTracer
 from ..rng import DEFAULT_SEED
 from .batcher import BatchPolicy, DynamicBatcher
 from .loadgen import Arrival
@@ -100,8 +113,13 @@ class Server:
                  advisor: Optional[Advisor] = None,
                  record_timeline: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
-                 fault_seed: Optional[int] = None):
+                 fault_seed: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.config = config
+        #: The run's observability context: a real metrics registry
+        #: (ServingStats is a view over it) and, by default, the no-op
+        #: tracer — see :meth:`enable_tracing`.
+        self.obs = obs if obs is not None else Observability()
         self.advisor = advisor or Advisor(
             device=config.device, implementations=shared_implementations())
         self.plan_cache = PlanCache(config.plan_cache_capacity)
@@ -129,15 +147,30 @@ class Server:
         #: None = full policy cap.
         self._degraded_cap: Optional[int] = None
 
+    def enable_tracing(self) -> SimTracer:
+        """Attach a span tracer driven by this server's clock.
+
+        Returns the tracer so the caller can export its span forest
+        after :meth:`run` (see :mod:`repro.obs.export`).
+        """
+        tracer = SimTracer(self.clock)
+        self.obs.tracer = tracer
+        return tracer
+
     # ------------------------------------------------------------------
 
     def _plan_for(self, key: ShapeKey, batch: int) -> Tuple[RankedPlan, ...]:
         cache_key = (key, batch, self.config.device.name)
-        return self.plan_cache.get_or_compute(
-            cache_key,
-            lambda: self.advisor.plan_ranked(
-                batched_config(key, batch),
-                memory_budget=self.config.memory_budget))
+        with self.obs.tracer.span("serve.plan", cat="serve",
+                                  batch=batch) as sp:
+            hit = cache_key in self.plan_cache
+            plans = self.plan_cache.get_or_compute(
+                cache_key,
+                lambda: self.advisor.plan_ranked(
+                    batched_config(key, batch),
+                    memory_budget=self.config.memory_budget))
+            sp.annotate(hit=hit, candidates=len(plans or ()))
+        return plans
 
     def _service_time(self, plan: RankedPlan) -> float:
         scale = FORWARD_FRACTION if self.config.forward_only else 1.0
@@ -168,44 +201,61 @@ class Server:
         """
         impl = resolve_implementation(plan.implementation)
         res = self.config.resilience
+        tracer = self.obs.tracer
         attempts = 0
-        while True:
-            buffers = []
-            try:
-                for tag, size in impl.memory_plan(config):
-                    if size > 0:
-                        buffers.append(self._allocator.alloc(size, tag=tag))
-                if self._injector is not None:
-                    self._injector.check_launch(self.clock.now_s,
-                                                plan.implementation, rank)
-            except TransientKernelError as fault:
-                for buf in buffers:
-                    self._allocator.free(buf)
-                self._breaker.record_failure(plan.implementation,
-                                             self.clock.now_s)
-                # The fault is detected and replayed at the device's
-                # ECC scrub cost whether or not we retry.
-                self.clock.advance(fault.retry_cost_s)
-                attempts += 1
-                if attempts >= res.max_attempts:
-                    raise _RetriesExhausted() from fault
-                stats.retries += 1
-                self.clock.advance(res.backoff_s(attempts))
-                continue
-            except DeviceOOMError:
-                for buf in buffers:
-                    self._allocator.free(buf)
-                raise
-            break
-        start = self.clock.now_s
-        service = self._service_time(plan)
-        if self._injector is not None:
-            service *= self._injector.slowdown(start)
-        finish = self.clock.advance(service)
-        for buf in buffers:
-            self._allocator.free(buf)
-        if self._injector is not None:
-            self._breaker.record_success(plan.implementation)
+        with tracer.span("serve.dispatch", cat="serve",
+                         implementation=plan.implementation,
+                         rank=rank, batch=padded,
+                         fill=len(requests)) as sp:
+            while True:
+                buffers = []
+                try:
+                    for tag, size in impl.memory_plan(config):
+                        if size > 0:
+                            buffers.append(self._allocator.alloc(size, tag=tag))
+                    if self._injector is not None:
+                        self._injector.check_launch(self.clock.now_s,
+                                                    plan.implementation, rank)
+                except TransientKernelError as fault:
+                    for buf in buffers:
+                        self._allocator.free(buf)
+                    sp.event("fault.transient",
+                             implementation=plan.implementation,
+                             attempt=attempts + 1,
+                             retry_cost_s=fault.retry_cost_s)
+                    self._breaker.record_failure(plan.implementation,
+                                                 self.clock.now_s)
+                    # The fault is detected and replayed at the device's
+                    # ECC scrub cost whether or not we retry.
+                    self.clock.advance(fault.retry_cost_s)
+                    attempts += 1
+                    if attempts >= res.max_attempts:
+                        sp.annotate(outcome="retries_exhausted")
+                        raise _RetriesExhausted() from fault
+                    stats.retries += 1
+                    sp.event("retry.backoff", attempt=attempts,
+                             backoff_s=res.backoff_s(attempts))
+                    self.clock.advance(res.backoff_s(attempts))
+                    continue
+                except DeviceOOMError:
+                    for buf in buffers:
+                        self._allocator.free(buf)
+                    raise
+                break
+            start = self.clock.now_s
+            service = self._service_time(plan)
+            if self._injector is not None:
+                slowdown = self._injector.slowdown(start)
+                if slowdown != 1.0:
+                    sp.event("fault.straggler", slowdown=slowdown)
+                service *= slowdown
+            finish = self.clock.advance(service)
+            for buf in buffers:
+                self._allocator.free(buf)
+            if self._injector is not None:
+                self._breaker.record_success(plan.implementation)
+            if tracer.enabled:
+                self._kernel_leaves(tracer, impl, config, start, finish)
         stats.record_batch(padded, len(requests), plan.implementation)
         if rank > 0:
             stats.fallback_batches += 1
@@ -215,6 +265,34 @@ class Server:
                        batch=padded, fill=len(requests),
                        implementation=plan.implementation)
             for r in requests])
+
+    def _kernel_leaves(self, tracer, impl, config, start: float,
+                       finish: float) -> None:
+        """Lay the batch's simulated kernel launches back-to-back
+        inside the dispatch window as leaf spans.
+
+        The per-kernel rows come from the shared evaluation cache (the
+        ranking that chose this plan already evaluated the point, so
+        this is a cache hit), scaled from the full training iteration
+        onto the served service time.  Traced runs only.
+        """
+        from ..core.evalcache import evaluate
+        record = evaluate(impl, config, self.config.device)
+        kernels = record.kernels
+        total = sum(k.time_s for k in kernels)
+        if not kernels or total <= 0:
+            return
+        scale = (finish - start) / total
+        t = start
+        for k in kernels:
+            # KernelTiming rows carry a spec; KernelRecord rows are flat.
+            spec = getattr(k, "spec", None)
+            name = spec.name if spec is not None else k.name
+            role = spec.role.value if spec is not None else k.role
+            dur = k.time_s * scale
+            tracer.add_span(name, cat="gpu", start_s=t, end_s=t + dur,
+                            role=role, model_time_s=k.time_s)
+            t += dur
 
     def _split(self, requests: List[Request], key: ShapeKey,
                stats: ServingStats) -> None:
@@ -240,11 +318,14 @@ class Server:
             stats.record_shed("infeasible", len(requests))
             return
         config = batched_config(key, padded)
+        tracer = self.obs.tracer
         limit = 1 + self.config.resilience.max_fallbacks
         for rank, plan in enumerate(plans[:limit]):
             if self._injector is not None and \
                     not self._breaker.allow(plan.implementation,
                                             self.clock.now_s):
+                tracer.event("breaker.skip",
+                             implementation=plan.implementation, rank=rank)
                 continue
             try:
                 self._dispatch(plan, rank, config, padded, requests, stats)
@@ -252,6 +333,8 @@ class Server:
                 continue            # substitute the next-ranked plan
             except MemoryPressureError:
                 stats.pressure_events += 1
+                tracer.event("fault.memory_pressure", batch=padded,
+                             degraded_cap=max(1, padded // 2))
                 # Graceful degradation: halve the cap before shedding.
                 self._degraded_cap = max(1, padded // 2)
                 if len(requests) > 1:
@@ -261,6 +344,8 @@ class Server:
                     stats.record_shed("memory")
                 return
             except DeviceOOMError:
+                tracer.event("oom.split" if len(requests) > 1 else "oom.shed",
+                             batch=padded)
                 if len(requests) > 1:
                     self._split(requests, key, stats)
                 else:
@@ -272,13 +357,14 @@ class Server:
             return
         # Every candidate faulted past its budget or sat behind an open
         # breaker: the batch is shed, attributed to faults.
+        tracer.event("shed.fault", requests=len(requests))
         stats.record_shed("fault", len(requests))
 
     # ------------------------------------------------------------------
 
     def run(self, trace: Sequence[Arrival]) -> StatsReport:
         """Serve one arrival trace to completion; returns the report."""
-        stats = ServingStats()
+        stats = ServingStats(registry=self.obs.registry)
         queue = AdmissionQueue(self.config.queue_depth)
         batcher = DynamicBatcher(self.config.policy)
         self._degraded_cap = None
@@ -287,38 +373,59 @@ class Server:
         if self._injector is not None:
             faults0 = self._injector.faults_injected
             corrupted0 = self._injector.entries_corrupted
+        tracer = self.obs.tracer
         pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
-        while pending or len(queue):
-            while pending and pending[0].t_s <= self.clock.now_s:
-                arrival = pending.popleft()
-                stats.offered += 1
-                queue.offer(Request(
-                    rid=arrival.rid, model=arrival.model, layer=arrival.layer,
-                    key=arrival.key, arrival_s=arrival.t_s,
-                    timeout_s=self.config.timeout_s))
-            queue.shed_expired(self.clock.now_s)
-            batch = batcher.next_batch(queue, self.clock.now_s,
-                                       drain=not pending)
-            if batch is not None:
-                try:
-                    self._execute(list(batch.requests), batch.key, stats)
-                except ReproError:
-                    # No recovery layer absorbed it: count the failure
-                    # loudly instead of crashing the serving loop.
-                    stats.unhandled_errors += 1
-                    stats.record_shed("error", len(batch.requests))
-                continue
-            if not len(queue) and not pending:
-                break
-            # Nothing releasable: advance to the next event — the next
-            # arrival or the oldest lane's max-wait expiry.
-            events = []
-            if pending:
-                events.append(pending[0].t_s)
-            release = batcher.release_at(queue)
-            if release is not None:
-                events.append(release)
-            self.clock.advance_to(min(events))
+        with obs_session(self.obs), \
+                tracer.span("serve.run", cat="serve",
+                            device=self.config.device.name,
+                            arrivals=len(trace)):
+            while pending or len(queue):
+                while pending and pending[0].t_s <= self.clock.now_s:
+                    arrival = pending.popleft()
+                    stats.offered += 1
+                    admitted = queue.offer(Request(
+                        rid=arrival.rid, model=arrival.model,
+                        layer=arrival.layer,
+                        key=arrival.key, arrival_s=arrival.t_s,
+                        timeout_s=self.config.timeout_s))
+                    tracer.event("serve.admit" if admitted
+                                 else "serve.reject",
+                                 rid=arrival.rid, model=arrival.model,
+                                 layer=arrival.layer)
+                expired = queue.shed_expired(self.clock.now_s)
+                if expired:
+                    tracer.event("serve.shed_expired",
+                                 requests=len(expired))
+                batch = batcher.next_batch(queue, self.clock.now_s,
+                                           drain=not pending)
+                if batch is not None:
+                    with tracer.span("serve.batch", cat="serve",
+                                     model=batch.requests[0].model,
+                                     layer=batch.requests[0].layer,
+                                     fill=batch.fill, batch=batch.batch):
+                        try:
+                            self._execute(list(batch.requests), batch.key,
+                                          stats)
+                        except ReproError as exc:
+                            # No recovery layer absorbed it: count the
+                            # failure loudly instead of crashing the
+                            # serving loop.
+                            tracer.event("serve.unhandled_error",
+                                         error=type(exc).__name__)
+                            stats.unhandled_errors += 1
+                            stats.record_shed("error", len(batch.requests))
+                    continue
+                if not len(queue) and not pending:
+                    break
+                # Nothing releasable: advance to the next event — the next
+                # arrival or the oldest lane's max-wait expiry.
+                events = []
+                if pending:
+                    events.append(pending[0].t_s)
+                release = batcher.release_at(queue)
+                if release is not None:
+                    events.append(release)
+                self.clock.advance_to(min(events))
         stats.rejected = queue.rejected
         stats.shed = queue.shed
         stats.closed_shed = queue.closed_out

@@ -5,6 +5,19 @@ the end of a run.  Latencies are arrival-to-finish (queueing wait plus
 service); throughput is completed requests over the simulated
 makespan; everything is derived from virtual time, so reports are
 deterministic for a fixed trace.
+
+Since the observability plane landed, :class:`ServingStats` is a
+*view* over a :class:`repro.obs.metrics.MetricsRegistry` rather than a
+bag of private fields: every scalar it exposes is a registry counter
+(``serve_*_total``), the per-cause / per-implementation / per-size
+dicts are labeled counter series, and latencies feed
+``serve_latency_seconds`` histograms — so a ``--metrics`` snapshot and
+a :class:`StatsReport` are two renderings of the same store.  The
+attribute API (``stats.retries += 1`` and friends) is unchanged.
+
+:func:`percentile` lives in :mod:`repro.obs.hist` now (one shared
+implementation for serve, obs and the benchmarks) and is re-exported
+here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -12,23 +25,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.hist import percentile  # noqa: F401  (re-export, see docstring)
+from ..obs.metrics import MetricsRegistry
 from .request import Completion
 
-
-def percentile(sorted_values: List[float], p: float) -> float:
-    """Linear-interpolation percentile of pre-sorted values,
-    ``p`` in [0, 100]."""
-    if not sorted_values:
-        return 0.0
-    if not 0.0 <= p <= 100.0:
-        raise ValueError(f"p must be in [0, 100], got {p}")
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = p / 100.0 * (len(sorted_values) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(sorted_values) - 1)
-    frac = rank - lo
-    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+#: Scalar attribute -> the registry counter backing it.
+_COUNTERS = {
+    "offered": "serve_requests_offered_total",
+    "rejected": "serve_requests_rejected_total",
+    "shed": "serve_requests_timeout_shed_total",
+    "oom_splits": "serve_oom_splits_total",
+    "oom_shed": "serve_oom_shed_total",
+    "retries": "serve_retries_total",
+    "fallback_batches": "serve_fallback_batches_total",
+    "fallback_completions": "serve_fallback_completions_total",
+    "breaker_trips": "serve_breaker_trips_total",
+    "breaker_skips": "serve_breaker_skips_total",
+    "faults_injected": "serve_faults_injected_total",
+    "pressure_events": "serve_pressure_events_total",
+    "degraded_batches": "serve_degraded_batches_total",
+    "cache_corruptions": "serve_cache_corruptions_total",
+    "unhandled_errors": "serve_unhandled_errors_total",
+    "closed_shed": "serve_closed_shed_total",
+}
 
 
 @dataclass(frozen=True)
@@ -175,45 +194,70 @@ class StatsReport:
         }
 
 
-@dataclass
 class ServingStats:
-    """Mutable accumulator the scheduler feeds during a run."""
+    """Mutable accumulator the scheduler feeds during a run.
 
-    offered: int = 0
-    rejected: int = 0
-    shed: int = 0
-    oom_splits: int = 0
-    oom_shed: int = 0
-    retries: int = 0
-    fallback_batches: int = 0
-    fallback_completions: int = 0
-    breaker_trips: int = 0
-    breaker_skips: int = 0
-    faults_injected: int = 0
-    pressure_events: int = 0
-    degraded_batches: int = 0
-    cache_corruptions: int = 0
-    unhandled_errors: int = 0
-    closed_shed: int = 0
-    shed_by_cause: Dict[str, int] = field(default_factory=dict)
-    completions: List[Completion] = field(default_factory=list)
-    batch_histogram: Dict[int, int] = field(default_factory=dict)
-    batch_fills: List[int] = field(default_factory=list)
-    implementations: Dict[str, int] = field(default_factory=dict)
+    Scalar counters read and write registry series (see module
+    docstring); raw completions stay on the object because the frozen
+    report needs exact percentiles over them.  Pass the run's registry
+    to share the store with the rest of the observability plane; the
+    default is a private one.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.completions: List[Completion] = []
+        self.batch_fills: List[int] = []
+
+    # -- registry-backed views ---------------------------------------------
+
+    def _series_dict(self, name: str, label: str,
+                     cast=int) -> Dict[object, int]:
+        return {cast(labels[label]): int(metric.value)
+                for labels, metric in self.registry.series(name)
+                if metric.value}
+
+    @property
+    def shed_by_cause(self) -> Dict[str, int]:
+        """Cause -> dropped requests (view over ``serve_sheds_total``)."""
+        return self._series_dict("serve_sheds_total", "cause", str)
+
+    @property
+    def implementations(self) -> Dict[str, int]:
+        """Paper name -> requests served (view over
+        ``serve_dispatched_requests_total``)."""
+        return self._series_dict("serve_dispatched_requests_total",
+                                 "implementation", str)
+
+    @property
+    def batch_histogram(self) -> Dict[int, int]:
+        """Padded size -> batches released (view over
+        ``serve_batches_total``)."""
+        return self._series_dict("serve_batches_total", "size", int)
+
+    # -- recording ---------------------------------------------------------
 
     def record_batch(self, padded: int, fill: int, implementation: str) -> None:
-        self.batch_histogram[padded] = self.batch_histogram.get(padded, 0) + 1
+        self.registry.counter("serve_batches_total", size=padded).inc()
+        self.registry.counter("serve_dispatched_requests_total",
+                              implementation=implementation).inc(fill)
+        self.registry.histogram("serve_batch_fill").observe(fill)
         self.batch_fills.append(fill)
-        self.implementations[implementation] = \
-            self.implementations.get(implementation, 0) + fill
 
     def record_completions(self, completions: List[Completion]) -> None:
         self.completions.extend(completions)
+        self.registry.counter("serve_requests_completed_total").inc(
+            len(completions))
+        latency = self.registry.histogram("serve_latency_seconds")
+        wait = self.registry.histogram("serve_queue_wait_seconds")
+        for c in completions:
+            latency.observe(c.latency_s)
+            wait.observe(c.queue_wait_s)
 
     def record_shed(self, cause: str, n: int = 1) -> None:
         """Attribute ``n`` dropped requests to one failure cause."""
         if n:
-            self.shed_by_cause[cause] = self.shed_by_cause.get(cause, 0) + n
+            self.registry.counter("serve_sheds_total", cause=cause).inc(n)
 
     def finalize(self, duration_s: float, plan_cache_stats: Dict[str, float],
                  peak_memory_bytes: int) -> StatsReport:
@@ -221,13 +265,19 @@ class ServingStats:
         n_batches = len(self.batch_fills)
         total_padded = sum(size * count
                            for size, count in self.batch_histogram.items())
-        causes = dict(self.shed_by_cause)
+        causes = self.shed_by_cause
         if self.shed:
             causes["timeout"] = causes.get("timeout", 0) + self.shed
         if self.rejected:
             causes["queue_full"] = causes.get("queue_full", 0) + self.rejected
         if self.closed_shed:
             causes["closed"] = causes.get("closed", 0) + self.closed_shed
+        # End-of-run state published as gauges so a --metrics snapshot
+        # is self-contained.
+        self.registry.gauge("serve_duration_seconds").set(duration_s)
+        self.registry.gauge("serve_peak_memory_bytes").set(peak_memory_bytes)
+        for key, value in sorted(plan_cache_stats.items()):
+            self.registry.gauge(f"serve_plan_cache_{key}").set(value)
         return StatsReport(
             duration_s=duration_s,
             offered=self.offered,
@@ -244,10 +294,10 @@ class ServingStats:
             mean_batch_fill=(sum(self.batch_fills) / n_batches
                              if n_batches else 0.0),
             mean_batch_size=(total_padded / n_batches if n_batches else 0.0),
-            batch_histogram=dict(self.batch_histogram),
+            batch_histogram=self.batch_histogram,
             plan_cache=dict(plan_cache_stats),
             peak_memory_mb=peak_memory_bytes / 2**20,
-            implementations=dict(self.implementations),
+            implementations=self.implementations,
             shed_by_cause=causes,
             retries=self.retries,
             fallback_batches=self.fallback_batches,
@@ -261,3 +311,19 @@ class ServingStats:
             unhandled_errors=self.unhandled_errors,
             closed_shed=self.closed_shed,
         )
+
+
+def _counter_view(metric: str) -> property:
+    def fget(self: ServingStats) -> int:
+        return int(self.registry.counter(metric).value)
+
+    def fset(self: ServingStats, value: int) -> None:
+        self.registry.counter(metric).set(value)
+
+    return property(fget, fset,
+                    doc=f"View over the ``{metric}`` registry counter.")
+
+
+for _attr, _metric in _COUNTERS.items():
+    setattr(ServingStats, _attr, _counter_view(_metric))
+del _attr, _metric

@@ -60,6 +60,42 @@ class TestChromeTrace:
         assert doc["traceEvents"]
 
 
+class TestPerfettoValidity:
+    """The exported document must survive a Perfetto-strict round trip."""
+
+    def test_metadata_rows_name_processes_and_threads(self, session):
+        doc = json.loads(to_chrome_trace(session))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        process = next(e for e in meta if e["name"] == "process_name")
+        assert process["args"]["name"] == "gpusim"
+
+    def test_round_trip_strictly_monotonic_per_row(self, session, tmp_path):
+        path = tmp_path / "trace.json"
+        to_chrome_trace(session, str(path))
+        doc = json.loads(path.read_text())
+        last = {}
+        for e in doc["traceEvents"]:
+            if e.get("ph") == "M":
+                continue
+            assert e["dur"] >= 0.0
+            row = (e["pid"], e["tid"])
+            if row in last:
+                assert e["ts"] > last[row]
+            last[row] = e["ts"]
+
+    def test_timestamps_strictly_increase_within_each_row(self, session):
+        rows = {}
+        for e in trace_events(session):
+            rows.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+        for ts in rows.values():
+            assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_timed_events_carry_required_keys(self, session):
+        for e in trace_events(session):
+            assert {"name", "cat", "ph", "pid", "tid", "ts", "dur"} <= set(e)
+
+
 class TestTimelineEvents:
     def test_streams_become_rows(self):
         tl = Timeline()

@@ -1,0 +1,55 @@
+"""Tests for the shared percentile / summary math."""
+
+import pytest
+
+from repro.obs.hist import percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.5], 99.0) == 3.5
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_endpoints(self):
+        values = [1.0, 5.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_reexported_from_serve_stats(self):
+        """Backward compatibility: the historical import site still
+        serves the same function object."""
+        from repro.serve.stats import percentile as serve_percentile
+        assert serve_percentile is percentile
+
+
+class TestSummarize:
+    def test_empty_is_all_zeros(self):
+        s = summarize([])
+        assert s == {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0,
+                     "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_unsorted_input(self):
+        s = summarize([3.0, 1.0, 2.0])
+        assert s["count"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["p50"] == 2.0
+
+    def test_percentiles_match_shared_math(self):
+        values = list(range(100))
+        s = summarize(values)
+        ordered = sorted(float(v) for v in values)
+        assert s["p95"] == percentile(ordered, 95.0)
+        assert s["p99"] == percentile(ordered, 99.0)

@@ -1,0 +1,154 @@
+"""End-to-end observability: one serving run, one coherent span tree.
+
+These are the PR's acceptance tests: a traced ``Server.run`` produces
+a single tree covering admission → batching → plan lookup → advisor
+ranking → evalcache accesses → dispatch with gpusim kernel leaves;
+fault injections appear as span events; same-seed runs export
+byte-identical artifacts; and the null tracer leaves the serving
+outcome bit-identical to an untraced run.
+"""
+
+import json
+
+import pytest
+
+from repro.core.evalcache import reset_cache
+from repro.faults import named_plan
+from repro.obs.export import chrome_trace, write_chrome_trace, write_metrics
+from repro.serve import Server, ServerConfig, TrafficSpec, generate_trace
+
+
+SPEC = TrafficSpec(duration_s=0.05, rate_rps=200.0, seed=7)
+
+
+def traced_run(fault_plan=None, spec=SPEC):
+    reset_cache()
+    trace = generate_trace(spec)
+    server = Server(ServerConfig(), fault_plan=fault_plan,
+                    fault_seed=spec.seed)
+    tracer = server.enable_tracing()
+    report = server.run(trace)
+    return server, tracer, report
+
+
+@pytest.fixture(scope="module")
+def run():
+    return traced_run()
+
+
+class TestSpanTree:
+    def test_one_root_spanning_the_run(self, run):
+        _, tracer, _ = run
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "serve.run"
+        assert root.attrs["arrivals"] > 0
+
+    def test_batches_nest_under_the_run(self, run):
+        _, tracer, report = run
+        batches = tracer.find("serve.batch")
+        assert batches
+        assert all(b.parent_sid == tracer.roots[0].sid for b in batches)
+
+    def test_plan_lookup_contains_advisor_and_evalcache(self, run):
+        _, tracer, _ = run
+        plans = tracer.find("serve.plan")
+        assert plans
+        miss = next(p for p in plans if not p.attrs["hit"])
+        (rank,) = miss.children
+        assert rank.name == "advisor.rank"
+        assert {c.name for c in rank.children} == {"evalcache.evaluate"}
+        assert len(rank.children) == rank.attrs["implementations"]
+        hit = next(p for p in plans if p.attrs["hit"])
+        assert hit.children == []          # cache hit: no ranking inside
+
+    def test_dispatch_has_gpusim_kernel_leaves(self, run):
+        _, tracer, _ = run
+        dispatches = tracer.find("serve.dispatch")
+        assert dispatches
+        for d in dispatches:
+            leaves = [c for c in d.children if c.cat == "gpu"]
+            assert leaves, f"dispatch {d.attrs} has no kernel leaves"
+            # leaves tile the service window, back to back, inside it
+            for leaf in leaves:
+                assert leaf.start_s >= d.start_s - 1e-12
+                assert leaf.end_s <= d.end_s + 1e-12
+            for a, b in zip(leaves, leaves[1:]):
+                assert b.start_s == pytest.approx(a.end_s)
+
+    def test_admissions_recorded_as_events(self, run):
+        _, tracer, report = run
+        root = tracer.roots[0]
+        admits = [e for e in root.events if e.name == "serve.admit"]
+        assert len(admits) == report.offered
+
+    def test_fault_free_run_has_no_fault_events(self, run):
+        _, tracer, _ = run
+        for span in tracer.walk():
+            for ev in span.events:
+                assert not ev.name.startswith("fault.")
+
+
+class TestFaultAnnotations:
+    def test_chaos_run_annotates_faults_as_span_events(self):
+        spec = TrafficSpec(duration_s=1.0, rate_rps=1500.0, seed=7)
+        plan = named_plan("chaos", duration_s=spec.duration_s)
+        _, tracer, report = traced_run(fault_plan=plan, spec=spec)
+        names = {ev.name for span in tracer.walk() for ev in span.events}
+        names |= {ev.name for ev in tracer.orphan_events}
+        assert "fault.transient" in names
+        assert report.faults_injected > 0
+        transients = [ev for span in tracer.walk() for ev in span.events
+                      if ev.name == "fault.transient"]
+        assert len(transients) == report.faults_injected
+        # fault strikes land on the dispatch spans they hit
+        dispatch_events = {ev.name for d in tracer.find("serve.dispatch")
+                           for ev in d.events}
+        assert "fault.transient" in dispatch_events
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_exports(self, tmp_path):
+        blobs = []
+        for tag in ("a", "b"):
+            _, tracer, _ = traced_run()
+            path = tmp_path / f"trace_{tag}.json"
+            write_chrome_trace(str(path), tracer, seed=SPEC.seed)
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_same_seed_byte_identical_metrics(self, tmp_path):
+        blobs = []
+        for tag in ("a", "b"):
+            server, _, _ = traced_run()
+            path = tmp_path / f"metrics_{tag}.json"
+            write_metrics(str(path), server.obs.registry)
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_tracing_never_changes_the_report(self):
+        reset_cache()
+        trace = generate_trace(SPEC)
+        plain = Server(ServerConfig()).run(trace)
+        _, _, traced = traced_run()
+        assert traced.to_dict() == plain.to_dict()
+
+    def test_registry_counters_match_report(self, run):
+        server, _, report = run
+        registry = server.obs.registry
+        assert registry.value("serve_requests_offered_total") == \
+            report.offered
+        assert registry.value("serve_requests_completed_total") == \
+            report.completed
+
+
+class TestUnifiedTimeline:
+    def test_serving_and_gpu_rows_in_one_document(self, run):
+        server, tracer, _ = run
+        doc = chrome_trace(tracer, server.obs.registry)
+        pids = {e["pid"] for e in doc["traceEvents"]
+                if e.get("ph") == "X"}
+        assert pids == {1, 2}              # serve + gpusim processes
+        assert json.dumps(doc, sort_keys=True)  # JSON-serialisable
+        assert doc["otherData"]["metrics"]["counters"][
+            "serve_requests_offered_total"] > 0

@@ -1,0 +1,163 @@
+"""Tests for the labeled metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (MetricsRegistry, NULL_REGISTRY, NullRegistry)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("serve_retries_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_same_name_same_series(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_labels_split_series(self, registry):
+        registry.counter("serve_sheds_total", cause="timeout").inc(2)
+        registry.counter("serve_sheds_total", cause="memory").inc()
+        assert registry.value("serve_sheds_total", cause="timeout") == 2
+        assert registry.value("serve_sheds_total", cause="memory") == 1
+
+    def test_negative_increment_raises(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x_total").inc(-1)
+
+    def test_set_adopts_external_total(self, registry):
+        c = registry.counter("adopted_total")
+        c.set(17)
+        assert c.value == 17
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("queue_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_snapshot_summarises(self, registry):
+        h = registry.histogram("latency_seconds")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        s = h.snapshot_value()
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(0.2)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.6)
+
+
+class TestKindSafety:
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("thing")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("thing")
+
+
+class TestQueries:
+    def test_value_of_untouched_series_is_zero(self, registry):
+        assert registry.value("never_seen_total") == 0
+
+    def test_series_lists_all_label_sets_sorted(self, registry):
+        registry.counter("n_total", impl="cudnn").inc()
+        registry.counter("n_total", impl="caffe").inc(2)
+        registry.counter("other_total").inc()
+        series = registry.series("n_total")
+        assert [labels for labels, _ in series] == [
+            {"impl": "caffe"}, {"impl": "cudnn"}]
+
+    def test_len_counts_series(self, registry):
+        registry.counter("a_total")
+        registry.counter("a_total", k="v")
+        registry.gauge("b")
+        assert len(registry) == 3
+
+
+class TestSnapshot:
+    def test_shape_and_determinism(self, registry):
+        registry.counter("z_total").inc()
+        registry.counter("a_total", cause="x").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert list(snap["counters"]) == ['a_total{cause="x"}', "z_total"]
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        # identical mutations in a different order → identical bytes
+        other = MetricsRegistry()
+        other.histogram("h").observe(0.5)
+        other.gauge("g").set(1.5)
+        other.counter("a_total", cause="x").inc(2)
+        other.counter("z_total").inc()
+        assert json.dumps(snap, sort_keys=True) == \
+            json.dumps(other.snapshot(), sort_keys=True)
+
+    def test_render_one_line_per_series(self, registry):
+        registry.counter("a_total").inc()
+        registry.histogram("h").observe(1.0)
+        text = registry.render()
+        assert "a_total" in text
+        assert "count=1" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestNullRegistry:
+    def test_all_calls_are_noops(self):
+        NULL_REGISTRY.counter("x", k="v").inc(5)
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.value("x", k="v") == 0
+        assert NULL_REGISTRY.series("x") == []
+        assert NULL_REGISTRY.snapshot() == {"counters": {}, "gauges": {},
+                                            "histograms": {}}
+        assert NULL_REGISTRY.render() == ""
+
+    def test_shared_metric_object(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.histogram("b")
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+class TestContext:
+    def test_default_context_is_null(self):
+        from repro.obs.context import NULL_OBS, get_obs
+        assert get_obs() is NULL_OBS
+        assert NULL_OBS.tracing is False
+
+    def test_obs_session_installs_and_restores(self):
+        from repro.obs.context import (NULL_OBS, Observability, get_obs,
+                                       obs_session)
+        obs = Observability()
+        with obs_session(obs):
+            assert get_obs() is obs
+        assert get_obs() is NULL_OBS
+
+    def test_session_restores_on_exception(self):
+        from repro.obs.context import NULL_OBS, Observability, get_obs, \
+            obs_session
+        with pytest.raises(RuntimeError):
+            with obs_session(Observability()):
+                raise RuntimeError("boom")
+        assert get_obs() is NULL_OBS
+
+    def test_default_observability_has_real_registry(self):
+        """Serving default: tracing off, but a live registry (the
+        serving stats are a view over it)."""
+        from repro.obs.context import Observability
+        obs = Observability()
+        assert obs.tracing is False
+        assert isinstance(obs.registry, MetricsRegistry)

@@ -1,0 +1,145 @@
+"""Tests for the simulated-time span tracer."""
+
+import pytest
+
+from repro.gpusim.timing import SimClock
+from repro.obs.tracer import NULL_TRACER, NullTracer, SimTracer
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return SimTracer(clock)
+
+
+class TestSpans:
+    def test_span_records_clock_interval(self, tracer, clock):
+        with tracer.span("work") as sp:
+            clock.advance(0.25)
+        assert sp.start_s == 0.0
+        assert sp.end_s == pytest.approx(0.25)
+        assert sp.duration_s == pytest.approx(0.25)
+        assert tracer.roots == [sp]
+
+    def test_nesting_builds_a_tree(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                clock.advance(0.1)
+        assert outer.children == [inner]
+        assert inner.parent_sid == outer.sid
+        assert tracer.span_count() == 2
+        assert [s.name for s in tracer.walk()] == ["outer", "inner"]
+
+    def test_sids_are_unique_and_ordered(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        sids = [s.sid for s in tracer.walk()]
+        assert len(sids) == len(set(sids))
+
+    def test_current_tracks_the_open_span(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_annotate_merges_attrs(self, tracer):
+        with tracer.span("s", cat="serve", batch=4) as sp:
+            sp.annotate(hit=True, batch=8)
+        assert sp.attrs == {"batch": 8, "hit": True}
+
+    def test_exception_annotates_and_closes(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (sp,) = tracer.roots
+        assert sp.attrs["error"] == "RuntimeError"
+        assert sp.end_s is not None
+        assert tracer.current is None
+
+    def test_out_of_order_close_raises(self, tracer):
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            tracer._close(outer)
+
+
+class TestEvents:
+    def test_event_lands_on_open_span(self, tracer, clock):
+        with tracer.span("s") as sp:
+            clock.advance(0.5)
+            tracer.event("fault.transient", attempt=1)
+        (ev,) = sp.events
+        assert ev.name == "fault.transient"
+        assert ev.t_s == pytest.approx(0.5)
+        assert ev.attrs == {"attempt": 1}
+
+    def test_event_without_span_is_orphaned(self, tracer):
+        tracer.event("stray")
+        assert [e.name for e in tracer.orphan_events] == ["stray"]
+
+    def test_span_event_helper(self, tracer):
+        with tracer.span("s") as sp:
+            sp.event("mark", detail="x")
+        assert sp.events[0].attrs == {"detail": "x"}
+
+
+class TestAddSpan:
+    def test_pre_timed_leaf_attaches_under_current(self, tracer, clock):
+        with tracer.span("dispatch") as sp:
+            clock.advance(1.0)
+            leaf = tracer.add_span("kernel", cat="gpu",
+                                   start_s=0.2, end_s=0.4, role="GEMM")
+        assert sp.children == [leaf]
+        assert leaf.duration_s == pytest.approx(0.2)
+        assert leaf.attrs["role"] == "GEMM"
+
+    def test_rejects_negative_interval(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.add_span("bad", cat="gpu", start_s=1.0, end_s=0.5)
+
+    def test_without_open_span_becomes_root(self, tracer):
+        leaf = tracer.add_span("free", cat="gpu", start_s=0.0, end_s=1.0)
+        assert tracer.roots == [leaf]
+
+
+class TestFind:
+    def test_find_by_name(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert tracer.find("zzz") == []
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_span_protocol_is_shared_noop(self):
+        with NULL_TRACER.span("x", cat="serve", batch=4) as sp:
+            sp.annotate(anything=1)
+            sp.event("nothing")
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_records_nothing(self):
+        NULL_TRACER.event("ev", key="value")
+        NULL_TRACER.add_span("k", cat="gpu", start_s=0.0, end_s=1.0)
+        assert NULL_TRACER.span_count() == 0
+        assert list(NULL_TRACER.walk()) == []
+        assert NULL_TRACER.find("ev") == []
+        assert NULL_TRACER.current is None

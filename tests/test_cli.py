@@ -179,6 +179,88 @@ class TestServingCommands:
         assert capsys.readouterr().out == first
 
 
+class TestObservabilityFlags:
+    SERVE_ARGS = ["--duration", "0.2", "--rate", "500", "--seed", "7"]
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.duration == 1.0
+        assert args.rate == 1000.0
+        assert args.out == "serving_trace.json"
+        assert args.fault_plan is None
+
+    def test_serve_obs_flags_default_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace is None
+        assert args.metrics is None
+
+    def test_metrics_bare_flag_means_print(self):
+        args = build_parser().parse_args(["serve", "--metrics"])
+        assert args.metrics == "-"
+
+    def test_serve_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(["serve"] + self.SERVE_ARGS +
+                    ["--trace", str(trace), "--metrics", str(metrics)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["otherData"]["spans"] > 0
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert "serve.run" in names and "serve.batch" in names
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["serve_requests_offered_total"] > 0
+
+    def test_serve_jsonl_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["serve"] + self.SERVE_ARGS +
+                    ["--trace", str(path)]) == 0
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert any(d["type"] == "span" and d["name"] == "serve.run"
+                   for d in lines)
+
+    def test_serve_json_embeds_metrics(self, capsys):
+        assert main(["serve"] + self.SERVE_ARGS +
+                    ["--json", "--metrics"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "counters" in data["metrics"]
+
+    def test_serve_metrics_print(self, capsys):
+        assert main(["serve"] + self.SERVE_ARGS + ["--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "serve_requests_offered_total" in out
+
+    def test_trace_command_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--duration", "0.2", "--rate", "500",
+                     "--seed", "7", "--out", str(out_path)]) == 0
+        assert "spans ->" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "serve" in cats and "gpu" in cats
+
+    def test_chaos_trace_carries_fault_events(self, tmp_path, capsys):
+        path = tmp_path / "chaos.json"
+        assert main(["chaos", "--quick", "--seed", "7",
+                     "--trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        instants = {e["name"] for e in doc["traceEvents"]
+                    if e.get("ph") == "i"}
+        assert any(name.startswith("fault.") for name in instants)
+
+    def test_compare_trace_and_metrics(self, tmp_path, capsys):
+        path = tmp_path / "cmp.json"
+        assert main(["compare", "64", "128", "64", "11", "1",
+                     "--trace", str(path), "--json", "--metrics"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "gpusim_kernel_launches_total" in str(data["metrics"]) or \
+            data["cache"]["hits"] > 0   # warm-cache runs launch nothing
+        doc = json.loads(path.read_text())
+        assert any(e.get("name") == "parallel.map"
+                   for e in doc["traceEvents"])
+
+
 class TestChaosCommand:
     QUICK = ["chaos", "--quick", "--seed", "7"]
 

@@ -68,6 +68,19 @@ class TestExamples:
         assert "== forced batch=1 ==" in out
         assert "throughput speedup" in out
 
+    def test_trace_serving(self, tmp_path):
+        out_path = tmp_path / "trace.json"
+        out = run_example("trace_serving.py", "7", str(out_path))
+        assert "span tree:" in out
+        assert "serve.batch" in out and "evalcache.evaluate" in out
+        assert "gpusim kernel leaves" in out
+        import json
+        doc = json.loads(out_path.read_text())
+        assert doc["otherData"]["spans"] > 0
+        metrics = json.loads(
+            (tmp_path / "trace_metrics.json").read_text())
+        assert metrics["counters"]["serve_requests_offered_total"] > 0
+
     def test_train_lenet5_short(self):
         # Full example trains 6 epochs (~1-2 min); exercised instead by
         # tests/test_integration.py.  Here just check the help path via

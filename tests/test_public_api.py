@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core",
     "repro.workloads",
     "repro.tensor",
+    "repro.obs",
 ]
 
 
