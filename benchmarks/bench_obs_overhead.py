@@ -1,0 +1,170 @@
+"""Observability overhead benchmark (and CI correctness gate).
+
+Runs the same deterministic serving workload twice — once with the
+:data:`~repro.obs.tracer.NULL_TRACER` default and once fully traced —
+and measures what the tracing plane costs in host wall time.  The
+point of the null-object design is that *disabled* observability is
+free and *enabled* observability only pays at span boundaries; this
+benchmark keeps both claims honest, and gates CI on the part that
+must never regress: a traced run's serving report is identical to the
+untraced run's, span for span of extra bookkeeping notwithstanding.
+
+It also times the two offline consumers a recorded run feeds: the
+JSONL export (:func:`repro.obs.export.jsonl_lines`) and the full
+analytics pass (:func:`repro.obs.analyze.analyze_run`).
+
+Run as a script (``python benchmarks/bench_obs_overhead.py
+[--quick]``) it writes ``benchmarks/results/BENCH_obs.json`` and
+exits non-zero if the traced and untraced reports diverge, the traced
+run recorded no spans, or the overhead blows past the (deliberately
+generous, shared-runner-safe) ceiling.  Under pytest it runs in quick
+mode and asserts the same gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: CI ceiling on traced/untraced wall time.  Span recording costs real
+#: allocations, so some overhead is expected; the gate only catches
+#: "tracing made serving pathologically slow" without flaking on slow
+#: shared runners.
+OVERHEAD_GATE = 10.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benchmark(repeats: int = 5, duration_s: float = 1.0,
+                  rate_rps: float = 1500.0) -> dict:
+    """Measure untraced vs traced serving; returns the artifact payload."""
+    from repro.core.evalcache import reset_cache
+    from repro.obs.analyze import analyze_run, from_tracer
+    from repro.obs.export import jsonl_lines
+    from repro.serve import Server, ServerConfig, TrafficSpec, generate_trace
+
+    spec = TrafficSpec(duration_s=duration_s, rate_rps=rate_rps, seed=7)
+    trace = generate_trace(spec)
+
+    def untraced():
+        reset_cache()
+        return Server(ServerConfig()).run(trace)
+
+    def traced():
+        reset_cache()
+        server = Server(ServerConfig())
+        server.enable_tracing()
+        return server.run(trace), server
+
+    untraced_report = untraced()
+    untraced_s = _best_of(untraced, repeats)
+
+    traced_report, server = traced()
+    traced_s = _best_of(traced, repeats)
+    tracer = server.obs.tracer
+
+    t0 = time.perf_counter()
+    lines = jsonl_lines(tracer)
+    export_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    analysis = analyze_run(from_tracer(tracer))
+    analyze_s = time.perf_counter() - t0
+
+    return {
+        "benchmark": "obs_overhead",
+        "workload": {"duration_s": duration_s, "rate_rps": rate_rps,
+                     "seed": spec.seed, "arrivals": len(trace)},
+        "repeats": repeats,
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead_x": traced_s / untraced_s,
+        "spans": tracer.span_count(),
+        "per_span_us": (traced_s - untraced_s) / tracer.span_count() * 1e6,
+        "export_jsonl_s": export_s,
+        "export_lines": len(lines),
+        "analyze_s": analyze_s,
+        "critical_path_steps": len(analysis.critical),
+        "reports_identical":
+            traced_report.to_dict() == untraced_report.to_dict(),
+        "gate_overhead": OVERHEAD_GATE,
+    }
+
+
+def check_gates(payload: dict) -> list:
+    """CI gates; returns the list of failures (empty = pass)."""
+    failures = []
+    if not payload["reports_identical"]:
+        failures.append("traced serving report differs from untraced — "
+                        "tracing must be observationally free")
+    if payload["spans"] <= 0:
+        failures.append("traced run recorded no spans")
+    if payload["overhead_x"] > payload["gate_overhead"]:
+        failures.append(
+            f"tracing overhead {payload['overhead_x']:.2f}x above the "
+            f"{payload['gate_overhead']:.0f}x ceiling")
+    return failures
+
+
+def _render_text(payload: dict) -> str:
+    w = payload["workload"]
+    lines = [
+        "observability overhead on one serving run "
+        f"({w['duration_s']:g} s @ {w['rate_rps']:g} req/s, "
+        f"{w['arrivals']} arrivals)",
+        f"  untraced (NULL_TRACER)    {payload['untraced_s'] * 1000:8.1f} ms",
+        f"  traced                    {payload['traced_s'] * 1000:8.1f} ms   "
+        f"x{payload['overhead_x']:.2f} "
+        f"({payload['per_span_us']:.1f} us per span, "
+        f"{payload['spans']} spans)",
+        f"  JSONL export              {payload['export_jsonl_s'] * 1000:8.1f}"
+        f" ms   ({payload['export_lines']} records)",
+        f"  offline analytics pass    {payload['analyze_s'] * 1000:8.1f} ms",
+        f"  traced report identical to untraced: "
+        f"{payload['reports_identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def bench_obs_overhead(save_artifact):
+    """Benchmark-suite entry: quick mode plus the CI gates."""
+    payload = run_benchmark(repeats=2, duration_s=0.5)
+    save_artifact("BENCH_obs", _render_text(payload))
+    assert not check_gates(payload)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="2 timing repeats over a 0.5 s workload")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(repeats=2 if args.quick else 5,
+                            duration_s=0.5 if args.quick else 1.0)
+    print(_render_text(payload))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_obs.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    failures = check_gates(payload)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    raise SystemExit(main())

@@ -32,11 +32,22 @@ Commands
 ``trace [--out ...]``
     Run one traced serving run and export its span timeline
     (Chrome-trace/Perfetto JSON, or the JSONL event log).
+``analyze <trace.jsonl> [--baseline other.jsonl]``
+    Offline trace analytics: critical path, span aggregates and the
+    hotspot table; with ``--baseline``, a ranked "what got slower and
+    why" diff between the two runs.
+``slo <metrics.json> [--rules rules.json]``
+    Evaluate declarative SLO rules against a saved metrics snapshot;
+    a failing rule exits non-zero (CI gate).
+``regression [--baseline ...] [--tolerance ...]``
+    Diff the calibrated headline quantities against the stored
+    baseline; any drift beyond tolerance exits non-zero (CI gate).
 
 ``serve``, ``chaos`` and ``compare`` also accept ``--trace PATH``
 (record the run's span tree) and ``--metrics [PATH]`` (emit the
 end-of-run metrics snapshot; with no PATH it prints, under ``--json``
-it embeds).
+it embeds).  ``serve --slo [RULES]`` attaches the simulated-time SLO
+monitor to the run.
 """
 
 from __future__ import annotations
@@ -257,15 +268,23 @@ def _server_config(args):
 
 def cmd_serve(args) -> int:
     import json
+    from dataclasses import replace
 
     from .serve import Server, generate_trace, trace_summary
 
     spec = _traffic_spec(args)
     trace = generate_trace(spec)
-    server = Server(_server_config(args))
+    config = _server_config(args)
+    if args.slo:
+        from .obs.slo import DEFAULT_RULES, SLOPolicy, load_rules
+
+        rules = DEFAULT_RULES if args.slo == "-" else load_rules(args.slo)
+        config = replace(config, slo=SLOPolicy(rules=rules))
+    server = Server(config)
     if args.trace:
         server.enable_tracing()
     report = server.run(trace)
+    slo_ok = server.slo_report is None or server.slo_report.passed
     if args.trace:
         _write_trace(args.trace, server.obs.tracer, server.obs.registry,
                      command="serve", seed=spec.seed)
@@ -275,14 +294,19 @@ def cmd_serve(args) -> int:
                            "pattern": spec.pattern,
                            "seed": spec.seed},
                "stats": report.to_dict()}
+        if server.slo_report is not None:
+            doc["slo"] = server.slo_report.to_dict()
         _emit_metrics(args, server.obs.registry, embed=doc)
         print(json.dumps(doc, indent=2))
-        return 0
+        return 0 if slo_ok else 1
     print(trace_summary(trace, spec))
     print()
     print(report.render())
+    if server.slo_report is not None:
+        print()
+        print(server.slo_report.render())
     _emit_metrics(args, server.obs.registry)
-    return 0
+    return 0 if slo_ok else 1
 
 
 def cmd_loadgen(args) -> int:
@@ -406,6 +430,87 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    import json
+
+    from .obs.analyze import analyze_run, load_jsonl
+    from .obs.diff import diff_traces
+
+    try:
+        analysis = analyze_run(load_jsonl(args.trace))
+        diff = None
+        if args.baseline:
+            diff = diff_traces(load_jsonl(args.baseline),
+                               load_jsonl(args.trace))
+    except OSError as exc:
+        raise ValueError(str(exc)) from exc
+    if args.json:
+        doc = analysis.to_dict() if diff is None else \
+            {"analysis": analysis.to_dict(), "diff": diff.to_dict()}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(analysis.render(top=args.top))
+    if diff is not None:
+        print()
+        print(diff.render(top=args.top))
+    return 0
+
+
+def cmd_slo(args) -> int:
+    import json
+
+    from .obs.export import load_metrics_snapshot
+    from .obs.slo import DEFAULT_RULES, evaluate_slo, load_rules
+
+    try:
+        rules = load_rules(args.rules) if args.rules else DEFAULT_RULES
+        snapshot = load_metrics_snapshot(args.metrics)
+    except OSError as exc:
+        raise ValueError(str(exc)) from exc
+    report = evaluate_slo(snapshot, rules, source=args.metrics)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_regression(args) -> int:
+    import json
+
+    from .core.regression import (capture_headlines, compare, load_baseline,
+                                  save_baseline)
+
+    if args.save:
+        head = save_baseline(args.baseline)
+        print(f"wrote {len(head)} headline quantities to {args.baseline}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except OSError as exc:
+        raise ValueError(str(exc)) from exc
+    current = capture_headlines()
+    drifts = compare(baseline, current, rel_tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(
+            {"baseline": args.baseline, "tolerance": args.tolerance,
+             "quantities": len(current), "passed": not drifts,
+             "drifts": [{"key": d.key, "baseline": d.baseline,
+                         "current": d.current, "relative": d.relative}
+                        for d in drifts]},
+            indent=2, sort_keys=True))
+    elif drifts:
+        print(table(["quantity", "baseline", "current", "drift"],
+                    [[d.key, f"{d.baseline:g}", f"{d.current:g}",
+                      f"{d.relative * 100:.1f}%"] for d in drifts],
+                    title=f"calibration drift beyond "
+                          f"{args.tolerance:.0%} tolerance"))
+    else:
+        print(f"{len(current)} headline quantities within "
+              f"{args.tolerance:.0%} of {args.baseline}")
+    return 1 if drifts else 0
+
+
 def cmd_report(args) -> int:
     from .core.full_report import write_report
 
@@ -526,6 +631,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_traffic_args(p_serve)
     p_serve.add_argument("--json", action="store_true",
                          help="machine-readable stats output")
+    p_serve.add_argument("--slo", metavar="RULES", nargs="?", const="-",
+                         default=None,
+                         help="attach the simulated-time SLO monitor: "
+                              "rules from a JSON file, or the default "
+                              "rule set when RULES is omitted (a failing "
+                              "rule makes the command exit non-zero)")
     _add_obs_args(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
@@ -563,6 +674,51 @@ def build_parser() -> argparse.ArgumentParser:
     # A traced second of traffic is plenty to read; heavier runs are
     # one --duration/--rate away.
     p_trace.set_defaults(fn=cmd_trace, duration=1.0, rate=1000.0)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="offline trace analytics: critical path, hotspot "
+                        "table, and (with --baseline) regression "
+                        "attribution between two runs")
+    p_analyze.add_argument("trace", help="JSONL event log to analyze "
+                                         "(see 'trace --out run.jsonl')")
+    p_analyze.add_argument("--baseline", metavar="PATH", default=None,
+                           help="second JSONL log to diff against "
+                                "(baseline -> trace)")
+    p_analyze.add_argument("--top", type=int, default=10,
+                           help="rows per table (default 10)")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_analyze.set_defaults(fn=cmd_analyze)
+
+    p_slo = sub.add_parser(
+        "slo", help="evaluate SLO rules against a saved metrics snapshot "
+                    "(exits non-zero on a failing rule)")
+    p_slo.add_argument("metrics", help="metrics snapshot JSON (from "
+                                       "--metrics PATH), or a Chrome trace "
+                                       "with an embedded snapshot")
+    p_slo.add_argument("--rules", metavar="PATH", default=None,
+                       help="JSON rules file (default: the built-in "
+                            "rule set)")
+    p_slo.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_slo.set_defaults(fn=cmd_slo)
+
+    p_reg = sub.add_parser(
+        "regression", help="diff the calibrated headline quantities "
+                           "against the stored baseline (exits non-zero "
+                           "on drift)")
+    p_reg.add_argument("--baseline", metavar="PATH",
+                       default="benchmarks/calibration_baseline.json",
+                       help="baseline JSON path (default "
+                            "benchmarks/calibration_baseline.json)")
+    p_reg.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative drift tolerance (default 0.05)")
+    p_reg.add_argument("--save", action="store_true",
+                       help="re-capture the headlines and overwrite the "
+                            "baseline instead of checking")
+    p_reg.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_reg.set_defaults(fn=cmd_regression)
 
     p_loadgen = sub.add_parser(
         "loadgen", help="generate a trace; compare dynamic batching "

@@ -15,7 +15,14 @@ from ..config import BASE_CONFIG, ConvConfig
 from ..frameworks.base import ConvImplementation
 from ..frameworks.registry import all_implementations
 from ..gpusim.device import DeviceSpec, K40C
+from ..gpusim.kernels import KernelRole
 from .report import bar_breakdown
+
+#: The canonical kernel-role taxonomy every layer of the repo shares:
+#: Fig-4 groupings here, trace leaves in :mod:`repro.obs.analyze`, and
+#: the per-role drift attribution in :mod:`repro.obs.diff` all key on
+#: these exact strings.  A role outside this tuple is a taxonomy bug.
+CANONICAL_ROLES = tuple(role.value for role in KernelRole)
 
 
 @dataclass(frozen=True)

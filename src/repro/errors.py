@@ -111,3 +111,9 @@ class ProfilerError(ReproError, RuntimeError):
 class ConvergenceError(ReproError, RuntimeError):
     """Training failed to make progress (used by the trainer to signal
     diverging loss, e.g. NaN)."""
+
+
+class TraceSchemaError(ReproError, ValueError):
+    """A saved observability artifact (JSONL event log, metrics
+    snapshot) could not be loaded: unknown schema version, malformed
+    records, or dangling span references."""

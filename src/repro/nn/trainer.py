@@ -14,6 +14,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..obs.context import get_obs
 from .module import Layer, Parameter
 from .softmax import SoftmaxCrossEntropy
 
@@ -77,16 +78,33 @@ class Trainer:
 
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
         """One iteration: forward, backward, update.  Returns
-        (loss, batch accuracy)."""
+        (loss, batch accuracy).
+
+        Reports into the active observability context: step / sample
+        counters and loss / accuracy histograms on the metrics
+        registry, plus a ``train.step`` span tree (forward → backward
+        → update) when a tracer is attached.  Spans mark structure and
+        order — real training runs on the host, so they carry no
+        simulated duration.
+        """
+        obs = get_obs()
         self.model.train(True)
         self.optimizer.zero_grad()
-        logits = self.model.forward(x)
-        loss = self.loss.forward(logits, labels)
-        if math.isnan(loss) or math.isinf(loss):
-            raise ConvergenceError(f"loss diverged: {loss}")
-        self.model.backward(self.loss.backward())
-        self.optimizer.step()
+        with obs.tracer.span("train.step", cat="nn", batch=x.shape[0]):
+            with obs.tracer.span("train.forward", cat="nn"):
+                logits = self.model.forward(x)
+                loss = self.loss.forward(logits, labels)
+            if math.isnan(loss) or math.isinf(loss):
+                raise ConvergenceError(f"loss diverged: {loss}")
+            with obs.tracer.span("train.backward", cat="nn"):
+                self.model.backward(self.loss.backward())
+            with obs.tracer.span("train.update", cat="nn"):
+                self.optimizer.step()
         acc = float((self.loss.predictions() == labels).mean())
+        obs.registry.counter("train_steps_total").inc()
+        obs.registry.counter("train_samples_total").inc(x.shape[0])
+        obs.registry.histogram("train_loss").observe(loss)
+        obs.registry.histogram("train_batch_accuracy").observe(acc)
         return loss, acc
 
     def fit(self, batches: Iterable[Tuple[np.ndarray, np.ndarray]],

@@ -19,22 +19,37 @@ every layer at once:
   and GPU rows in one timeline), a JSONL structured event log, and
   deterministic metrics snapshots;
 * :mod:`repro.obs.hist` — the one shared implementation of the
-  percentile / summary math.
+  percentile / summary math;
+* :mod:`repro.obs.analyze` — offline trace analytics: load a saved
+  JSONL log (or a live tracer), compute critical paths, self-time
+  aggregates and the Fig-4-style hotspot table per implementation;
+* :mod:`repro.obs.diff` — run-to-run regression attribution: align
+  two traces by span path and rank "what got slower and why";
+* :mod:`repro.obs.slo` — declarative SLOs (p99 latency, shed rate,
+  error-budget burn) evaluated in simulated time, live via
+  :class:`~repro.obs.slo.SLOMonitor` or offline as a CI gate.
 
 Everything is deterministic: same seed, same trace, byte-identical
 exports.  See ``docs/OBSERVABILITY.md``.
 """
 
+from .analyze import (TraceAnalysis, TraceRun, analyze_run, critical_path,
+                      from_tracer, hotspot_table, load_jsonl, parse_jsonl)
 from .context import NULL_OBS, Observability, get_obs, obs_session, set_obs
-from .export import (chrome_trace, jsonl_lines, render_metrics, span_events,
+from .diff import TraceDiff, diff_runs, diff_traces, profile_run
+from .export import (SCHEMA_VERSION, chrome_trace, jsonl_lines,
+                     load_metrics_snapshot, render_metrics, span_events,
                      write_chrome_trace, write_jsonl, write_metrics)
 from .hist import percentile, summarize
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NULL_REGISTRY, NullRegistry)
+from .slo import (DEFAULT_RULES, SLOMonitor, SLOPolicy, SLOReport, SLORule,
+                  evaluate_slo, load_rules, parse_rules)
 from .tracer import NULL_TRACER, NullTracer, SimTracer, Span, SpanEvent
 
 __all__ = [
     "Counter",
+    "DEFAULT_RULES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -44,14 +59,35 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "Observability",
+    "SCHEMA_VERSION",
+    "SLOMonitor",
+    "SLOPolicy",
+    "SLOReport",
+    "SLORule",
     "SimTracer",
     "Span",
     "SpanEvent",
+    "TraceAnalysis",
+    "TraceDiff",
+    "TraceRun",
+    "analyze_run",
     "chrome_trace",
+    "critical_path",
+    "diff_runs",
+    "diff_traces",
+    "evaluate_slo",
+    "from_tracer",
     "get_obs",
+    "hotspot_table",
     "jsonl_lines",
+    "load_jsonl",
+    "load_metrics_snapshot",
+    "load_rules",
     "obs_session",
+    "parse_jsonl",
+    "parse_rules",
     "percentile",
+    "profile_run",
     "render_metrics",
     "set_obs",
     "span_events",

@@ -22,6 +22,16 @@ from typing import Dict, List, Optional, Tuple
 from .metrics import MetricsRegistry
 from .tracer import SimTracer, Span
 
+#: Version stamped into the JSONL event log's header record and the
+#: metrics-snapshot files.  Bump it when a record's shape changes so
+#: the analyzer (:mod:`repro.obs.analyze`) rejects logs it would
+#: misread instead of producing silently wrong reports.
+SCHEMA_VERSION = 1
+
+#: Versions the loaders accept (logs written before versioning carry
+#: no header and are treated as version 1).
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+
 #: Span category → (pid, process name, tid, thread name).  Everything
 #: serving-side shares one process; gpusim kernel leaves get their own
 #: so the GPU row reads like an nvprof timeline under the scheduler row.
@@ -191,8 +201,12 @@ def write_chrome_trace(path: str, tracer: SimTracer,
 
 def jsonl_lines(tracer: SimTracer) -> List[str]:
     """One JSON object per span and per span event, depth-first —
-    the grep-able form of the same tree."""
-    lines: List[str] = []
+    the grep-able form of the same tree.  The first line is a header
+    record carrying :data:`SCHEMA_VERSION` so offline loaders can
+    refuse logs written by an incompatible exporter."""
+    lines: List[str] = [json.dumps(
+        {"type": "header", "format": "repro-trace",
+         "schema_version": SCHEMA_VERSION}, sort_keys=True)]
     for span in tracer.walk():
         lines.append(json.dumps(
             {"type": "span", "sid": span.sid, "parent": span.parent_sid,
@@ -229,8 +243,43 @@ def render_metrics(registry: MetricsRegistry) -> str:
 
 
 def write_metrics(path: str, registry: MetricsRegistry) -> str:
-    """Deterministic JSON snapshot of a registry; returns the JSON."""
-    text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    """Deterministic JSON snapshot of a registry; returns the JSON.
+
+    The file carries ``schema_version`` next to the counter / gauge /
+    histogram sections; :func:`load_metrics_snapshot` checks it.
+    """
+    doc = dict(registry.snapshot(), schema_version=SCHEMA_VERSION)
+    text = json.dumps(doc, indent=2, sort_keys=True)
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return text
+
+
+def load_metrics_snapshot(path: str) -> dict:
+    """Load a metrics snapshot written by :func:`write_metrics`.
+
+    Also accepts a Chrome-trace document with an embedded snapshot
+    (``otherData.metrics``).  Unknown ``schema_version`` values raise
+    :class:`~repro.errors.TraceSchemaError`; files written before
+    versioning (no field) load as version 1.
+    """
+    from ..errors import TraceSchemaError
+
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"{path}: not valid JSON: {exc}") from exc
+    if isinstance(doc, dict) and "otherData" in doc:
+        doc = doc["otherData"].get("metrics")
+        if doc is None:
+            raise TraceSchemaError(
+                f"{path}: Chrome trace has no embedded metrics snapshot")
+    if not isinstance(doc, dict) or "counters" not in doc:
+        raise TraceSchemaError(f"{path}: not a metrics snapshot")
+    version = doc.get("schema_version", SCHEMA_VERSION)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise TraceSchemaError(
+            f"{path}: unsupported metrics schema_version {version!r} "
+            f"(supported: {list(SUPPORTED_SCHEMA_VERSIONS)})")
+    return doc

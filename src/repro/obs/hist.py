@@ -10,6 +10,7 @@ bench table are always the same quantity.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence
 
 #: The percentiles a distribution summary reports, in order.
@@ -38,11 +39,17 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
     Returns count/sum/min/mean/max plus the
     :data:`SUMMARY_PERCENTILES` as ``p50``/``p95``/``p99`` — the shape
     every histogram snapshot in the metrics registry exports.  An
-    empty input summarises to all zeros.
+    empty input summarises to all zeros.  Non-finite observations
+    (NaN / inf) are rejected: a NaN silently poisons sort order and
+    every derived percentile, so failing loudly here keeps snapshots
+    trustworthy.
     """
     if not values:
         return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0, "max": 0.0,
                 **{f"p{int(p)}": 0.0 for p in SUMMARY_PERCENTILES}}
+    if not all(math.isfinite(v) for v in values):
+        bad = next(v for v in values if not math.isfinite(v))
+        raise ValueError(f"summarize requires finite values, got {bad}")
     ordered = sorted(values)
     total = sum(ordered)
     out = {

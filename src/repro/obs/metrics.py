@@ -23,6 +23,7 @@ disabled observability costs a method call and nothing else.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Tuple
 
 from .hist import summarize
@@ -102,6 +103,9 @@ class Histogram:
         self.observations: List[float] = []
 
     def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram observations must be finite, got {value}")
         self.observations.append(value)
 
     @property

@@ -61,6 +61,7 @@ from ..gpusim.allocator import DeviceAllocator
 from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.timing import SimClock
 from ..obs.context import Observability, obs_session
+from ..obs.slo import SLOMonitor, SLOPolicy, SLOReport
 from ..obs.tracer import SimTracer
 from ..rng import DEFAULT_SEED
 from .batcher import BatchPolicy, DynamicBatcher
@@ -94,6 +95,10 @@ class ServerConfig:
     memory_budget: Optional[int] = None   # bytes; None = device capacity
     forward_only: bool = True
     resilience: ResilienceConfig = ResilienceConfig()
+    #: Attach a simulated-time SLO monitor (:mod:`repro.obs.slo`).
+    #: ``None`` (the default) keeps the run byte-identical to an
+    #: unmonitored one.
+    slo: Optional[SLOPolicy] = None
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -146,6 +151,9 @@ class Server:
         #: Degraded batch cap while a memory-pressure window is active;
         #: None = full policy cap.
         self._degraded_cap: Optional[int] = None
+        #: End-of-run SLO verdict, set by :meth:`run` when the config
+        #: carries an :class:`~repro.obs.slo.SLOPolicy`.
+        self.slo_report: Optional[SLOReport] = None
 
     def enable_tracing(self) -> SimTracer:
         """Attach a span tracer driven by this server's clock.
@@ -374,12 +382,16 @@ class Server:
             faults0 = self._injector.faults_injected
             corrupted0 = self._injector.entries_corrupted
         tracer = self.obs.tracer
+        monitor = (SLOMonitor(self.config.slo, self.obs)
+                   if self.config.slo is not None else None)
         pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
         with obs_session(self.obs), \
                 tracer.span("serve.run", cat="serve",
                             device=self.config.device.name,
                             arrivals=len(trace)):
             while pending or len(queue):
+                if monitor is not None:
+                    monitor.poll(self.clock.now_s)
                 while pending and pending[0].t_s <= self.clock.now_s:
                     arrival = pending.popleft()
                     stats.offered += 1
@@ -429,6 +441,8 @@ class Server:
         stats.rejected = queue.rejected
         stats.shed = queue.shed
         stats.closed_shed = queue.closed_out
+        if monitor is not None:
+            self.slo_report = monitor.finalize(self.clock.now_s)
         stats.breaker_trips = self._breaker.trips - trips0
         stats.breaker_skips = self._breaker.skips - skips0
         if self._injector is not None:

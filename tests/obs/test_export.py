@@ -123,6 +123,13 @@ class TestChromeTrace:
 
 
 class TestJsonl:
+    def test_header_record_first(self, traced):
+        from repro.obs.export import SCHEMA_VERSION
+
+        head = json.loads(jsonl_lines(traced)[0])
+        assert head == {"type": "header", "format": "repro-trace",
+                        "schema_version": SCHEMA_VERSION}
+
     def test_one_line_per_span_and_event(self, traced):
         lines = jsonl_lines(traced)
         parsed = [json.loads(line) for line in lines]
@@ -139,8 +146,59 @@ class TestJsonl:
     def test_write_returns_line_count(self, traced, tmp_path):
         path = tmp_path / "events.jsonl"
         n = write_jsonl(str(path), traced)
-        assert n == 4
-        assert len(path.read_text().splitlines()) == 4
+        assert n == 5                      # header + 3 spans + 1 event
+        assert len(path.read_text().splitlines()) == 5
+
+
+class TestMetricsSnapshotRoundTrip:
+    def test_schema_version_round_trips(self, tmp_path):
+        from repro.obs.export import SCHEMA_VERSION, load_metrics_snapshot
+
+        registry = MetricsRegistry()
+        registry.counter("serve_requests_offered_total").inc(5)
+        path = tmp_path / "metrics.json"
+        write_metrics(str(path), registry)
+        doc = load_metrics_snapshot(str(path))
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["counters"]["serve_requests_offered_total"] == 5
+
+    def test_unknown_version_rejected(self, tmp_path):
+        from repro.errors import TraceSchemaError
+        from repro.obs.export import load_metrics_snapshot
+
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(
+            {"counters": {}, "gauges": {}, "histograms": {},
+             "schema_version": 99}))
+        with pytest.raises(TraceSchemaError, match="schema_version"):
+            load_metrics_snapshot(str(path))
+
+    def test_preversioning_snapshot_loads(self, tmp_path):
+        from repro.obs.export import load_metrics_snapshot
+
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(
+            {"counters": {"a_total": 1}, "gauges": {}, "histograms": {}}))
+        assert load_metrics_snapshot(str(path))["counters"]["a_total"] == 1
+
+    def test_chrome_trace_embedded_snapshot_loads(self, traced, tmp_path):
+        from repro.obs.export import load_metrics_snapshot
+
+        registry = MetricsRegistry()
+        registry.counter("serve_retries_total").inc(2)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), traced, registry)
+        doc = load_metrics_snapshot(str(path))
+        assert doc["counters"]["serve_retries_total"] == 2
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        from repro.errors import TraceSchemaError
+        from repro.obs.export import load_metrics_snapshot
+
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TraceSchemaError, match="not a metrics snapshot"):
+            load_metrics_snapshot(str(path))
 
 
 class TestMetricsExport:

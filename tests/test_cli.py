@@ -310,3 +310,185 @@ class TestChaosCommand:
         first = json.loads(capsys.readouterr().out)["digest"]
         assert main(self.QUICK + ["--json"]) == 0
         assert json.loads(capsys.readouterr().out)["digest"] == first
+
+
+class TestAnalyzeCommand:
+    TRACE_ARGS = ["trace", "--duration", "0.2", "--rate", "500",
+                  "--seed", "7"]
+
+    def write_trace(self, path, extra=()):
+        assert main(self.TRACE_ARGS + list(extra)
+                    + ["--out", str(path)]) == 0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["analyze", "run.jsonl"])
+        assert args.trace == "run.jsonl"
+        assert args.baseline is None
+        assert args.top == 10
+
+    def test_analyze_renders_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self.write_trace(path)
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "Fig. 4 view" in out
+
+    def test_same_seed_baseline_reports_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.write_trace(a)
+        self.write_trace(b)
+        capsys.readouterr()
+        assert main(["analyze", str(a), "--baseline", str(b)]) == 0
+        assert "runs are identical: zero deltas, zero findings" \
+            in capsys.readouterr().out
+
+    def test_json_output_is_byte_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.write_trace(a)
+        self.write_trace(b)
+        capsys.readouterr()
+        assert main(["analyze", str(a), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["reconciliation"]["taxonomy_ok"]
+        assert main(["analyze", str(b), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        # identical runs analyze identically (source path aside)
+        first.pop("source"), second.pop("source")
+        assert second == first
+
+    def test_chaos_baseline_attributes_faults(self, tmp_path, capsys):
+        quiet, chaos = tmp_path / "q.jsonl", tmp_path / "c.jsonl"
+        args = ["trace", "--duration", "1.0", "--rate", "1500",
+                "--seed", "7"]
+        assert main(args + ["--out", str(quiet)]) == 0
+        assert main(args + ["--fault-plan", "chaos",
+                            "--out", str(chaos)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(chaos), "--baseline", str(quiet),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        causes = [f["cause"] for f in doc["diff"]["findings"]]
+        assert "fault_injections" in causes
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["analyze", "/nonexistent/run.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_garbage_trace_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope\n")
+        assert main(["analyze", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    SERVE_ARGS = ["serve", "--duration", "0.2", "--rate", "500",
+                  "--seed", "7"]
+
+    def write_metrics(self, path):
+        assert main(self.SERVE_ARGS + ["--metrics", str(path)]) == 0
+
+    def test_default_rules_pass_on_healthy_run(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        self.write_metrics(path)
+        capsys.readouterr()
+        assert main(["slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] p99-latency" in out
+        assert "verdict: PASS" in out
+
+    def test_failing_rule_exits_non_zero(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        self.write_metrics(metrics)
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "impossible", "kind": "latency_max",
+             "threshold": 0.0}]))
+        capsys.readouterr()
+        assert main(["slo", str(metrics), "--rules", str(rules)]) == 1
+        assert "[FAIL] impossible" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        self.write_metrics(path)
+        capsys.readouterr()
+        assert main(["slo", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert {r["name"] for r in doc["rules"]} == \
+            {"p99-latency", "shed-rate", "error-budget"}
+
+    def test_malformed_rules_fail_cleanly(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        self.write_metrics(metrics)
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([{"name": "x"}]))
+        capsys.readouterr()
+        assert main(["slo", str(metrics), "--rules", str(rules)]) == 1
+        assert "missing keys" in capsys.readouterr().err
+
+    def test_serve_with_slo_monitor(self, capsys):
+        assert main(self.SERVE_ARGS + ["--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO check" in out
+        assert "verdict: PASS" in out
+
+    def test_serve_with_failing_slo_exits_non_zero(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "impossible", "kind": "latency_max",
+             "threshold": 0.0}]))
+        assert main(self.SERVE_ARGS + ["--slo", str(rules),
+                                       "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["slo"]["passed"] is False
+
+
+class TestRegressionCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["regression"])
+        assert args.baseline == "benchmarks/calibration_baseline.json"
+        assert args.tolerance == 0.05
+        assert not args.save
+
+    def test_save_then_check_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(["regression", "--save", "--baseline",
+                     str(path)]) == 0
+        assert "headline quantities" in capsys.readouterr().out
+        assert main(["regression", "--baseline", str(path)]) == 0
+        assert "within" in capsys.readouterr().out
+
+    def test_drift_fails_with_table(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(["regression", "--save", "--baseline",
+                     str(path)]) == 0
+        doc = json.loads(path.read_text())
+        key = sorted(doc)[0]
+        doc[key] = doc[key] * 2 + 1.0    # force a drift on one quantity
+        path.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["regression", "--baseline", str(path)]) == 1
+        assert "drift" in capsys.readouterr().out
+
+    def test_json_verdict(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(["regression", "--save", "--baseline", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["regression", "--baseline", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert doc["quantities"] > 0
+        assert doc["drifts"] == []
+
+    def test_missing_baseline_fails_cleanly(self, capsys):
+        assert main(["regression", "--baseline",
+                     "/nonexistent/baseline.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_checked_in_baseline_still_calibrated(self):
+        """The CI gate: the repo's stored baseline matches the current
+        simulator within tolerance."""
+        assert main(["regression"]) == 0
