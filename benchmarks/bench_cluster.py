@@ -1,0 +1,203 @@
+"""Fleet serving benchmark (and CI determinism/recovery gate).
+
+Two scenarios over seeded traffic on a four-replica fleet:
+
+* **policy comparison** — the same ≥100k-request trace (quick mode
+  shrinks it) served once under each routing policy.  Shape-affinity
+  must beat round-robin on fleet plan-cache hit rate (the point of the
+  policy), and a same-seed re-run under the baseline policy must
+  produce a byte-identical report digest — the determinism gate.
+* **autoscaler recovery** — one replica under rate-4000 traffic it
+  cannot sustain, with the 30 ms p99 rule and the autoscaler attached.
+  The gate requires the SLO to be violated, the fleet to grow, and the
+  violation to be *recovered* by the end of the run.
+
+Run as a script (``python benchmarks/bench_cluster.py [--quick]``) it
+writes ``benchmarks/results/BENCH_cluster.json`` plus the rendered
+``cluster_policies.txt`` and exits non-zero on any gate failure.
+Under pytest it runs in quick mode and asserts the same gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+REPLICAS = 4
+
+
+def _digest(report) -> str:
+    import hashlib
+
+    blob = json.dumps(report.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_policy_comparison(duration_s: float, rate_rps: float) -> dict:
+    from repro.cluster import POLICIES, ClusterConfig, serve_cluster
+    from repro.serve import TrafficSpec, generate_trace
+
+    spec = TrafficSpec(duration_s=duration_s, rate_rps=rate_rps, seed=7)
+    trace = generate_trace(spec)
+    policies = {}
+    for policy in POLICIES:
+        t0 = time.perf_counter()
+        report = serve_cluster(trace, ClusterConfig(
+            replicas=REPLICAS, policy=policy))
+        policies[policy] = {
+            "throughput_rps": round(report.throughput_rps, 1),
+            "latency_p50_ms": round(report.latency_p50_ms, 3),
+            "latency_p99_ms": round(report.latency_p99_ms, 3),
+            "completion_rate": round(report.completion_rate, 4),
+            "plan_cache_hit_rate":
+                round(report.plan_cache["hit_rate"], 4),
+            "routed": [r.routed for r in report.replicas],
+            "digest": _digest(report),
+            "host_wall_s": round(time.perf_counter() - t0, 3),
+        }
+    rerun = serve_cluster(trace, ClusterConfig(
+        replicas=REPLICAS, policy="round-robin"))
+    return {
+        "workload": {"duration_s": duration_s, "rate_rps": rate_rps,
+                     "seed": spec.seed, "arrivals": len(trace),
+                     "replicas": REPLICAS},
+        "policies": policies,
+        "rerun_digest_matches":
+            _digest(rerun) == policies["round-robin"]["digest"],
+    }
+
+
+def run_autoscale_recovery(duration_s: float = 2.0,
+                           rate_rps: float = 4000.0) -> dict:
+    from repro.cluster import (AutoscalePolicy, ClusterConfig,
+                               serve_cluster)
+    from repro.obs.slo import SLOPolicy, SLORule
+    from repro.serve import TrafficSpec, generate_trace
+
+    trace = generate_trace(TrafficSpec(duration_s=duration_s,
+                                       rate_rps=rate_rps, seed=11))
+    report = serve_cluster(trace, ClusterConfig(
+        replicas=1, policy="least-loaded",
+        slo=SLOPolicy(rules=(SLORule(name="p99", kind="latency_p99",
+                                     threshold=0.03),), window_s=0.05),
+        window_s=0.25,
+        autoscale=AutoscalePolicy(min_replicas=1, max_replicas=4,
+                                  cooldown_s=0.5)))
+    return {
+        "workload": {"duration_s": duration_s, "rate_rps": rate_rps,
+                     "seed": 11, "arrivals": len(trace)},
+        "violations": report.slo_violations,
+        "recoveries": report.slo_recoveries,
+        "in_violation_at_end": report.slo_in_violation,
+        "scale_ups": report.scale_ups,
+        "replicas_peak": report.replicas_peak,
+        "latency_p99_ms": round(report.latency_p99_ms, 3),
+        "actions": list(report.autoscale_actions),
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    if quick:
+        comparison = run_policy_comparison(duration_s=1.0, rate_rps=4000.0)
+    else:
+        # ≥100k arrivals across the fleet, the acceptance-scale trace.
+        comparison = run_policy_comparison(duration_s=10.5,
+                                           rate_rps=10000.0)
+    return {
+        "benchmark": "cluster",
+        "quick": quick,
+        "policy_comparison": comparison,
+        "autoscale_recovery": run_autoscale_recovery(),
+    }
+
+
+def check_gates(payload: dict) -> list:
+    failures = []
+    comparison = payload["policy_comparison"]
+    if not comparison["rerun_digest_matches"]:
+        failures.append("same-seed re-run produced a different report "
+                        "digest — the fleet is nondeterministic")
+    policies = comparison["policies"]
+    if (policies["shape-affinity"]["plan_cache_hit_rate"]
+            <= policies["round-robin"]["plan_cache_hit_rate"]):
+        failures.append("shape-affinity did not beat round-robin on "
+                        "plan-cache hit rate")
+    recovery = payload["autoscale_recovery"]
+    if recovery["violations"] < 1:
+        failures.append("overload scenario never violated the SLO")
+    if recovery["recoveries"] < 1 or recovery["in_violation_at_end"]:
+        failures.append("autoscaler failed to recover the violated "
+                        "latency SLO")
+    if recovery["scale_ups"] < 1:
+        failures.append("autoscaler never scaled up under overload")
+    return failures
+
+
+def _render_text(payload: dict) -> str:
+    comparison = payload["policy_comparison"]
+    w = comparison["workload"]
+    lines = [
+        f"routing policies on {w['arrivals']} arrivals "
+        f"({w['duration_s']:g} s @ {w['rate_rps']:g} req/s, "
+        f"{w['replicas']} replicas, seed {w['seed']})",
+        "",
+        f"{'policy':16s} {'req/s':>8s} {'p50 ms':>8s} {'p99 ms':>8s} "
+        f"{'cache hit':>10s} {'completion':>11s}",
+    ]
+    for name, p in comparison["policies"].items():
+        lines.append(
+            f"{name:16s} {p['throughput_rps']:8.0f} "
+            f"{p['latency_p50_ms']:8.2f} {p['latency_p99_ms']:8.2f} "
+            f"{p['plan_cache_hit_rate'] * 100:9.1f}% "
+            f"{p['completion_rate'] * 100:10.1f}%")
+    lines.append("")
+    lines.append("same-seed re-run digest identical: "
+                 f"{comparison['rerun_digest_matches']}")
+    recovery = payload["autoscale_recovery"]
+    lines.append(
+        f"autoscale recovery: {recovery['violations']} violation(s), "
+        f"{recovery['scale_ups']} scale-up(s) to peak "
+        f"{recovery['replicas_peak']}, {recovery['recoveries']} "
+        f"recovery(ies), end state "
+        f"{'VIOLATED' if recovery['in_violation_at_end'] else 'ok'}")
+    return "\n".join(lines)
+
+
+def bench_cluster_policies(save_artifact):
+    """Benchmark-suite entry: quick mode plus the CI gates."""
+    payload = run_benchmark(quick=True)
+    save_artifact("cluster_policies", _render_text(payload))
+    assert not check_gates(payload)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="~4k-request trace instead of the "
+                             "acceptance-scale 100k")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick)
+    print(_render_text(payload))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_cluster.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    (RESULTS_DIR / "cluster_policies.txt").write_text(
+        _render_text(payload) + "\n")
+    print(f"\nwrote {out}")
+
+    failures = check_gates(payload)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    raise SystemExit(main())

@@ -4,8 +4,13 @@ the throughput value of dynamic batching under saturating load.
 Unlike the figure benches these do not regenerate a paper artifact —
 they quantify the serving layer built on top of the paper's cost
 model.  The rendered comparison is archived as
-``benchmarks/results/serving_throughput.txt``.
+``benchmarks/results/serving_throughput.txt`` and the machine-readable
+headline numbers (throughput and p50/p99 latency for both modes) as
+``benchmarks/results/BENCH_serving.json``.
 """
+
+import json
+import pathlib
 
 import pytest
 
@@ -22,6 +27,15 @@ CONV2_KEY = shape_key(MODEL_SHAPES["AlexNet"][1][1])
 #: Long enough that cold plan misses (one per shape x batch bucket)
 #: amortize into a >90% steady-state hit rate.
 SPEC = TrafficSpec(duration_s=6.0, rate_rps=6000, seed=7)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _latency_summary(report):
+    return {"throughput_rps": round(report.throughput_rps, 1),
+            "latency_p50_ms": round(report.latency_p50_ms, 3),
+            "latency_p99_ms": round(report.latency_p99_ms, 3),
+            "completed": report.completed}
 
 
 def _advisor():
@@ -77,6 +91,19 @@ def bench_dynamic_batching_throughput(benchmark, save_artifact):
         f"dynamic batching throughput speedup: x{speedup:.2f}",
     ]
     save_artifact("serving_throughput", "\n".join(lines))
+    payload = {
+        "benchmark": "serving_throughput",
+        "workload": {"duration_s": SPEC.duration_s,
+                     "rate_rps": SPEC.rate_rps, "seed": SPEC.seed,
+                     "arrivals": len(trace)},
+        "dynamic_batching": _latency_summary(batched),
+        "forced_batch_1": _latency_summary(single),
+        "throughput_speedup_x": round(speedup, 3),
+        "plan_cache_hit_rate": round(batched.plan_cache["hit_rate"], 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
     assert batched.throughput_rps > single.throughput_rps
     assert batched.plan_cache["hit_rate"] > 0.9
     benchmark.extra_info["speedup"] = round(speedup, 3)

@@ -29,6 +29,10 @@ Commands
     Run the same traffic twice — fault-free and under a named fault
     plan — and report the resilience stats (retries, fallbacks,
     breaker trips, shed causes) plus a determinism digest.
+``cluster [--replicas N --policy p2c --slo ... --autoscale]``
+    Serve the traffic across a replicated fleet of simulated GPUs:
+    pluggable routing, per-replica fault plans and scheduled kills,
+    and (with ``--autoscale``) SLO-driven scale up / graceful drain.
 ``trace [--out ...]``
     Run one traced serving run and export its span timeline
     (Chrome-trace/Perfetto JSON, or the JSONL event log).
@@ -405,6 +409,114 @@ def cmd_chaos(args) -> int:
     return 0 if deterministic else 1
 
 
+def cmd_cluster(args) -> int:
+    import json
+
+    from .cluster import AutoscalePolicy, Cluster, ClusterConfig
+    from .faults import named_plan
+    from .obs.slo import DEFAULT_RULES, SLOPolicy, load_rules
+    from .serve import generate_trace, trace_summary
+
+    if args.quick:
+        args.duration = 1.0
+        args.rate = 4000.0
+    spec = _traffic_spec(args)
+    trace = generate_trace(spec)
+
+    slo = None
+    if args.slo:
+        rules = DEFAULT_RULES if args.slo == "-" else load_rules(args.slo)
+        slo = SLOPolicy(rules=rules, window_s=args.slo_window_ms / 1000.0)
+    autoscale = None
+    if args.autoscale:
+        if slo is None:
+            raise ValueError("--autoscale needs --slo (the autoscaler "
+                             "consumes SLO violation/recovery edges)")
+        autoscale = AutoscalePolicy(min_replicas=args.min_replicas,
+                                    max_replicas=args.max_replicas,
+                                    cooldown_s=args.cooldown_ms / 1000.0)
+    fault_plans = {}
+    default_plan = None
+    if args.fault_plan:
+        plan = named_plan(args.fault_plan, duration_s=spec.duration_s)
+        if args.fault_replica is not None:
+            fault_plans = {i: plan for i in args.fault_replica}
+        else:
+            default_plan = plan
+    kills = {}
+    if args.kill_replica is not None:
+        if args.kill_at is None:
+            raise ValueError("--kill-replica needs --kill-at SECONDS")
+        kills = {args.kill_replica: args.kill_at}
+
+    config = ClusterConfig(
+        replicas=args.replicas, policy=args.policy,
+        server=_server_config(args), seed=spec.seed,
+        slo=slo, autoscale=autoscale, window_s=args.window_ms / 1000.0,
+        fault_plans=fault_plans, default_fault_plan=default_plan,
+        kills=kills)
+    cluster = Cluster(config)
+    if args.trace:
+        cluster.enable_tracing()
+    report = cluster.run(trace)
+
+    if args.trace:
+        from .obs.export import (write_cluster_chrome_trace,
+                                 write_cluster_jsonl)
+
+        if args.trace.endswith(".jsonl"):
+            n = write_cluster_jsonl(args.trace, cluster.obs.tracer,
+                                    cluster.replica_tracers)
+            print(f"wrote {n} trace records to {args.trace}",
+                  file=sys.stderr)
+        else:
+            write_cluster_chrome_trace(
+                args.trace, cluster.obs.tracer, cluster.replica_tracers,
+                cluster.obs.registry, command="cluster", seed=spec.seed,
+                policy=config.policy, replicas=config.replicas)
+            print(f"wrote fleet trace to {args.trace}", file=sys.stderr)
+    replica_registries = [(r.name, r.server.obs.registry)
+                          for r in cluster.replicas]
+    if args.metrics and args.metrics != "-":
+        from .obs.export import write_cluster_metrics
+
+        write_cluster_metrics(args.metrics, cluster.obs.registry,
+                              replica_registries)
+        print(f"wrote fleet metrics snapshot to {args.metrics}",
+              file=sys.stderr)
+
+    slo_ok = not report.slo_in_violation  # None (no SLO) is ok
+    if args.json:
+        doc = {"traffic": {"arrivals": len(trace),
+                           "duration_s": spec.duration_s,
+                           "pattern": spec.pattern,
+                           "seed": spec.seed},
+               "cluster": report.to_dict()}
+        if args.metrics == "-":
+            from .obs.export import cluster_metrics_doc
+
+            doc["metrics"] = cluster_metrics_doc(cluster.obs.registry,
+                                                 replica_registries)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if slo_ok else 1
+    print(trace_summary(trace, spec))
+    if args.fault_plan:
+        targets = ("all replicas" if default_plan is not None else
+                   "replica(s) " + ", ".join(map(str, args.fault_replica)))
+        print(f"fault plan: {args.fault_plan} on {targets}")
+    if kills:
+        print("kill schedule: " + ", ".join(
+            f"replica {i} @ {t:.3f}s" for i, t in sorted(kills.items())))
+    print()
+    print(report.render())
+    if args.metrics == "-":
+        from .obs.export import render_metrics
+
+        print()
+        print(render_metrics(cluster.obs.registry))
+    return 0 if slo_ok else 1
+
+
 def cmd_trace(args) -> int:
     from .faults import named_plan
     from .serve import Server, generate_trace, trace_summary
@@ -656,6 +768,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="1-second smoke run (CI gate)")
     _add_obs_args(p_chaos)
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    from .cluster import POLICIES
+
+    p_cluster = sub.add_parser(
+        "cluster", help="serve traffic across a replicated fleet with "
+                        "pluggable routing and SLO-driven autoscaling")
+    add_traffic_args(p_cluster)
+    p_cluster.add_argument("--replicas", type=int, default=4,
+                           help="initial fleet size (default 4)")
+    p_cluster.add_argument("--policy", choices=POLICIES,
+                           default="round-robin",
+                           help="request routing policy (default "
+                                "round-robin)")
+    p_cluster.add_argument("--slo", metavar="RULES", nargs="?", const="-",
+                           default=None,
+                           help="attach the fleet SLO monitor (sliding-"
+                                "window evaluation): rules from a JSON "
+                                "file, or the default rule set when RULES "
+                                "is omitted; a rule still in violation at "
+                                "the end exits non-zero")
+    p_cluster.add_argument("--slo-window-ms", type=float, default=50.0,
+                           help="SLO polling cadence (default 50 ms)")
+    p_cluster.add_argument("--window-ms", type=float, default=1000.0,
+                           help="sliding window the fleet SLO snapshot "
+                                "summarises (default 1000 ms)")
+    p_cluster.add_argument("--autoscale", action="store_true",
+                           help="scale the fleet on SLO violation/recovery "
+                                "edges (needs --slo)")
+    p_cluster.add_argument("--min-replicas", type=int, default=1,
+                           help="autoscaler floor (default 1)")
+    p_cluster.add_argument("--max-replicas", type=int, default=8,
+                           help="autoscaler ceiling (default 8)")
+    p_cluster.add_argument("--cooldown-ms", type=float, default=200.0,
+                           help="min time between scaling actions "
+                                "(default 200 ms)")
+    p_cluster.add_argument("--fault-plan", choices=PLAN_NAMES, default=None,
+                           help="inject a named fault plan")
+    p_cluster.add_argument("--fault-replica", type=int, action="append",
+                           default=None, metavar="IDX",
+                           help="restrict --fault-plan to this replica "
+                                "index (repeatable; default: all replicas)")
+    p_cluster.add_argument("--kill-replica", type=int, default=None,
+                           metavar="IDX",
+                           help="kill this replica mid-run (with "
+                                "--kill-at)")
+    p_cluster.add_argument("--kill-at", type=float, default=None,
+                           metavar="SECONDS",
+                           help="simulated time of the --kill-replica kill")
+    p_cluster.add_argument("--json", action="store_true",
+                           help="machine-readable report output")
+    p_cluster.add_argument("--quick", action="store_true",
+                           help="1-second smoke run (CI gate)")
+    _add_obs_args(p_cluster)
+    p_cluster.set_defaults(fn=cmd_cluster)
 
     p_trace = sub.add_parser(
         "trace", help="run one traced serving run and export the span "

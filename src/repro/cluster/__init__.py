@@ -1,0 +1,50 @@
+"""Replicated serving fleet with pluggable routing and SLO-driven
+autoscaling.
+
+Generalises the single-device serving stack (:mod:`repro.serve`) to a
+deterministic fleet of simulated GPUs on one shared virtual timeline:
+
+* :class:`~repro.cluster.replica.Replica` — one fleet member wrapping
+  a whole :class:`~repro.serve.scheduler.Server` (device, batcher,
+  plan cache, optional fault injector), driven through the server's
+  session API;
+* :class:`~repro.cluster.router.Router` — pluggable request routing
+  (``round-robin``, ``least-loaded``, ``p2c``, ``shape-affinity``);
+* :class:`~repro.cluster.autoscaler.Autoscaler` — a closed loop over
+  the SLO engine's edge-triggered violation/recovery events, scaling
+  between bounds with graceful drains;
+* :class:`~repro.cluster.fleet.Cluster` — the discrete-event driver
+  tying them together; :func:`~repro.cluster.fleet.serve_cluster` is
+  the one-shot convenience.
+
+Everything runs on simulated time from seeded inputs: two same-seed
+runs are byte-identical, replica for replica, span for span.
+"""
+
+from .autoscaler import AutoscalePolicy, Autoscaler
+from .fleet import Cluster, ClusterConfig, serve_cluster
+from .replica import REPLICA_SID_STRIDE, Replica
+from .report import ClusterReport, ReplicaSummary, aggregate_plan_cache
+from .router import (POLICIES, LeastLoaded, PowerOfTwo, RoundRobin, Router,
+                     RoutingPolicy, ShapeAffinity, make_policy)
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterReport",
+    "LeastLoaded",
+    "POLICIES",
+    "PowerOfTwo",
+    "REPLICA_SID_STRIDE",
+    "Replica",
+    "ReplicaSummary",
+    "RoundRobin",
+    "Router",
+    "RoutingPolicy",
+    "ShapeAffinity",
+    "aggregate_plan_cache",
+    "make_policy",
+    "serve_cluster",
+]

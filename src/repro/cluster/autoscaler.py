@@ -1,0 +1,114 @@
+"""Closed-loop SLO-driven autoscaling.
+
+The autoscaler is the consumer of the SLO engine's edge-triggered
+events: the cluster's fleet :class:`~repro.obs.slo.SLOMonitor`
+evaluates its rules over a *sliding window* of recent fleet traffic on
+the simulated clock, and on every ok→fail / fail→ok transition calls
+:meth:`Autoscaler.on_edge` (the monitor's ``listener`` hook — no trace
+parsing, no polling of its own).
+
+Decisions are deliberately simple and fully deterministic:
+
+* a rule entering violation **scales up** by one replica, bounded by
+  ``max_replicas`` and a cooldown (one action per cooldown window, so
+  a long violation episode grows the fleet step by step rather than
+  all at once);
+* a rule recovering — with *no* rule still in violation — **scales
+  down** by one: the highest-indexed routable replica starts a
+  graceful drain (its queue is re-routed; it finishes in-flight work
+  and retires), bounded by ``min_replicas`` and the same cooldown.
+
+Every action lands in the fleet trace as a zero-duration
+``autoscale.scale_up`` span at the decision time or an
+``autoscale.drain`` span stretching from the decision to the moment
+the drained replica went idle, plus an entry in the action ledger the
+:class:`~repro.cluster.report.ClusterReport` carries — the CI smoke
+gates on a violated latency SLO being recovered within the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..obs.slo import SLORule, SLOVerdict
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and pacing of the scaling loop."""
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Minimum simulated seconds between two scaling actions.
+    cooldown_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})")
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}")
+
+
+class Autoscaler:
+    """Turns SLO edges into fleet-size changes on one cluster.
+
+    ``fleet`` is the owning :class:`~repro.cluster.fleet.Cluster`; the
+    autoscaler calls its ``scale_up`` / ``scale_down`` and reads its
+    routable count.  The violation *set* is tracked here (not read
+    back from the monitor) because the listener fires mid-evaluation,
+    before the monitor commits the new rule state.
+    """
+
+    def __init__(self, policy: AutoscalePolicy, fleet) -> None:
+        self.policy = policy
+        self._fleet = fleet
+        self._violated: Set[str] = set()
+        self._last_action_s: Optional[float] = None
+        #: Action ledger: dicts with action/t_s/rule/replica/replicas.
+        self.actions: List[dict] = []
+        self.scale_ups = 0
+        self.drains = 0
+
+    @property
+    def in_violation(self) -> bool:
+        """Whether any rule is currently in a violation episode."""
+        return bool(self._violated)
+
+    def _cooled_down(self, now_s: float) -> bool:
+        return (self._last_action_s is None
+                or now_s - self._last_action_s >= self.policy.cooldown_s)
+
+    def _record(self, action: str, now_s: float, rule: str,
+                replica: int) -> None:
+        self._last_action_s = now_s
+        self.actions.append({
+            "action": action, "t_s": now_s, "rule": rule,
+            "replica": replica, "replicas": self._fleet.routable_count,
+        })
+
+    def on_edge(self, rule: SLORule, failed: bool, now_s: float,
+                verdict: SLOVerdict) -> None:
+        """The :class:`~repro.obs.slo.SLOMonitor` listener hook."""
+        if failed:
+            self._violated.add(rule.name)
+            if (self._fleet.routable_count < self.policy.max_replicas
+                    and self._cooled_down(now_s)):
+                index = self._fleet.scale_up(now_s, rule.name)
+                self.scale_ups += 1
+                self._record("scale_up", now_s, rule.name, index)
+        else:
+            self._violated.discard(rule.name)
+            if (not self._violated
+                    and self._fleet.routable_count > self.policy.min_replicas
+                    and self._cooled_down(now_s)):
+                index = self._fleet.scale_down(now_s, rule.name)
+                if index is not None:
+                    self.drains += 1
+                    self._record("drain", now_s, rule.name, index)

@@ -1,0 +1,447 @@
+"""The fleet driver: replicas + router + SLO monitor + autoscaler.
+
+:class:`Cluster` generalises :meth:`repro.serve.scheduler.Server.run`
+from one simulated GPU to a replicated fleet on one shared virtual
+timeline.  The event loop is a discrete-event simulation over a global
+:class:`~repro.gpusim.timing.SimClock`:
+
+1. apply any scheduled replica kills due now (chaos: the router sheds
+   around the hole while the evacuated queue is re-routed);
+2. run the fleet SLO monitor's due evaluations — a violation /
+   recovery edge may scale the fleet through the autoscaler;
+3. route every arrival due now to a replica (the policy sees only
+   routable replicas);
+4. poll each replica in index order: a replica whose private clock is
+   behind catches up and releases batches; one that is mid-batch
+   (clock ahead) waits for the fleet clock;
+5. advance the fleet clock to the next event — the earliest of: next
+   arrival, each busy replica's completion, each queue's max-wait
+   release, the monitor's next poll, the next scheduled kill.
+
+Determinism is end-to-end: iteration is always in replica-index order,
+the only RNGs are the seeded per-replica fault injectors and the
+``p2c`` policy's own seeded generator, and no wall clock is ever read
+— two same-seed runs produce byte-identical reports, traces and
+metrics (the CI ``cluster-smoke`` job diffs exactly that).
+
+The *fleet* sliding-window SLO view exists because the cumulative
+``serve_latency_seconds`` histogram answers "how was the whole run"
+— after a scale-up fixes the tail, the cumulative p99 stays violated
+for a long time, so an autoscaler fed by it can never observe its own
+success.  :meth:`Cluster._window_snapshot` therefore summarises only
+the last ``window_s`` of fleet traffic into a snapshot-shaped dict and
+feeds *that* to the :class:`~repro.obs.slo.SLOMonitor`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.advisor import Advisor
+from ..faults import FaultPlan
+from ..frameworks.registry import shared_implementations
+from ..gpusim.timing import SimClock
+from ..obs.context import Observability, obs_session
+from ..obs.hist import percentile, summarize
+from ..obs.slo import SLOMonitor, SLOPolicy
+from ..obs.tracer import SimTracer
+from ..rng import DEFAULT_SEED
+from ..serve.loadgen import Arrival
+from ..serve.request import Request
+from ..serve.scheduler import ServerConfig
+from .autoscaler import AutoscalePolicy, Autoscaler
+from .replica import Replica
+from .report import ClusterReport, ReplicaSummary, aggregate_plan_cache
+from .router import POLICIES, Router, make_policy
+
+#: Per-replica fault seeds are derived from the cluster seed with this
+#: (prime) stride so replicas draw independent fault streams that stay
+#: stable as the fleet grows.
+_FAULT_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a fleet run is parameterised by."""
+
+    replicas: int = 4
+    policy: str = "round-robin"
+    server: ServerConfig = ServerConfig()
+    #: Seeds the ``p2c`` router and derives per-replica fault seeds.
+    seed: int = DEFAULT_SEED
+    #: Fleet-level SLO rules, evaluated over the sliding window.
+    slo: Optional[SLOPolicy] = None
+    #: Enable the autoscaler (requires ``slo``).
+    autoscale: Optional[AutoscalePolicy] = None
+    #: Sliding-window width for the fleet SLO snapshot, seconds.
+    window_s: float = 1.0
+    #: Per-replica fault plans by index; replicas not listed use
+    #: ``default_fault_plan`` (``None`` = fault-free).
+    fault_plans: Dict[int, FaultPlan] = field(default_factory=dict)
+    default_fault_plan: Optional[FaultPlan] = None
+    #: Chaos: replica index -> simulated time at which it is killed.
+    kills: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown routing policy {self.policy!r}; "
+                             f"options: {', '.join(POLICIES)}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.autoscale is not None:
+            if self.slo is None:
+                raise ValueError("autoscaling needs an SLO policy "
+                                 "(the autoscaler consumes its edges)")
+            if not (self.autoscale.min_replicas <= self.replicas
+                    <= self.autoscale.max_replicas):
+                raise ValueError(
+                    f"initial fleet size {self.replicas} outside autoscale "
+                    f"bounds [{self.autoscale.min_replicas}, "
+                    f"{self.autoscale.max_replicas}]")
+        for index, t_s in self.kills.items():
+            if index < 0 or t_s < 0:
+                raise ValueError(f"invalid kill {index} @ {t_s}")
+
+
+class Cluster:
+    """A replicated serving fleet on one shared virtual timeline."""
+
+    def __init__(self, config: ClusterConfig = ClusterConfig()):
+        self.config = config
+        self.clock = SimClock()
+        #: Fleet observability: router/autoscaler/SLO metrics + spans.
+        #: Each replica additionally owns a private registry + tracer.
+        self.obs = Observability()
+        # One advisor shared by every replica: its ranking is a pure
+        # function of (config, device), so sharing only shares the
+        # memoization, never state.
+        self._advisor = Advisor(device=config.server.device,
+                                implementations=shared_implementations())
+        self.router = Router(make_policy(config.policy, config.seed),
+                             self.obs)
+        self.replicas: List[Replica] = []
+        #: (name, tracer) per replica, for the merged exports.
+        self.replica_tracers: List[Tuple[str, SimTracer]] = []
+        self._tracing = False
+        self._next_index = 0
+        self._peak_routable = 0
+        self._consumed: Dict[int, int] = {}      # completions collected
+        self._requeued = 0
+        self._kills_applied = 0
+        self._kill_queue: Deque[Tuple[int, float]] = deque()
+        self._ran = False
+        # Sliding-window state for the fleet SLO snapshot.
+        self._win_offered: Deque[float] = deque()
+        self._win_completions: Deque[Tuple[float, float, float]] = deque()
+        self._all_latencies: List[float] = []
+        self.autoscaler: Optional[Autoscaler] = None
+        self.monitor: Optional[SLOMonitor] = None
+        if config.slo is not None:
+            listener = None
+            if config.autoscale is not None:
+                self.autoscaler = Autoscaler(config.autoscale, self)
+                listener = self.autoscaler.on_edge
+            self.monitor = SLOMonitor(config.slo, self.obs,
+                                      snapshot_fn=self._window_snapshot,
+                                      listener=listener)
+
+    # -- observability -----------------------------------------------------
+
+    def enable_tracing(self) -> SimTracer:
+        """Attach a fleet tracer (router + autoscaler + SLO events) on
+        the fleet clock; replicas spawned afterwards each get their own
+        tracer in a disjoint span-id block.  Call before :meth:`run`.
+        Returns the fleet tracer for the merged exports
+        (:func:`repro.obs.export.cluster_chrome_trace`)."""
+        tracer = SimTracer(self.clock)
+        self.obs.tracer = tracer
+        self._tracing = True
+        return tracer
+
+    def _window_snapshot(self) -> dict:
+        """The last ``window_s`` of fleet traffic, shaped like a
+        registry snapshot so the SLO rules evaluate unchanged.
+
+        Completions arrive slightly out of finish-time order across
+        replicas, so pruning stops at the first in-window head — the
+        effective window can briefly hold a few older entries, which
+        is deterministic and bounded by one batch's service time.
+        """
+        cutoff = self.clock.now_s - self.config.window_s
+        while self._win_offered and self._win_offered[0] < cutoff:
+            self._win_offered.popleft()
+        while self._win_completions and self._win_completions[0][0] < cutoff:
+            self._win_completions.popleft()
+        latencies = [lat for _, lat, _ in self._win_completions]
+        waits = [w for _, _, w in self._win_completions]
+        return {
+            "counters": {
+                "serve_requests_offered_total": float(len(self._win_offered)),
+                "serve_requests_completed_total":
+                    float(len(self._win_completions)),
+            },
+            "histograms": {
+                "serve_latency_seconds": summarize(latencies),
+                "serve_queue_wait_seconds": summarize(waits),
+            },
+        }
+
+    # -- fleet mutation (also called back by the autoscaler) ---------------
+
+    @property
+    def routable_count(self) -> int:
+        return sum(1 for r in self.replicas if r.routable)
+
+    def _spawn(self, now_s: float) -> Replica:
+        index = self._next_index
+        self._next_index += 1
+        plan = self.config.fault_plans.get(index,
+                                           self.config.default_fault_plan)
+        replica = Replica(
+            index, self.config.server, advisor=self._advisor,
+            fault_plan=plan,
+            fault_seed=self.config.seed + _FAULT_SEED_STRIDE * (index + 1),
+            tracing=self._tracing)
+        replica.begin(now_s)
+        self.replicas.append(replica)
+        self._consumed[index] = 0
+        if self._tracing:
+            self.replica_tracers.append((replica.name, replica.tracer))
+        self._peak_routable = max(self._peak_routable, self.routable_count)
+        return replica
+
+    def scale_up(self, now_s: float, rule: str = "") -> int:
+        """Add one replica (autoscaler callback); returns its index."""
+        replica = self._spawn(now_s)
+        self.obs.tracer.add_span("autoscale.scale_up", cat="autoscale",
+                                 start_s=now_s, end_s=now_s,
+                                 replica=replica.index, rule=rule,
+                                 replicas=self.routable_count)
+        self.obs.registry.counter("cluster_scale_ups_total").inc()
+        return replica.index
+
+    def scale_down(self, now_s: float, rule: str = "") -> Optional[int]:
+        """Start draining the highest-indexed routable replica
+        (autoscaler callback); its queue is re-routed immediately and
+        it retires once idle.  Returns the index, or ``None`` when
+        nothing is drainable."""
+        candidates = [r for r in self.replicas if r.routable]
+        if len(candidates) <= 1:
+            return None
+        victim = max(candidates, key=lambda r: r.index)
+        evacuated = victim.start_drain(now_s)
+        self._requeue(evacuated, now_s)
+        self.obs.registry.counter("cluster_drains_total").inc()
+        return victim.index
+
+    def _apply_kills(self, now_s: float) -> None:
+        while self._kill_queue and self._kill_queue[0][1] <= now_s:
+            index, _ = self._kill_queue.popleft()
+            victim = next((r for r in self.replicas
+                           if r.index == index and r.active), None)
+            if victim is None:
+                continue            # already retired or dead
+            evacuated = victim.kill(now_s)
+            self._kills_applied += 1
+            self.obs.registry.counter("cluster_kills_total").inc()
+            self.obs.tracer.add_span("fault.replica_kill", cat="faults",
+                                     start_s=now_s, end_s=now_s,
+                                     replica=index,
+                                     requeued=len(evacuated))
+            self._requeue(evacuated, now_s)
+
+    def _requeue(self, requests: Sequence[Request], now_s: float) -> None:
+        """Re-route requests evacuated from a draining/killed replica.
+
+        They keep their original arrival time (so their deadline still
+        stands) and are *not* re-counted as fleet offers."""
+        if not requests:
+            return
+        self._requeued += len(requests)
+        self.obs.registry.counter("cluster_requeued_total").inc(len(requests))
+        for request in requests:
+            target = self.router.route(request, self.replicas, now_s)
+            if target is not None:
+                target.admit(request)
+
+    def _route_arrival(self, arrival: Arrival, now_s: float) -> None:
+        request = Request(rid=arrival.rid, model=arrival.model,
+                          layer=arrival.layer, key=arrival.key,
+                          arrival_s=arrival.t_s,
+                          timeout_s=self.config.server.timeout_s)
+        self._win_offered.append(arrival.t_s)
+        target = self.router.route(request, self.replicas, now_s)
+        if target is not None:
+            target.admit(request)
+
+    def _collect_completions(self) -> None:
+        for replica in self.replicas:
+            stats = replica.server.stats
+            if stats is None:
+                continue
+            start = self._consumed[replica.index]
+            comps = stats.completions
+            if len(comps) == start:
+                continue
+            for c in comps[start:]:
+                self._win_completions.append(
+                    (c.finish_s, c.latency_s, c.queue_wait_s))
+                self._all_latencies.append(c.latency_s)
+            self._consumed[replica.index] = len(comps)
+
+    def _retire_idle_drainers(self, now_s: float) -> None:
+        for replica in self.replicas:
+            if (replica.draining and replica.active
+                    and replica.queue_depth == 0
+                    and replica.server.clock.now_s <= now_s):
+                self._finish_drain(replica, now_s)
+
+    def _finish_drain(self, replica: Replica, end_s: float) -> None:
+        replica.retire(end_s, outcome="drained")
+        self.obs.tracer.add_span(
+            "autoscale.drain", cat="autoscale",
+            start_s=replica.drain_started_s, end_s=end_s,
+            replica=replica.index)
+
+    # -- the fleet driver --------------------------------------------------
+
+    def run(self, trace: Sequence[Arrival]) -> ClusterReport:
+        """Serve one arrival trace across the fleet; returns the
+        frozen :class:`~repro.cluster.report.ClusterReport`."""
+        if self._ran:
+            raise RuntimeError("a Cluster runs one trace; build a new one")
+        self._ran = True
+        pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
+        self._kill_queue = deque(
+            sorted(self.config.kills.items(), key=lambda kv: (kv[1], kv[0])))
+        for _ in range(self.config.replicas):
+            self._spawn(0.0)
+        with obs_session(self.obs):
+            root = self.obs.tracer.span(
+                "cluster.run", cat="cluster", policy=self.config.policy,
+                replicas=self.config.replicas, arrivals=len(trace))
+            root.__enter__()
+            try:
+                self._loop(pending)
+            finally:
+                replicas_final = self.routable_count
+                end_s = self.clock.now_s
+                for replica in self.replicas:
+                    if not replica.active:
+                        continue
+                    end = max(end_s, replica.server.clock.now_s)
+                    if replica.draining:
+                        self._finish_drain(replica, end)
+                    else:
+                        replica.retire(end, outcome="ran")
+                self._collect_completions()
+                root.annotate(completed=len(self._all_latencies),
+                              replicas_final=replicas_final)
+                root.__exit__(None, None, None)
+        return self._build_report(len(trace), replicas_final)
+
+    def _loop(self, pending: Deque[Arrival]) -> None:
+        while True:
+            now = self.clock.now_s
+            self._apply_kills(now)
+            if self.monitor is not None:
+                self.monitor.poll(now)
+            while pending and pending[0].t_s <= now:
+                self._route_arrival(pending.popleft(), now)
+            drain = not pending
+            for replica in list(self.replicas):
+                replica.poll(now, drain=drain)
+            self._collect_completions()
+            self._retire_idle_drainers(now)
+            if not pending and not any(r.queue_depth for r in self.replicas
+                                       if r.active):
+                return
+            events: List[float] = []
+            if pending:
+                events.append(pending[0].t_s)
+            if self._kill_queue:
+                events.append(self._kill_queue[0][1])
+            if self.monitor is not None:
+                events.append(self.monitor.next_poll_s)
+            for replica in self.replicas:
+                if not replica.active:
+                    continue
+                busy = replica.busy_until(now)
+                if busy is not None:
+                    events.append(busy)
+                else:
+                    release = replica.next_release_s()
+                    if release is not None:
+                        events.append(release)
+            if not events:
+                return
+            horizon = min(events)
+            if horizon <= now:
+                raise RuntimeError(
+                    f"cluster event loop stalled at t={now:.6f}s "
+                    f"(next event {horizon:.6f}s)")
+            self.clock.advance_to(horizon)
+
+    def _build_report(self, offered: int,
+                      replicas_final: int) -> ClusterReport:
+        latencies = sorted(self._all_latencies)
+        duration = max([r.retired_s or 0.0 for r in self.replicas]
+                       + [self.clock.now_s])
+        completed = len(latencies)
+        summaries = tuple(
+            ReplicaSummary(index=r.index, name=r.name,
+                           started_s=r.started_s, retired_s=r.retired_s,
+                           outcome=r.outcome,
+                           routed=self.router.routed.get(r.index, 0),
+                           report=r.report)
+            for r in self.replicas)
+        slo_in_violation: Optional[bool] = None
+        violations = recoveries = 0
+        if self.monitor is not None:
+            violations = self.monitor.violations
+            recoveries = self.monitor.recoveries
+            slo_in_violation = (self.autoscaler.in_violation
+                                if self.autoscaler is not None
+                                else self.monitor.in_violation)
+        registry = self.obs.registry
+        registry.gauge("cluster_replicas_final").set(replicas_final)
+        registry.gauge("cluster_replicas_peak").set(self._peak_routable)
+        registry.gauge("cluster_duration_seconds").set(duration)
+        return ClusterReport(
+            policy=self.config.policy,
+            duration_s=duration,
+            offered=offered,
+            completed=completed,
+            requeued=self._requeued,
+            no_replica_shed=self.router.no_replica,
+            throughput_rps=completed / duration if duration > 0 else 0.0,
+            latency_p50_ms=percentile(latencies, 50) * 1000,
+            latency_p95_ms=percentile(latencies, 95) * 1000,
+            latency_p99_ms=percentile(latencies, 99) * 1000,
+            replicas_started=len(self.replicas),
+            replicas_peak=self._peak_routable,
+            replicas_final=replicas_final,
+            scale_ups=(self.autoscaler.scale_ups
+                       if self.autoscaler is not None else 0),
+            drains=(self.autoscaler.drains
+                    if self.autoscaler is not None else 0),
+            kills=self._kills_applied,
+            slo_violations=violations,
+            slo_recoveries=recoveries,
+            slo_in_violation=slo_in_violation,
+            plan_cache=aggregate_plan_cache(
+                tuple(r.report for r in self.replicas)),
+            replicas=summaries,
+            autoscale_actions=tuple(self.autoscaler.actions
+                                    if self.autoscaler is not None else ()),
+        )
+
+
+def serve_cluster(trace: Sequence[Arrival],
+                  config: ClusterConfig = ClusterConfig()) -> ClusterReport:
+    """Convenience one-shot: run ``trace`` on a fresh fleet."""
+    return Cluster(config).run(trace)

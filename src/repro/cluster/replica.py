@@ -1,0 +1,208 @@
+"""One member of a serving fleet.
+
+A :class:`Replica` wraps a whole single-device serving stack — a
+:class:`~repro.serve.scheduler.Server` with its own simulated GPU,
+dynamic batcher, plan cache and (optionally) fault injector — behind
+the small surface the cluster driver needs: admit a routed request,
+advance the replica's work up to the fleet's global time, report how
+busy it is, and hand back its queue when it is drained or killed.
+
+Each replica owns a private virtual clock (the server's), a private
+metrics registry (its :class:`~repro.serve.stats.ServingStats` is a
+view over it) and, when tracing is on, a private
+:class:`~repro.obs.tracer.SimTracer` whose span ids start at a
+replica-specific offset so the fleet's tracers merge into one export
+without collisions (see :data:`REPLICA_SID_STRIDE` and
+:func:`repro.obs.export.cluster_chrome_trace`).
+
+The clock protocol mirrors a busy device: a replica's clock runs
+*ahead* of the fleet clock while a dispatched batch is executing
+(:meth:`Replica.busy_until`), and :meth:`Replica.poll` refuses to
+release new work until the fleet clock catches up — which is exactly
+what makes a one-replica cluster reproduce
+:meth:`~repro.serve.scheduler.Server.run` decision for decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from ..faults import FaultPlan
+from ..obs.context import Observability, obs_session
+from ..obs.tracer import SimTracer
+from ..serve.request import Request
+from ..serve.scheduler import Server, ServerConfig
+from ..serve.stats import StatsReport
+
+#: Span-id block reserved per replica: replica ``i``'s tracer starts
+#: at ``REPLICA_SID_STRIDE * (i + 1)``, leaving sids below the stride
+#: to the fleet/router tracer.  Far larger than any run's span count.
+REPLICA_SID_STRIDE = 10_000_000
+
+
+class Replica:
+    """One fleet member: a server plus its lifecycle state.
+
+    Lifecycle: *active* (routable) → optionally *draining* (finishes
+    in-flight work, queue handed back for re-routing, no new traffic)
+    → *retired* (report frozen).  A *killed* replica retires
+    immediately at the next batch boundary — completions its clock
+    already recorded stand (the kill lands between batches, never
+    mid-dispatch, keeping the timeline consistent).
+    """
+
+    def __init__(self, index: int, config: ServerConfig,
+                 advisor=None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 fault_seed: Optional[int] = None,
+                 tracing: bool = False):
+        self.index = index
+        self.name = f"replica{index}"
+        # The fleet monitor owns SLO evaluation; a per-replica monitor
+        # would double-count violations on the merged timeline.
+        config = replace(config, slo=None)
+        obs = Observability()
+        self.server = Server(config, advisor=advisor,
+                             fault_plan=fault_plan, fault_seed=fault_seed,
+                             obs=obs)
+        if tracing:
+            obs.tracer = SimTracer(self.server.clock,
+                                   first_sid=REPLICA_SID_STRIDE * (index + 1))
+        self.tracer = obs.tracer
+        self.alive = True
+        self.draining = False
+        self.drain_started_s: Optional[float] = None
+        self.started_s = 0.0
+        self.retired_s: Optional[float] = None
+        self.outcome = "ran"
+        self.report: Optional[StatsReport] = None
+        self._root_span = None
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Still doing work (alive and not yet retired)."""
+        return self.alive and self.report is None
+
+    @property
+    def routable(self) -> bool:
+        """Eligible to receive new traffic from the router."""
+        return self.active and not self.draining
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.server.queue) if self.server.queue is not None else 0
+
+    def busy_until(self, now_s: float) -> Optional[float]:
+        """The replica clock when it runs ahead of the fleet clock
+        (a batch is executing until then); ``None`` when idle."""
+        t = self.server.clock.now_s
+        return t if t > now_s else None
+
+    def next_release_s(self) -> Optional[float]:
+        """When the max-wait guard will release the oldest lane."""
+        if self.server.queue is None or not len(self.server.queue):
+            return None
+        return self.server.batcher.release_at(self.server.queue)
+
+    def load(self, now_s: float) -> Tuple[int, float]:
+        """Routing load: (queued requests, busy seconds remaining).
+        Compared lexicographically; ties break on replica index."""
+        busy = self.server.clock.now_s - now_s
+        return (self.queue_depth, busy if busy > 0 else 0.0)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, now_s: float) -> "Replica":
+        """Join the fleet at simulated time ``now_s``."""
+        self.started_s = now_s
+        self.server.clock.advance_to(now_s)
+        self.server.begin()
+        if self.tracer.enabled:
+            self._root_span = self.tracer.span("replica.run", cat="cluster",
+                                               replica=self.index,
+                                               device=self.server.config
+                                               .device.name)
+            self._root_span.__enter__()
+        return self
+
+    def admit(self, request: Request) -> bool:
+        """Offer one routed request to this replica's admission queue."""
+        return self.server.admit(request)
+
+    def poll(self, now_s: float, drain: bool = False) -> None:
+        """Advance this replica's serving loop up to fleet time
+        ``now_s``.
+
+        A replica whose clock is ahead is mid-batch: it does nothing
+        until the fleet clock catches up, so every arrival routed in
+        the meantime is queued before the next release decision —
+        the same order :meth:`Server.run` produces on one device.
+        ``drain`` releases partial batches immediately (no arrivals
+        left anywhere in the fleet).
+        """
+        if not self.active:
+            return
+        clock = self.server.clock
+        if clock.now_s > now_s:
+            return                      # busy until clock.now_s
+        clock.advance_to(now_s)
+        with obs_session(self.server.obs):
+            self.server.shed_expired()
+            while True:
+                if not self.server.pump(drain=drain or self.draining):
+                    break
+                if clock.now_s > now_s:
+                    break               # ran past the horizon; now busy
+                self.server.shed_expired()
+
+    def start_drain(self, now_s: float) -> List[Request]:
+        """Stop accepting traffic and hand back the queued requests.
+
+        The requests are *requeued*, not shed: they go back to the
+        router for re-routing (counted under the ``requeued`` cause in
+        this replica's :attr:`~repro.serve.stats.StatsReport
+        .shed_by_cause`, deliberately excluded from its shed rate —
+        they complete elsewhere).  In-flight batches finish; the
+        cluster retires the replica once it goes idle.
+        """
+        self.draining = True
+        self.drain_started_s = now_s
+        evacuated = self.server.queue.drain(for_requeue=True)
+        if evacuated:
+            self.server.stats.record_shed("requeued", len(evacuated))
+            self.tracer.event("replica.drain", replica=self.index,
+                              requeued=len(evacuated))
+        return evacuated
+
+    def kill(self, now_s: float) -> List[Request]:
+        """Fail the replica at the next batch boundary.
+
+        Queued requests are handed back for re-routing exactly as in
+        :meth:`start_drain`; the report is frozen immediately.
+        """
+        evacuated = self.server.queue.drain(for_requeue=True)
+        if evacuated:
+            self.server.stats.record_shed("requeued", len(evacuated))
+        self.tracer.event("replica.killed", replica=self.index,
+                          requeued=len(evacuated))
+        self.alive = False
+        self.retire(max(now_s, self.server.clock.now_s), outcome="killed")
+        return evacuated
+
+    def retire(self, now_s: float, outcome: str = "ran") -> StatsReport:
+        """Freeze the replica's report at ``now_s`` (idempotent)."""
+        if self.report is not None:
+            return self.report
+        self.outcome = outcome
+        self.retired_s = now_s
+        self.server.clock.advance_to(now_s)
+        with obs_session(self.server.obs):
+            self.report = self.server.finish()
+        if self._root_span is not None:
+            self._root_span.annotate(outcome=outcome)
+            self._root_span.__exit__(None, None, None)
+            self._root_span = None
+        return self.report

@@ -1,0 +1,173 @@
+"""Frozen end-of-run fleet report.
+
+The cluster's analogue of :class:`~repro.serve.stats.StatsReport`: one
+:class:`ReplicaSummary` per fleet member (wrapping that replica's own
+frozen report) plus fleet-level aggregates.  Fleet latency percentiles
+are *exact* — computed over every completion's latency, not merged
+from per-replica percentiles, which would be wrong — and ``offered``
+counts trace arrivals, not the sum of per-replica offers: a requeued
+request is offered to two replicas but arrived once, so the per-replica
+numbers legitimately add up to more than the fleet's.
+
+Everything is plain data with a sorted, stable :meth:`to_dict` — two
+same-seed runs serialize byte-identically, which is what the CLI
+``--json`` determinism checks (and the CI ``cluster-smoke`` job) diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..serve.stats import StatsReport
+
+
+@dataclass(frozen=True)
+class ReplicaSummary:
+    """One fleet member's lifecycle plus its frozen serving report."""
+
+    index: int
+    name: str
+    started_s: float
+    retired_s: Optional[float]
+    outcome: str                  # 'ran' | 'drained' | 'killed'
+    routed: int                   # requests the router sent here
+    report: StatsReport
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "started_s": self.started_s,
+            "retired_s": self.retired_s,
+            "outcome": self.outcome,
+            "routed": self.routed,
+            "report": self.report.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Frozen end-of-run fleet metrics."""
+
+    policy: str
+    duration_s: float             # fleet makespan (max replica clock)
+    offered: int                  # trace arrivals (not per-replica sums)
+    completed: int
+    requeued: int                 # drain/kill evacuations, re-routed
+    no_replica_shed: int          # arrivals with the whole fleet down
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    replicas_started: int
+    replicas_peak: int            # max concurrently-routable replicas
+    replicas_final: int           # routable when the run ended
+    scale_ups: int
+    drains: int
+    kills: int
+    slo_violations: int
+    slo_recoveries: int
+    #: Whether any SLO rule was still in violation when the run ended
+    #: (None: no SLO policy attached).  The CI recovery gate asserts
+    #: violations > 0, recoveries > 0 and this False.
+    slo_in_violation: Optional[bool]
+    plan_cache: Dict[str, float]  # fleet-aggregated hits/misses/hit_rate
+    replicas: Tuple[ReplicaSummary, ...]
+    autoscale_actions: Tuple[dict, ...]
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.offered if self.offered else 0.0
+
+    @property
+    def routed_by_replica(self) -> Dict[int, int]:
+        return {r.index: r.routed for r in self.replicas}
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``--json`` output); stable key order."""
+        return {
+            "policy": self.policy,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "completion_rate": self.completion_rate,
+            "requeued": self.requeued,
+            "no_replica_shed": self.no_replica_shed,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "p50": self.latency_p50_ms,
+                "p95": self.latency_p95_ms,
+                "p99": self.latency_p99_ms,
+            },
+            "replicas_started": self.replicas_started,
+            "replicas_peak": self.replicas_peak,
+            "replicas_final": self.replicas_final,
+            "autoscaler": {
+                "scale_ups": self.scale_ups,
+                "drains": self.drains,
+                "actions": list(self.autoscale_actions),
+            },
+            "kills": self.kills,
+            "slo": {
+                "violations": self.slo_violations,
+                "recoveries": self.slo_recoveries,
+                "in_violation": self.slo_in_violation,
+            },
+            "plan_cache": dict(sorted(self.plan_cache.items())),
+            "replicas": [r.to_dict() for r in self.replicas],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"cluster: {self.replicas_started} replica(s) started, "
+            f"{self.replicas_final} routable at end "
+            f"(peak {self.replicas_peak}), policy {self.policy}",
+            f"simulated duration    {self.duration_s:10.3f} s",
+            f"offered / completed   {self.offered} / {self.completed}"
+            f"  (completion rate {self.completion_rate * 100:.1f} %)",
+            f"throughput            {self.throughput_rps:10.1f} req/s",
+            f"latency p50/p95/p99   {self.latency_p50_ms:.2f} / "
+            f"{self.latency_p95_ms:.2f} / {self.latency_p99_ms:.2f} ms",
+            f"plan cache (fleet)    {int(self.plan_cache['hits'])} hits / "
+            f"{int(self.plan_cache['misses'])} misses "
+            f"(hit rate {self.plan_cache['hit_rate'] * 100:.1f} %)",
+            "routed per replica    " + " ".join(
+                f"{r.index}:{r.routed}" for r in self.replicas),
+        ]
+        if self.requeued or self.no_replica_shed:
+            lines.append(f"requeued / no-replica {self.requeued} / "
+                         f"{self.no_replica_shed}")
+        if self.scale_ups or self.drains or self.kills:
+            lines.append(f"scale ups / drains    {self.scale_ups} / "
+                         f"{self.drains}" +
+                         (f"  (kills {self.kills})" if self.kills else ""))
+        if self.slo_in_violation is not None:
+            state = "IN VIOLATION" if self.slo_in_violation else "ok"
+            lines.append(f"slo                   {self.slo_violations} "
+                         f"violation(s), {self.slo_recoveries} "
+                         f"recovery(ies), end state {state}")
+        for r in self.replicas:
+            lines.append(
+                f"  {r.name:10s} [{r.outcome:7s}] "
+                f"routed {r.routed:6d}  completed {r.report.completed:6d}  "
+                f"shed rate {r.report.shed_rate * 100:5.1f} %  "
+                f"cache hit {r.report.plan_cache['hit_rate'] * 100:5.1f} %")
+        return "\n".join(lines)
+
+
+def aggregate_plan_cache(reports: Tuple[StatsReport, ...]) -> Dict[str, float]:
+    """Fleet-wide plan-cache stats: summed hits/misses/entries and the
+    hit rate recomputed over the sums."""
+    hits = sum(r.plan_cache.get("hits", 0) for r in reports)
+    misses = sum(r.plan_cache.get("misses", 0) for r in reports)
+    total = hits + misses
+    return {
+        "hits": float(hits),
+        "misses": float(misses),
+        "entries": float(sum(r.plan_cache.get("entries", 0)
+                             for r in reports)),
+        "evictions": float(sum(r.plan_cache.get("evictions", 0)
+                               for r in reports)),
+        "hit_rate": hits / total if total else 0.0,
+    }

@@ -149,6 +149,94 @@ def span_events(tracer: SimTracer) -> List[dict]:
     return events
 
 
+# -- cluster exports: one Perfetto process per replica ----------------------
+
+#: pid of the cluster router/autoscaler row in merged fleet exports.
+CLUSTER_PID = 1
+#: pid of the first replica row; replica ``i`` lands on this + ``i``.
+REPLICA_PID_BASE = 10
+
+#: Thread layout inside one remapped replica (or router) process:
+#: serving-side categories share the scheduler thread, gpusim rows get
+#: their own — the same reading order as the single-server export.
+_REMAP_TIDS: Dict[str, Tuple[int, str]] = {
+    "gpu": (2, "compute"),
+    "memcpy": (3, "copy engine"),
+}
+_REMAP_DEFAULT_TID = (1, "scheduler")
+
+
+def remapped_span_events(tracer: SimTracer, pid: int) -> List[dict]:
+    """Flatten one tracer's span forest with every event forced onto
+    Perfetto process ``pid`` — how each cluster replica (and the
+    router itself) gets its own trace row in a merged export."""
+    events: List[dict] = []
+    for span in tracer.walk():
+        tid, _ = _REMAP_TIDS.get(span.cat, _REMAP_DEFAULT_TID)
+        e = _span_event(span)
+        e["pid"], e["tid"] = pid, tid
+        events.append(e)
+        for ev in span.events:
+            events.append(_instant(ev.name, span.cat, ev.t_s, ev.attrs,
+                                   pid, tid))
+    for ev in tracer.orphan_events:
+        events.append(_instant(ev.name, "orphan", ev.t_s, ev.attrs,
+                               pid, _REMAP_DEFAULT_TID[0]))
+    return events
+
+
+def cluster_chrome_trace(router_tracer: SimTracer,
+                         replica_tracers: List[Tuple[str, SimTracer]],
+                         registry: Optional[MetricsRegistry] = None,
+                         **meta) -> dict:
+    """One Chrome-trace document for a whole fleet run.
+
+    The router/autoscaler timeline lands on pid :data:`CLUSTER_PID`
+    (process ``cluster``); replica ``i`` of ``replica_tracers`` (an
+    ordered ``[(name, tracer), ...]``) lands on its own process at pid
+    ``REPLICA_PID_BASE + i`` — each replica is one Perfetto row group
+    with scheduler/compute threads, exactly the acceptance shape.
+    """
+    events = remapped_span_events(router_tracer, CLUSTER_PID)
+    processes: Dict[int, str] = {CLUSTER_PID: "cluster"}
+    span_total = router_tracer.span_count()
+    for i, (name, tracer) in enumerate(replica_tracers):
+        pid = REPLICA_PID_BASE + i
+        events.extend(remapped_span_events(tracer, pid))
+        processes[pid] = name
+        span_total += tracer.span_count()
+    rows: Dict[int, Tuple[str, Dict[int, str]]] = {}
+    tid_names = dict([_REMAP_DEFAULT_TID] + list(_REMAP_TIDS.values()))
+    for e in events:
+        pid, tid = e["pid"], e["tid"]
+        thread = "router" if pid == CLUSTER_PID else \
+            tid_names.get(tid, f"tid{tid}")
+        rows.setdefault(pid, (processes[pid], {}))[1].setdefault(tid, thread)
+    other = dict(sorted(meta.items()))
+    other["spans"] = span_total
+    other["replicas"] = [name for name, _ in replica_tracers]
+    if registry is not None:
+        other["metrics"] = registry.snapshot()
+    return {
+        "traceEvents": metadata_events(rows) + sort_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_cluster_chrome_trace(path: str, router_tracer: SimTracer,
+                               replica_tracers: List[Tuple[str, SimTracer]],
+                               registry: Optional[MetricsRegistry] = None,
+                               **meta) -> str:
+    """Serialise :func:`cluster_chrome_trace` to ``path``."""
+    text = json.dumps(cluster_chrome_trace(router_tracer, replica_tracers,
+                                           registry, **meta),
+                      indent=1, sort_keys=True)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
 def _used_rows(events: List[dict]) -> Dict[int, Tuple[str, Dict[int, str]]]:
     rows: Dict[int, Tuple[str, Dict[int, str]]] = {}
     names = {(pid, tid): (process, thread)
@@ -199,14 +287,14 @@ def write_chrome_trace(path: str, tracer: SimTracer,
 # JSONL structured event log
 # ---------------------------------------------------------------------------
 
-def jsonl_lines(tracer: SimTracer) -> List[str]:
-    """One JSON object per span and per span event, depth-first —
-    the grep-able form of the same tree.  The first line is a header
-    record carrying :data:`SCHEMA_VERSION` so offline loaders can
-    refuse logs written by an incompatible exporter."""
-    lines: List[str] = [json.dumps(
-        {"type": "header", "format": "repro-trace",
-         "schema_version": SCHEMA_VERSION}, sort_keys=True)]
+def _jsonl_header() -> str:
+    return json.dumps({"type": "header", "format": "repro-trace",
+                       "schema_version": SCHEMA_VERSION}, sort_keys=True)
+
+
+def _tracer_jsonl(tracer: SimTracer) -> List[str]:
+    """One tracer's span/event records (no header), depth-first."""
+    lines: List[str] = []
     for span in tracer.walk():
         lines.append(json.dumps(
             {"type": "span", "sid": span.sid, "parent": span.parent_sid,
@@ -224,9 +312,40 @@ def jsonl_lines(tracer: SimTracer) -> List[str]:
     return lines
 
 
+def jsonl_lines(tracer: SimTracer) -> List[str]:
+    """One JSON object per span and per span event, depth-first —
+    the grep-able form of the same tree.  The first line is a header
+    record carrying :data:`SCHEMA_VERSION` so offline loaders can
+    refuse logs written by an incompatible exporter."""
+    return [_jsonl_header()] + _tracer_jsonl(tracer)
+
+
+def cluster_jsonl_lines(router_tracer: SimTracer,
+                        replica_tracers: List[Tuple[str, SimTracer]]
+                        ) -> List[str]:
+    """One JSONL log for a whole fleet: the router's records followed
+    by each replica's, under a single header.  Span ids are already
+    disjoint (each replica's tracer gets its own ``first_sid`` block),
+    so the analyzer loads the merged log as one multi-root forest."""
+    lines = [_jsonl_header()] + _tracer_jsonl(router_tracer)
+    for _, tracer in replica_tracers:
+        lines.extend(_tracer_jsonl(tracer))
+    return lines
+
+
 def write_jsonl(path: str, tracer: SimTracer) -> int:
     """Write the JSONL event log; returns the line count."""
     lines = jsonl_lines(tracer)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def write_cluster_jsonl(path: str, router_tracer: SimTracer,
+                        replica_tracers: List[Tuple[str, SimTracer]]) -> int:
+    """Write the merged fleet JSONL event log; returns the line count."""
+    lines = cluster_jsonl_lines(router_tracer, replica_tracers)
     with open(path, "w") as fh:
         for line in lines:
             fh.write(line + "\n")
@@ -250,6 +369,34 @@ def write_metrics(path: str, registry: MetricsRegistry) -> str:
     """
     doc = dict(registry.snapshot(), schema_version=SCHEMA_VERSION)
     text = json.dumps(doc, indent=2, sort_keys=True)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def cluster_metrics_doc(fleet_registry: MetricsRegistry,
+                        replica_registries: List[Tuple[str, MetricsRegistry]]
+                        ) -> dict:
+    """One metrics document for a whole fleet: the fleet registry's
+    snapshot (router / autoscaler / SLO series) under ``fleet``, each
+    replica's private registry under ``replicas[<name>]``."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "fleet": fleet_registry.snapshot(),
+        "replicas": {name: registry.snapshot()
+                     for name, registry in replica_registries},
+    }
+
+
+def write_cluster_metrics(path: str, fleet_registry: MetricsRegistry,
+                          replica_registries: List[Tuple[str,
+                                                         MetricsRegistry]]
+                          ) -> str:
+    """Serialise :func:`cluster_metrics_doc` to ``path`` (stable key
+    order — same-seed runs write byte-identical files)."""
+    text = json.dumps(cluster_metrics_doc(fleet_registry,
+                                          replica_registries),
+                      indent=2, sort_keys=True)
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return text

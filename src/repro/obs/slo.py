@@ -279,20 +279,45 @@ class SLOMonitor:
     and threshold) and increments ``slo_violations_total{rule=...}``;
     fail→ok records ``slo.recovered``.  :meth:`finalize` runs one last
     evaluation and returns the end-of-run :class:`SLOReport`.
+
+    ``snapshot_fn`` overrides *what* is evaluated: the default is the
+    registry's cumulative snapshot, but a caller can supply any
+    zero-argument callable returning a snapshot-shaped dict — the
+    cluster's fleet monitor passes a sliding-window view so the
+    autoscaler reacts to current conditions, not the whole run's
+    history.  ``listener`` is called on every edge transition as
+    ``listener(rule, ok_to_fail, now_s, verdict)`` — this is how the
+    autoscaler consumes the ``slo.violation`` / ``slo.recovered``
+    events without parsing the trace.
     """
 
-    def __init__(self, policy: SLOPolicy, obs) -> None:
+    def __init__(self, policy: SLOPolicy, obs,
+                 snapshot_fn=None, listener=None) -> None:
         self.policy = policy
         self._obs = obs
+        self._snapshot_fn = (snapshot_fn if snapshot_fn is not None
+                             else obs.registry.snapshot)
+        self._listener = listener
         self._next_poll_s = policy.window_s
         self._in_violation: Dict[str, bool] = {
             r.name: False for r in policy.rules}
         self.polls = 0
         self.violations = 0
+        self.recoveries = 0
+
+    @property
+    def next_poll_s(self) -> float:
+        """Simulated time of the next due evaluation (so an external
+        event loop can include polls in its event horizon)."""
+        return self._next_poll_s
+
+    @property
+    def in_violation(self) -> bool:
+        """Whether any rule is currently in a violation episode."""
+        return any(self._in_violation.values())
 
     def _evaluate(self, now_s: float, emit: bool) -> SLOReport:
-        report = evaluate_slo(self._obs.registry.snapshot(),
-                              self.policy.rules)
+        report = evaluate_slo(self._snapshot_fn(), self.policy.rules)
         if not emit:
             return report
         for v in report.verdicts:
@@ -304,9 +329,16 @@ class SLOMonitor:
                     value=v.value, threshold=v.rule.threshold, t_s=now_s)
                 self._obs.registry.counter(
                     "slo_violations_total", rule=v.rule.name).inc()
+                if self._listener is not None:
+                    self._listener(v.rule, True, now_s, v)
             elif v.ok and was:
+                self.recoveries += 1
                 self._obs.tracer.event("slo.recovered", rule=v.rule.name,
                                        t_s=now_s)
+                self._obs.registry.counter(
+                    "slo_recoveries_total", rule=v.rule.name).inc()
+                if self._listener is not None:
+                    self._listener(v.rule, False, now_s, v)
             self._in_violation[v.rule.name] = not v.ok
         return report
 

@@ -108,15 +108,21 @@ class SimTracer:
     scheduler passes its :class:`~repro.gpusim.timing.SimClock` so
     spans land on the same timeline the batcher and fault plane run
     on.  Finished top-level spans accumulate in :attr:`roots`.
+
+    ``first_sid`` offsets span ids so several tracers can be merged
+    into one export without collisions — the cluster gives each
+    replica's tracer its own disjoint sid block.
     """
 
     enabled = True
 
-    def __init__(self, clock):
+    def __init__(self, clock, first_sid: int = 1):
+        if first_sid < 1:
+            raise ValueError(f"first_sid must be >= 1, got {first_sid}")
         self.clock = clock
         self.roots: List[Span] = []
         self._stack: List[Span] = []
-        self._next_sid = 1
+        self._next_sid = first_sid
         #: Events recorded while no span was open (kept so nothing is
         #: silently dropped; exported as root-level instants).
         self.orphan_events: List[SpanEvent] = []

@@ -14,7 +14,10 @@ Shutdown is explicit: :meth:`AdmissionQueue.drain` hands every
 outstanding request back to the caller (to be completed with a
 ``ServerClosed`` rejection — never silently dropped) and
 :meth:`AdmissionQueue.close` additionally refuses all further traffic
-with :class:`~repro.errors.ServerClosedError`.
+with :class:`~repro.errors.ServerClosedError`.  A cluster replica
+being *drained* (not shut down) calls ``drain(for_requeue=True)``
+instead: the requests go back to the router for re-routing rather
+than being rejected, so they are kept out of the shed accounting.
 """
 
 from __future__ import annotations
@@ -116,20 +119,29 @@ class AdmissionQueue:
             lane.appendleft(req)
         self._depth += len(requests)
 
-    def drain(self) -> List[Request]:
+    def drain(self, for_requeue: bool = False) -> List[Request]:
         """Remove and return every outstanding request, in lane order.
 
-        The caller owns completing each one with a ``ServerClosed``
-        rejection (the scheduler records them under the ``closed`` shed
-        cause); the requests are counted in :attr:`closed_out` so
-        nothing disappears from the accounting.
+        Two callers with different accounting:
+
+        * **shutdown** (the default) — the caller owns completing each
+          request with a ``ServerClosed`` rejection (the scheduler
+          records them under the ``closed`` shed cause); the requests
+          are counted in :attr:`closed_out` so nothing disappears from
+          the accounting;
+        * **requeue** (``for_requeue=True``) — a cluster replica being
+          drained hands its in-flight requests back to the router for
+          re-routing; the requests are *not* shed, so they stay out of
+          :attr:`closed_out` (the replica's report records them under
+          the ``requeued`` cause instead, and they complete elsewhere).
         """
         out: List[Request] = []
         for lane in self._lanes.values():
             out.extend(lane)
             lane.clear()
         self._depth = 0
-        self.closed_out += len(out)
+        if not for_requeue:
+            self.closed_out += len(out)
         return out
 
     def close(self) -> List[Request]:

@@ -112,6 +112,14 @@ class Server:
     through a :class:`~repro.faults.injector.FaultInjector` seeded with
     ``fault_seed``; ``None`` (or a no-op plan) leaves the scheduler on
     the exact fault-free path.
+
+    :meth:`run` drives one whole arrival trace to completion.  The
+    loop underneath it is exposed as a *session* API —
+    :meth:`begin` / :meth:`admit` / :meth:`shed_expired` /
+    :meth:`pump` / :meth:`finish` — so an external driver (the
+    :mod:`repro.cluster` replica loop) can interleave this server's
+    work with other servers on a shared fleet timeline while reusing
+    the exact same batching, recovery and accounting machinery.
     """
 
     def __init__(self, config: ServerConfig = ServerConfig(),
@@ -154,6 +162,13 @@ class Server:
         #: End-of-run SLO verdict, set by :meth:`run` when the config
         #: carries an :class:`~repro.obs.slo.SLOPolicy`.
         self.slo_report: Optional[SLOReport] = None
+        # -- per-session state, created by begin() -------------------------
+        self.stats: Optional[ServingStats] = None
+        self.queue: Optional[AdmissionQueue] = None
+        self.batcher: Optional[DynamicBatcher] = None
+        self._monitor: Optional[SLOMonitor] = None
+        self._breaker_base = (0, 0)
+        self._injector_base = (0, 0)
 
     def enable_tracing(self) -> SimTracer:
         """Attach a span tracer driven by this server's clock.
@@ -370,87 +385,128 @@ class Server:
 
     # ------------------------------------------------------------------
 
+    # -- the session API (what run() is built from) --------------------
+
+    def begin(self) -> "Server":
+        """Open a serving session: fresh queue, batcher and stats.
+
+        :meth:`run` calls this itself; an external driver (the cluster
+        replica loop) calls ``begin`` once, then :meth:`admit` /
+        :meth:`shed_expired` / :meth:`pump` as its timeline dictates,
+        and :meth:`finish` to freeze the report.
+        """
+        self.stats = ServingStats(registry=self.obs.registry)
+        self.queue = AdmissionQueue(self.config.queue_depth)
+        self.batcher = DynamicBatcher(self.config.policy)
+        self._degraded_cap = None
+        self._monitor = (SLOMonitor(self.config.slo, self.obs)
+                         if self.config.slo is not None else None)
+        self._breaker_base = (self._breaker.trips, self._breaker.skips)
+        self._injector_base = (0, 0)
+        if self._injector is not None:
+            self._injector_base = (self._injector.faults_injected,
+                                   self._injector.entries_corrupted)
+        return self
+
+    def admit(self, request: Request) -> bool:
+        """Offer one request to the session's admission queue."""
+        self.stats.offered += 1
+        admitted = self.queue.offer(request)
+        self.obs.tracer.event("serve.admit" if admitted else "serve.reject",
+                              rid=request.rid, model=request.model,
+                              layer=request.layer)
+        return admitted
+
+    def shed_expired(self) -> int:
+        """Drop every queued request whose deadline has passed."""
+        expired = self.queue.shed_expired(self.clock.now_s)
+        if expired:
+            self.obs.tracer.event("serve.shed_expired",
+                                  requests=len(expired))
+        return len(expired)
+
+    def pump(self, drain: bool = False) -> bool:
+        """Release and execute one batch at the current simulated time.
+
+        Returns whether a batch ran (dispatching advances the clock by
+        the simulated service time); ``False`` means the batcher is
+        holding for more fill or the queue is empty.
+        """
+        batch = self.batcher.next_batch(self.queue, self.clock.now_s,
+                                        drain=drain)
+        if batch is None:
+            return False
+        tracer = self.obs.tracer
+        with tracer.span("serve.batch", cat="serve",
+                         model=batch.requests[0].model,
+                         layer=batch.requests[0].layer,
+                         fill=batch.fill, batch=batch.batch):
+            try:
+                self._execute(list(batch.requests), batch.key, self.stats)
+            except ReproError as exc:
+                # No recovery layer absorbed it: count the failure
+                # loudly instead of crashing the serving loop.
+                tracer.event("serve.unhandled_error",
+                             error=type(exc).__name__)
+                self.stats.unhandled_errors += 1
+                self.stats.record_shed("error", len(batch.requests))
+        return True
+
+    def finish(self) -> StatsReport:
+        """Freeze the session into its end-of-run report."""
+        stats, queue = self.stats, self.queue
+        stats.rejected = queue.rejected
+        stats.shed = queue.shed
+        stats.closed_shed = queue.closed_out
+        if self._monitor is not None:
+            self.slo_report = self._monitor.finalize(self.clock.now_s)
+        trips0, skips0 = self._breaker_base
+        stats.breaker_trips = self._breaker.trips - trips0
+        stats.breaker_skips = self._breaker.skips - skips0
+        if self._injector is not None:
+            faults0, corrupted0 = self._injector_base
+            stats.faults_injected = self._injector.faults_injected - faults0
+            stats.cache_corruptions = \
+                self._injector.entries_corrupted - corrupted0
+        return stats.finalize(self.clock.now_s, self.plan_cache.stats(),
+                              self._allocator.peak)
+
+    # -- the one-server driver ------------------------------------------
+
     def run(self, trace: Sequence[Arrival]) -> StatsReport:
         """Serve one arrival trace to completion; returns the report."""
-        stats = ServingStats(registry=self.obs.registry)
-        queue = AdmissionQueue(self.config.queue_depth)
-        batcher = DynamicBatcher(self.config.policy)
-        self._degraded_cap = None
-        trips0, skips0 = self._breaker.trips, self._breaker.skips
-        faults0 = corrupted0 = 0
-        if self._injector is not None:
-            faults0 = self._injector.faults_injected
-            corrupted0 = self._injector.entries_corrupted
+        self.begin()
         tracer = self.obs.tracer
-        monitor = (SLOMonitor(self.config.slo, self.obs)
-                   if self.config.slo is not None else None)
         pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
         with obs_session(self.obs), \
                 tracer.span("serve.run", cat="serve",
                             device=self.config.device.name,
                             arrivals=len(trace)):
-            while pending or len(queue):
-                if monitor is not None:
-                    monitor.poll(self.clock.now_s)
+            while pending or len(self.queue):
+                if self._monitor is not None:
+                    self._monitor.poll(self.clock.now_s)
                 while pending and pending[0].t_s <= self.clock.now_s:
                     arrival = pending.popleft()
-                    stats.offered += 1
-                    admitted = queue.offer(Request(
+                    self.admit(Request(
                         rid=arrival.rid, model=arrival.model,
                         layer=arrival.layer,
                         key=arrival.key, arrival_s=arrival.t_s,
                         timeout_s=self.config.timeout_s))
-                    tracer.event("serve.admit" if admitted
-                                 else "serve.reject",
-                                 rid=arrival.rid, model=arrival.model,
-                                 layer=arrival.layer)
-                expired = queue.shed_expired(self.clock.now_s)
-                if expired:
-                    tracer.event("serve.shed_expired",
-                                 requests=len(expired))
-                batch = batcher.next_batch(queue, self.clock.now_s,
-                                           drain=not pending)
-                if batch is not None:
-                    with tracer.span("serve.batch", cat="serve",
-                                     model=batch.requests[0].model,
-                                     layer=batch.requests[0].layer,
-                                     fill=batch.fill, batch=batch.batch):
-                        try:
-                            self._execute(list(batch.requests), batch.key,
-                                          stats)
-                        except ReproError as exc:
-                            # No recovery layer absorbed it: count the
-                            # failure loudly instead of crashing the
-                            # serving loop.
-                            tracer.event("serve.unhandled_error",
-                                         error=type(exc).__name__)
-                            stats.unhandled_errors += 1
-                            stats.record_shed("error", len(batch.requests))
+                self.shed_expired()
+                if self.pump(drain=not pending):
                     continue
-                if not len(queue) and not pending:
+                if not len(self.queue) and not pending:
                     break
                 # Nothing releasable: advance to the next event — the next
                 # arrival or the oldest lane's max-wait expiry.
                 events = []
                 if pending:
                     events.append(pending[0].t_s)
-                release = batcher.release_at(queue)
+                release = self.batcher.release_at(self.queue)
                 if release is not None:
                     events.append(release)
                 self.clock.advance_to(min(events))
-        stats.rejected = queue.rejected
-        stats.shed = queue.shed
-        stats.closed_shed = queue.closed_out
-        if monitor is not None:
-            self.slo_report = monitor.finalize(self.clock.now_s)
-        stats.breaker_trips = self._breaker.trips - trips0
-        stats.breaker_skips = self._breaker.skips - skips0
-        if self._injector is not None:
-            stats.faults_injected = self._injector.faults_injected - faults0
-            stats.cache_corruptions = \
-                self._injector.entries_corrupted - corrupted0
-        return stats.finalize(self.clock.now_s, self.plan_cache.stats(),
-                              self._allocator.peak)
+        return self.finish()
 
 
 def serve_trace(trace: Sequence[Arrival],

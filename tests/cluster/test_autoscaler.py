@@ -1,0 +1,129 @@
+"""Autoscaler unit tests against a scripted fake fleet."""
+
+import pytest
+
+from repro.cluster.autoscaler import AutoscalePolicy, Autoscaler
+from repro.obs.slo import SLORule, SLOVerdict
+
+P99 = SLORule(name="p99", kind="latency_p99", threshold=0.05)
+SHED = SLORule(name="shed", kind="shed_rate", threshold=0.05)
+
+
+def verdict(rule, ok):
+    return SLOVerdict(rule=rule, ok=ok, value=0.0, detail="")
+
+
+class FakeFleet:
+    """Records scale calls; routable count tracks them."""
+
+    def __init__(self, replicas=2):
+        self.routable_count = replicas
+        self.calls = []
+
+    def scale_up(self, now_s, rule=""):
+        self.calls.append(("up", now_s, rule))
+        self.routable_count += 1
+        return self.routable_count - 1
+
+    def scale_down(self, now_s, rule=""):
+        if self.routable_count <= 1:
+            return None
+        self.calls.append(("down", now_s, rule))
+        self.routable_count -= 1
+        return self.routable_count
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = AutoscalePolicy()
+        assert policy.min_replicas == 1 and policy.max_replicas == 8
+
+    def test_rejects_zero_min(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=4, max_replicas=2)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(cooldown_s=-0.1)
+
+
+class TestScaleUp:
+    def test_violation_edge_adds_a_replica(self):
+        fleet = FakeFleet(2)
+        scaler = Autoscaler(AutoscalePolicy(max_replicas=4), fleet)
+        scaler.on_edge(P99, True, 1.0, verdict(P99, False))
+        assert fleet.calls == [("up", 1.0, "p99")]
+        assert scaler.scale_ups == 1 and scaler.in_violation
+
+    def test_bounded_by_max_replicas(self):
+        fleet = FakeFleet(4)
+        scaler = Autoscaler(AutoscalePolicy(max_replicas=4), fleet)
+        scaler.on_edge(P99, True, 1.0, verdict(P99, False))
+        assert fleet.calls == []
+        assert scaler.in_violation          # tracked even when capped
+
+    def test_cooldown_paces_successive_ups(self):
+        fleet = FakeFleet(1)
+        scaler = Autoscaler(AutoscalePolicy(cooldown_s=0.5, max_replicas=8),
+                            fleet)
+        scaler.on_edge(P99, True, 1.0, verdict(P99, False))
+        scaler.on_edge(SHED, True, 1.2, verdict(SHED, False))  # too soon
+        scaler.on_edge(SHED, True, 1.6, verdict(SHED, False))
+        # The second edge at 1.2 is inside the cooldown; only the
+        # edges at 1.0 and 1.6 act.
+        assert [c[1] for c in fleet.calls] == [1.0, 1.6]
+
+
+class TestScaleDown:
+    def test_recovery_drains_one_replica(self):
+        fleet = FakeFleet(3)
+        scaler = Autoscaler(AutoscalePolicy(cooldown_s=0.0), fleet)
+        scaler.on_edge(P99, True, 1.0, verdict(P99, False))
+        scaler.on_edge(P99, False, 2.0, verdict(P99, True))
+        assert ("down", 2.0, "p99") in fleet.calls
+        assert scaler.drains == 1 and not scaler.in_violation
+
+    def test_no_drain_while_another_rule_violated(self):
+        fleet = FakeFleet(4)
+        scaler = Autoscaler(AutoscalePolicy(cooldown_s=0.0,
+                                            max_replicas=4), fleet)
+        scaler.on_edge(P99, True, 1.0, verdict(P99, False))
+        scaler.on_edge(SHED, True, 1.1, verdict(SHED, False))
+        scaler.on_edge(P99, False, 2.0, verdict(P99, True))
+        assert scaler.drains == 0 and scaler.in_violation
+        scaler.on_edge(SHED, False, 3.0, verdict(SHED, True))
+        assert scaler.drains == 1 and not scaler.in_violation
+
+    def test_bounded_by_min_replicas(self):
+        fleet = FakeFleet(2)
+        scaler = Autoscaler(AutoscalePolicy(min_replicas=2, cooldown_s=0.0),
+                            fleet)
+        scaler.on_edge(P99, False, 1.0, verdict(P99, True))
+        assert fleet.calls == []
+
+    def test_fleet_refusal_is_not_recorded(self):
+        fleet = FakeFleet(1)
+        # min_replicas=1 with one routable: scale_down returns None.
+        # The fleet can refuse when only one candidate is drainable.
+        scaler = Autoscaler(AutoscalePolicy(min_replicas=1, cooldown_s=0.0,
+                                            max_replicas=8), fleet)
+        fleet.routable_count = 2
+        fleet.scale_down = lambda now_s, rule="": None
+        scaler.on_edge(P99, False, 1.0, verdict(P99, True))
+        assert scaler.drains == 0 and scaler.actions == []
+
+
+class TestLedger:
+    def test_actions_carry_context(self):
+        fleet = FakeFleet(1)
+        scaler = Autoscaler(AutoscalePolicy(cooldown_s=0.0), fleet)
+        scaler.on_edge(P99, True, 0.4, verdict(P99, False))
+        scaler.on_edge(P99, False, 0.9, verdict(P99, True))
+        assert [a["action"] for a in scaler.actions] == ["scale_up", "drain"]
+        up = scaler.actions[0]
+        assert up["t_s"] == 0.4 and up["rule"] == "p99"
+        assert up["replicas"] == 2          # count after the action

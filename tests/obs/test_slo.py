@@ -235,3 +235,68 @@ class TestServerIntegration:
         assert report.failing[0].rule.name == "impossible"
         assert server.obs.registry.value("slo_violations_total",
                                          rule="impossible") >= 1
+
+
+class TestMonitorHooks:
+    """The cluster-facing extensions: snapshot_fn, listener edges,
+    recovery counting, and the exposed next-poll horizon."""
+
+    def make_obs(self):
+        return Observability(tracer=SimTracer(SimClock()),
+                             registry=MetricsRegistry())
+
+    def make_policy(self):
+        return SLOPolicy(rules=(SLORule(name="shed", kind="shed_rate",
+                                        threshold=0.1),),
+                         window_s=0.01)
+
+    def test_snapshot_fn_overrides_the_registry_view(self):
+        obs = self.make_obs()
+        # The registry itself stays empty: the monitor must judge the
+        # injected snapshot (10 offered, 0 completed -> shed violation).
+        monitor = SLOMonitor(self.make_policy(), obs,
+                             snapshot_fn=lambda: snapshot(offered=10))
+        monitor.poll(0.01)
+        assert monitor.violations == 1
+
+    def test_listener_sees_both_edges_in_order(self):
+        obs = self.make_obs()
+        views = [snapshot(offered=10), snapshot(offered=10, completed=10)]
+        monitor = SLOMonitor(self.make_policy(), obs,
+                             snapshot_fn=lambda: views[0])
+        edges = []
+        monitor._listener = lambda rule, failed, now_s, verdict: \
+            edges.append((rule.name, failed, now_s))
+        monitor.poll(0.01)
+        views[0] = views[1]
+        monitor.poll(0.02)
+        assert edges == [("shed", True, 0.01), ("shed", False, 0.02)]
+
+    def test_recoveries_counted_and_published(self):
+        obs = self.make_obs()
+        views = [snapshot(offered=10)]
+        monitor = SLOMonitor(self.make_policy(), obs,
+                             snapshot_fn=lambda: views[0])
+        monitor.poll(0.01)
+        views[0] = snapshot(offered=10, completed=10)
+        monitor.poll(0.02)
+        assert monitor.recoveries == 1
+        assert obs.registry.value("slo_recoveries_total", rule="shed") == 1
+
+    def test_in_violation_tracks_episodes(self):
+        obs = self.make_obs()
+        views = [snapshot(offered=10)]
+        monitor = SLOMonitor(self.make_policy(), obs,
+                             snapshot_fn=lambda: views[0])
+        assert not monitor.in_violation
+        monitor.poll(0.01)
+        assert monitor.in_violation
+        views[0] = snapshot(offered=10, completed=10)
+        monitor.poll(0.02)
+        assert not monitor.in_violation
+
+    def test_next_poll_s_exposes_the_event_horizon(self):
+        monitor = SLOMonitor(self.make_policy(), self.make_obs())
+        assert monitor.next_poll_s == pytest.approx(0.01)
+        monitor.poll(0.025)
+        assert monitor.next_poll_s == pytest.approx(0.03)

@@ -143,3 +143,32 @@ class TestNullTracer:
         assert list(NULL_TRACER.walk()) == []
         assert NULL_TRACER.find("ev") == []
         assert NULL_TRACER.current is None
+
+
+class TestFirstSid:
+    def test_default_block_starts_at_one(self, tracer):
+        with tracer.span("a"):
+            pass
+        assert tracer.roots[0].sid == 1
+
+    def test_offset_block_starts_at_first_sid(self, clock):
+        tracer = SimTracer(clock, first_sid=500)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        sids = sorted(s.sid for s in tracer.walk())
+        assert sids == [500, 501]
+
+    def test_disjoint_blocks_merge_without_collisions(self, clock):
+        low = SimTracer(clock, first_sid=1)
+        high = SimTracer(clock, first_sid=100)
+        for t in (low, high):
+            for name in "abc":
+                with t.span(name):
+                    pass
+        merged = [s.sid for s in low.walk()] + [s.sid for s in high.walk()]
+        assert len(merged) == len(set(merged))
+
+    def test_first_sid_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            SimTracer(clock, first_sid=0)

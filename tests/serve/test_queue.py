@@ -146,3 +146,39 @@ class TestShutdown:
             q.offer(req(i))
         drained = q.close()
         assert q.admitted == len(drained) + len(q)
+
+
+class TestRequeueDrain:
+    """drain(for_requeue=True): a cluster replica handing its queue
+    back to the router, not shutting down."""
+
+    def test_requeue_drain_returns_everything(self):
+        q = AdmissionQueue()
+        q.offer(req(1, key=KEY_A))
+        q.offer(req(2, key=KEY_B))
+        q.offer(req(3, key=KEY_A))
+        assert [r.rid for r in q.drain(for_requeue=True)] == [1, 3, 2]
+        assert len(q) == 0
+
+    def test_requeue_drain_stays_out_of_closed_accounting(self):
+        q = AdmissionQueue()
+        for i in range(4):
+            q.offer(req(i))
+        q.drain(for_requeue=True)
+        # Not a shutdown: nothing was 'closed out' and the queue
+        # still accepts traffic.
+        assert q.closed_out == 0
+        assert not q.is_closed
+        assert q.offer(req(9))
+
+    def test_shutdown_drain_still_counts_closed_out(self):
+        q = AdmissionQueue()
+        q.offer(req(1))
+        q.drain()
+        assert q.closed_out == 1
+
+    def test_requeued_requests_keep_their_identity(self):
+        q = AdmissionQueue()
+        original = req(7, arrival=0.003)
+        q.offer(original)
+        assert q.drain(for_requeue=True) == [original]

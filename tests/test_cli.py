@@ -492,3 +492,106 @@ class TestRegressionCommand:
         """The CI gate: the repo's stored baseline matches the current
         simulator within tolerance."""
         assert main(["regression"]) == 0
+
+
+class TestClusterCommand:
+    ARGS = ["cluster", "--duration", "0.3", "--rate", "900", "--seed", "7",
+            "--replicas", "2"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.replicas == 4
+        assert args.policy == "round-robin"
+        assert args.slo is None and not args.autoscale
+        assert args.window_ms == 1000.0
+
+    def test_parser_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--policy", "dice"])
+
+    def test_human_output_lists_replicas(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 replica(s) started" in out
+        assert "replica0" in out and "replica1" in out
+        assert "routed per replica" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        cluster = doc["cluster"]
+        assert cluster["offered"] == doc["traffic"]["arrivals"]
+        assert cluster["policy"] == "round-robin"
+        assert len(cluster["replicas"]) == 2
+        assert set(cluster["latency_ms"]) == {"p50", "p95", "p99"}
+
+    def test_json_runs_are_byte_identical(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_export_has_one_row_per_replica(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(self.ARGS + ["--trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        procs = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert {"cluster", "replica0", "replica1"} <= procs
+
+    def test_jsonl_trace_merges_all_tracers(self, tmp_path, capsys):
+        path = tmp_path / "fleet.jsonl"
+        assert main(self.ARGS + ["--trace", str(path)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        names = {d["name"] for d in records if d.get("type") == "span"}
+        assert "cluster.run" in names and "replica.run" in names
+        sids = [d["sid"] for d in records if d.get("type") == "span"]
+        assert len(sids) == len(set(sids))
+
+    def test_metrics_file_has_fleet_and_replica_sections(self, tmp_path,
+                                                         capsys):
+        path = tmp_path / "fleet_metrics.json"
+        assert main(self.ARGS + ["--metrics", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert "fleet" in doc and set(doc["replicas"]) == {"replica0",
+                                                           "replica1"}
+
+    def test_json_embeds_metrics(self, capsys):
+        assert main(self.ARGS + ["--json", "--metrics"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "fleet" in doc["metrics"]
+
+    def test_autoscale_without_slo_fails(self, capsys):
+        assert main(["cluster", "--quick", "--autoscale"]) == 1
+        assert "--autoscale needs --slo" in capsys.readouterr().err
+
+    def test_kill_without_time_fails(self, capsys):
+        assert main(["cluster", "--quick", "--kill-replica", "1"]) == 1
+        assert "--kill-at" in capsys.readouterr().err
+
+    def test_kill_is_reported(self, capsys):
+        assert main(self.ARGS + ["--kill-replica", "1",
+                                 "--kill-at", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "kill schedule: replica 1 @ 0.150s" in out
+        assert "killed" in out
+
+    def test_autoscale_recovery_scenario(self, capsys):
+        """The CI gate: overload one replica, require the autoscaler
+        to recover the violated latency SLO by the end of the run."""
+        assert main(["cluster", "--duration", "2", "--rate", "4000",
+                     "--seed", "11", "--replicas", "1", "--slo",
+                     "--autoscale", "--max-replicas", "4",
+                     "--cooldown-ms", "500", "--window-ms", "250",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)["cluster"]
+        assert doc["slo"]["violations"] >= 1
+        assert doc["slo"]["recoveries"] >= 1
+        assert doc["slo"]["in_violation"] is False
+        assert doc["autoscaler"]["scale_ups"] >= 1
+
+    def test_fault_plan_restricted_to_replica(self, capsys):
+        assert main(self.ARGS + ["--fault-plan", "straggler",
+                                 "--fault-replica", "0"]) == 0
+        assert "straggler on replica(s) 0" in capsys.readouterr().out
