@@ -30,6 +30,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 REPLICAS = 4
 
+#: Hard host-time ceiling for the quick (CI) run.  The fast-path work
+#: brought the whole quick benchmark to a few seconds; the budget is
+#: deliberately generous for slow CI hosts but fails loudly long
+#: before the bench slides back to minutes.
+QUICK_WALL_BUDGET_S = 30.0
+
 
 def _digest(report) -> str:
     import hashlib
@@ -102,6 +108,7 @@ def run_autoscale_recovery(duration_s: float = 2.0,
 
 
 def run_benchmark(quick: bool = False) -> dict:
+    t0 = time.perf_counter()
     if quick:
         comparison = run_policy_comparison(duration_s=1.0, rate_rps=4000.0)
     else:
@@ -113,6 +120,8 @@ def run_benchmark(quick: bool = False) -> dict:
         "quick": quick,
         "policy_comparison": comparison,
         "autoscale_recovery": run_autoscale_recovery(),
+        "host_wall_s": round(time.perf_counter() - t0, 3),
+        "quick_wall_budget_s": QUICK_WALL_BUDGET_S,
     }
 
 
@@ -135,6 +144,11 @@ def check_gates(payload: dict) -> list:
                         "latency SLO")
     if recovery["scale_ups"] < 1:
         failures.append("autoscaler never scaled up under overload")
+    if payload["quick"] and payload["host_wall_s"] > QUICK_WALL_BUDGET_S:
+        failures.append(
+            f"quick run took {payload['host_wall_s']:.1f}s host time, "
+            f"over the {QUICK_WALL_BUDGET_S:.0f}s budget — the "
+            f"simulator fast path has regressed")
     return failures
 
 
@@ -165,6 +179,9 @@ def _render_text(payload: dict) -> str:
         f"{recovery['replicas_peak']}, {recovery['recoveries']} "
         f"recovery(ies), end state "
         f"{'VIOLATED' if recovery['in_violation_at_end'] else 'ok'}")
+    lines.append(f"host wall time: {payload['host_wall_s']:.2f} s"
+                 + (f" (quick budget {payload['quick_wall_budget_s']:.0f} s)"
+                    if payload["quick"] else ""))
     return "\n".join(lines)
 
 

@@ -1,34 +1,76 @@
-"""Serving subsystem benches: plan-cache hit path vs cold ranking, and
-the throughput value of dynamic batching under saturating load.
+"""Serving subsystem benches: plan-cache hit path vs cold ranking, the
+throughput value of dynamic batching under saturating load, and the
+host-side fast path of the simulator itself.
 
 Unlike the figure benches these do not regenerate a paper artifact —
 they quantify the serving layer built on top of the paper's cost
 model.  The rendered comparison is archived as
 ``benchmarks/results/serving_throughput.txt`` and the machine-readable
-headline numbers (throughput and p50/p99 latency for both modes) as
-``benchmarks/results/BENCH_serving.json``.
+headline numbers as ``benchmarks/results/BENCH_serving.json``.
+
+The **fast-path mode** measures the simulator's own host throughput
+(trace arrivals processed per wall-clock second) with the dispatch
+memo on vs off, and against the archived pre-fast-path baseline walls
+(:data:`PR6_BASELINE`, measured on the same protocol before the memo /
+batched event loop / incremental stats work landed).  Its hard gate is
+*byte identity*: the memo-on and memo-off runs must produce the same
+``StatsReport`` JSON, byte for byte — the fast path is an optimisation,
+never a behaviour change.
+
+Run as a script (``python benchmarks/bench_serving.py [--quick]``) it
+writes the results JSON and exits non-zero on any gate failure; under
+pytest the ``bench_*`` entries assert the same gates.
 """
 
+from __future__ import annotations
+
+import argparse
+import hashlib
 import json
 import pathlib
+import sys
+import time
 
-import pytest
-
-from repro.core.advisor import Advisor
-from repro.frameworks.registry import shared_implementations
-from repro.gpusim.device import K40C
-from repro.serve import (BatchPolicy, PlanCache, Server, ServerConfig,
-                         TrafficSpec, batched_config, generate_trace)
-from repro.serve.loadgen import MODEL_SHAPES
-from repro.serve.request import shape_key
-
-#: AlexNet conv2 at a bucketed batch — a representative cached plan key.
-CONV2_KEY = shape_key(MODEL_SHAPES["AlexNet"][1][1])
-#: Long enough that cold plan misses (one per shape x batch bucket)
-#: amortize into a >90% steady-state hit rate.
-SPEC = TrafficSpec(duration_s=6.0, rate_rps=6000, seed=7)
+try:
+    import pytest
+except ImportError:                                   # script mode
+    pytest = None
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Long enough that cold plan misses (one per shape x batch bucket)
+#: amortize into a >90% steady-state hit rate.
+FULL_SPEC = dict(duration_s=6.0, rate_rps=6000.0, seed=7)
+QUICK_SPEC = dict(duration_s=1.5, rate_rps=6000.0, seed=7)
+
+#: Host walls of the serving simulator *before* the fast-path work
+#: (dispatch memo, batched event loop, incremental stats), measured at
+#: the PR-6 head on the full workload above: warm process (advisor and
+#: eval-cache models already evaluated), best of 3, otherwise-idle
+#: host.  The "after" numbers are re-measured live by
+#: :func:`run_fastpath`, so the speedup-vs-baseline field is only
+#: meaningful on comparable hardware — the CI gates use the live
+#: memo-on/off ratio and byte identity instead.
+PR6_BASELINE = {
+    "commit": "4fd1e26",
+    "protocol": "warm best-of-3, idle host, full workload",
+    "batched_wall_s": 0.411,
+    "single_wall_s": 3.787,
+    "combined_wall_s": 4.199,
+    "combined_loadgen_rps": 17066.0,   # 2 x 35830 arrivals / 4.199 s
+    "single_loadgen_rps": 9461.0,      # 35830 arrivals / 3.787 s
+}
+
+#: CI floors, deliberately conservative: shared runners are slow and
+#: noisy, so the absolute floor is ~8x under this box's measured rate
+#: and the memo ratio floor well under the ~2.4x measured here.
+MIN_LOADGEN_RPS = 10_000.0
+MIN_MEMO_SPEEDUP = 1.2
+
+
+def _digest(report) -> str:
+    blob = json.dumps(report.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _latency_summary(report):
@@ -38,49 +80,170 @@ def _latency_summary(report):
             "completed": report.completed}
 
 
-def _advisor():
-    return Advisor(K40C, shared_implementations())
+def _configs(memo: bool = True):
+    from repro.serve import BatchPolicy, ServerConfig
+
+    batched = ServerConfig(dispatch_memo=memo)
+    single = ServerConfig(policy=BatchPolicy(max_batch=1, max_wait_s=0.0),
+                          dispatch_memo=memo)
+    return batched, single
 
 
-@pytest.mark.benchmark(group="serving-plan-cache")
-def bench_plan_cold_ranking(benchmark):
-    """Full 7-way ranking on every call — the cache-miss path."""
-    advisor = _advisor()
-    config = batched_config(CONV2_KEY, 32)
-    plan = benchmark(advisor.plan, config)
-    assert plan is not None
-    benchmark.extra_info["implementation"] = plan.implementation
+def _timed_run(config, trace, rounds: int):
+    """Best-of-``rounds`` wall time for one server mode; returns
+    (wall_s, report, last_server) — every round's report digest must
+    agree."""
+    from repro.serve import Server
+
+    best = float("inf")
+    report = None
+    server = None
+    for _ in range(rounds):
+        server = Server(config)
+        t0 = time.perf_counter()
+        out = server.run(trace)
+        wall = time.perf_counter() - t0
+        if report is not None and _digest(out) != _digest(report):
+            raise AssertionError("same-seed serving runs diverged")
+        report = out
+        best = min(best, wall)
+    return best, report, server
 
 
-@pytest.mark.benchmark(group="serving-plan-cache")
-def bench_plan_cache_hit(benchmark):
-    """Memoized lookup of the same plan — the steady-state path."""
-    advisor = _advisor()
-    cache = PlanCache(capacity=8)
-    key = (CONV2_KEY, 32, K40C.name)
-    compute = lambda: advisor.plan(batched_config(CONV2_KEY, 32))
-    cache.get_or_compute(key, compute)  # warm
-    plan = benchmark(cache.get_or_compute, key, compute)
-    assert plan is not None
-    assert cache.hit_rate > 0.99
+def run_fastpath(quick: bool = False) -> dict:
+    """Measure the simulator's host throughput, memo on vs off."""
+    from repro.serve import Server, TrafficSpec, generate_trace
+
+    spec = TrafficSpec(**(QUICK_SPEC if quick else FULL_SPEC))
+    trace = generate_trace(spec)
+    rounds = 2 if quick else 3
+    batched_cfg, single_cfg = _configs(memo=True)
+    # Warm the process-wide advisor/eval-cache models so the walls
+    # measure the serving loop, not one-time model evaluation.
+    Server(batched_cfg).run(trace)
+
+    batched_wall, batched_report, batched_server = _timed_run(
+        batched_cfg, trace, rounds)
+    single_wall, single_report, _ = _timed_run(single_cfg, trace, rounds)
+
+    off_batched_cfg, off_single_cfg = _configs(memo=False)
+    off_batched_wall, off_batched_report, _ = _timed_run(
+        off_batched_cfg, trace, rounds)
+    off_single_wall, off_single_report, _ = _timed_run(
+        off_single_cfg, trace, rounds)
+
+    combined = batched_wall + single_wall
+    off_combined = off_batched_wall + off_single_wall
+    loadgen_rps = 2 * len(trace) / combined if combined else 0.0
+    memo = batched_server.dispatch_memo_stats()
+    return {
+        "workload": {"duration_s": spec.duration_s,
+                     "rate_rps": spec.rate_rps, "seed": spec.seed,
+                     "arrivals": len(trace), "quick": quick},
+        "after": {
+            "batched_wall_s": round(batched_wall, 3),
+            "single_wall_s": round(single_wall, 3),
+            "combined_wall_s": round(combined, 3),
+            "loadgen_rps": round(loadgen_rps, 1),
+            "single_loadgen_rps": round(len(trace) / single_wall, 1)
+            if single_wall else 0.0,
+        },
+        "memo_off": {
+            "batched_wall_s": round(off_batched_wall, 3),
+            "single_wall_s": round(off_single_wall, 3),
+            "combined_wall_s": round(off_combined, 3),
+        },
+        "before": dict(PR6_BASELINE),
+        "memo_speedup_x": round(off_combined / combined, 2)
+        if combined else 0.0,
+        "speedup_vs_pr6_x": round(
+            PR6_BASELINE["combined_wall_s"] / combined, 2)
+        if (combined and not quick) else None,
+        "single_speedup_vs_pr6_x": round(
+            PR6_BASELINE["single_wall_s"] / single_wall, 2)
+        if (single_wall and not quick) else None,
+        "byte_identical": (
+            _digest(batched_report) == _digest(off_batched_report)
+            and _digest(single_report) == _digest(off_single_report)),
+        "dispatch_memo": memo,
+    }
 
 
-@pytest.mark.benchmark(group="serving-throughput")
-def bench_dynamic_batching_throughput(benchmark, save_artifact):
-    """Batched vs forced batch=1 on the same saturating trace."""
-    trace = generate_trace(SPEC)
+def run_throughput(quick: bool = False) -> dict:
+    """Batched vs forced batch=1 on the same saturating trace (the
+    simulated-throughput headline, unchanged by the fast path)."""
+    from repro.serve import Server, TrafficSpec, generate_trace
 
-    def run_both():
-        batched = Server(ServerConfig()).run(trace)
-        single = Server(ServerConfig(policy=BatchPolicy(
-            max_batch=1, max_wait_s=0.0))).run(trace)
-        return batched, single
+    spec = TrafficSpec(**(QUICK_SPEC if quick else FULL_SPEC))
+    trace = generate_trace(spec)
+    batched_cfg, single_cfg = _configs()
+    batched = Server(batched_cfg).run(trace)
+    single = Server(single_cfg).run(trace)
+    speedup = (batched.throughput_rps / single.throughput_rps
+               if single.throughput_rps else float("inf"))
+    return {
+        "workload": {"duration_s": spec.duration_s,
+                     "rate_rps": spec.rate_rps, "seed": spec.seed,
+                     "arrivals": len(trace)},
+        "dynamic_batching": _latency_summary(batched),
+        "forced_batch_1": _latency_summary(single),
+        "throughput_speedup_x": round(speedup, 3),
+        "plan_cache_hit_rate": round(batched.plan_cache["hit_rate"], 4),
+        "_reports": (batched, single),
+    }
 
-    batched, single = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    speedup = batched.throughput_rps / single.throughput_rps
+
+def run_benchmark(quick: bool = False) -> dict:
+    throughput = run_throughput(quick)
+    batched, single = throughput.pop("_reports")
+    return {
+        "benchmark": "serving_throughput",
+        "quick": quick,
+        "workload": throughput["workload"],
+        "dynamic_batching": throughput["dynamic_batching"],
+        "forced_batch_1": throughput["forced_batch_1"],
+        "throughput_speedup_x": throughput["throughput_speedup_x"],
+        "plan_cache_hit_rate": throughput["plan_cache_hit_rate"],
+        "fast_path": run_fastpath(quick),
+        "_reports": (batched, single),
+    }
+
+
+def check_gates(payload: dict) -> list:
+    failures = []
+    fast = payload["fast_path"]
+    if not fast["byte_identical"]:
+        failures.append("memo-on and memo-off reports are not "
+                        "byte-identical — the fast path changed "
+                        "simulated behaviour")
+    if fast["memo_speedup_x"] < MIN_MEMO_SPEEDUP:
+        failures.append(
+            f"dispatch memo speedup x{fast['memo_speedup_x']} below "
+            f"the x{MIN_MEMO_SPEEDUP} floor")
+    if fast["after"]["loadgen_rps"] < MIN_LOADGEN_RPS:
+        failures.append(
+            f"loadgen throughput {fast['after']['loadgen_rps']:.0f} "
+            f"arrivals/s below the {MIN_LOADGEN_RPS:.0f} floor")
+    if (payload["dynamic_batching"]["throughput_rps"]
+            <= payload["forced_batch_1"]["throughput_rps"]):
+        failures.append("dynamic batching did not beat forced batch=1")
+    if not payload["quick"]:
+        # Steady-state gates: the quick trace is too short to amortize
+        # the one-per-(shape, bucket) cold misses.
+        if fast["dispatch_memo"]["hit_rate"] < 0.9:
+            failures.append("dispatch memo hit rate below 0.9 — the "
+                            "key space stopped coalescing")
+        if payload["plan_cache_hit_rate"] <= 0.9:
+            failures.append("plan cache hit rate at or below 0.9")
+    return failures
+
+
+def _render_text(payload: dict, batched, single) -> str:
+    w = payload["workload"]
+    fast = payload["fast_path"]
     lines = [
-        f"serving throughput on {SPEC.rate_rps:.0f} rps x "
-        f"{SPEC.duration_s:.0f} s (seed {SPEC.seed})",
+        f"serving throughput on {w['rate_rps']:.0f} rps x "
+        f"{w['duration_s']:g} s (seed {w['seed']})",
         "",
         "== dynamic batching ==",
         batched.render(),
@@ -88,24 +251,104 @@ def bench_dynamic_batching_throughput(benchmark, save_artifact):
         "== forced batch=1 ==",
         single.render(),
         "",
-        f"dynamic batching throughput speedup: x{speedup:.2f}",
+        f"dynamic batching throughput speedup: "
+        f"x{payload['throughput_speedup_x']:.2f}",
+        "",
+        "== simulator fast path (host time) ==",
+        f"memo on : batched {fast['after']['batched_wall_s']:.3f}s + "
+        f"single {fast['after']['single_wall_s']:.3f}s = "
+        f"{fast['after']['combined_wall_s']:.3f}s "
+        f"({fast['after']['loadgen_rps']:,.0f} arrivals/s)",
+        f"memo off: batched {fast['memo_off']['batched_wall_s']:.3f}s + "
+        f"single {fast['memo_off']['single_wall_s']:.3f}s = "
+        f"{fast['memo_off']['combined_wall_s']:.3f}s",
+        f"memo speedup: x{fast['memo_speedup_x']:.2f}   "
+        f"byte-identical reports: {fast['byte_identical']}",
     ]
-    save_artifact("serving_throughput", "\n".join(lines))
-    payload = {
-        "benchmark": "serving_throughput",
-        "workload": {"duration_s": SPEC.duration_s,
-                     "rate_rps": SPEC.rate_rps, "seed": SPEC.seed,
-                     "arrivals": len(trace)},
-        "dynamic_batching": _latency_summary(batched),
-        "forced_batch_1": _latency_summary(single),
-        "throughput_speedup_x": round(speedup, 3),
-        "plan_cache_hit_rate": round(batched.plan_cache["hit_rate"], 4),
-    }
+    if fast["speedup_vs_pr6_x"] is not None:
+        lines.append(
+            f"vs pre-fast-path baseline ({fast['before']['commit']}): "
+            f"combined x{fast['speedup_vs_pr6_x']:.1f}, "
+            f"forced batch=1 x{fast['single_speedup_vs_pr6_x']:.1f}")
+    return "\n".join(lines)
+
+
+# -- pytest benchmark entries ---------------------------------------------
+
+if pytest is not None:
+    from repro.core.advisor import Advisor
+    from repro.frameworks.registry import shared_implementations
+    from repro.gpusim.device import K40C
+    from repro.serve import PlanCache, batched_config
+    from repro.serve.loadgen import MODEL_SHAPES
+    from repro.serve.request import shape_key
+
+    #: AlexNet conv2 at a bucketed batch — a representative plan key.
+    CONV2_KEY = shape_key(MODEL_SHAPES["AlexNet"][1][1])
+
+    def _advisor():
+        return Advisor(K40C, shared_implementations())
+
+    @pytest.mark.benchmark(group="serving-plan-cache")
+    def bench_plan_cold_ranking(benchmark):
+        """Full 7-way ranking on every call — the cache-miss path."""
+        advisor = _advisor()
+        config = batched_config(CONV2_KEY, 32)
+        plan = benchmark(advisor.plan, config)
+        assert plan is not None
+        benchmark.extra_info["implementation"] = plan.implementation
+
+    @pytest.mark.benchmark(group="serving-plan-cache")
+    def bench_plan_cache_hit(benchmark):
+        """Memoized lookup of the same plan — the steady-state path."""
+        advisor = _advisor()
+        cache = PlanCache(capacity=8)
+        key = (CONV2_KEY, 32, K40C.name)
+        compute = lambda: advisor.plan(batched_config(CONV2_KEY, 32))
+        cache.get_or_compute(key, compute)  # warm
+        plan = benchmark(cache.get_or_compute, key, compute)
+        assert plan is not None
+        assert cache.hit_rate > 0.99
+
+    @pytest.mark.benchmark(group="serving-throughput")
+    def bench_serving_fastpath(benchmark, save_artifact):
+        """Quick-mode fast-path bench plus every CI gate."""
+        payload = benchmark.pedantic(run_benchmark, args=(True,),
+                                     rounds=1, iterations=1)
+        batched, single = payload.pop("_reports")
+        save_artifact("serving_throughput",
+                      _render_text(payload, batched, single))
+        failures = check_gates(payload)
+        assert not failures, "; ".join(failures)
+        fast = payload["fast_path"]
+        benchmark.extra_info["loadgen_rps"] = fast["after"]["loadgen_rps"]
+        benchmark.extra_info["memo_speedup_x"] = fast["memo_speedup_x"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="1.5 s trace instead of the full 6 s one "
+                             "(skips the vs-PR6 comparison fields)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick)
+    batched, single = payload.pop("_reports")
+    text = _render_text(payload, batched, single)
+    print(text)
+
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serving.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
-    assert batched.throughput_rps > single.throughput_rps
-    assert batched.plan_cache["hit_rate"] > 0.9
-    benchmark.extra_info["speedup"] = round(speedup, 3)
-    benchmark.extra_info["batched_rps"] = round(batched.throughput_rps, 1)
-    benchmark.extra_info["single_rps"] = round(single.throughput_rps, 1)
+    out = RESULTS_DIR / "BENCH_serving.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    (RESULTS_DIR / "serving_throughput.txt").write_text(text + "\n")
+    print(f"\nwrote {out}")
+
+    failures = check_gates(payload)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    raise SystemExit(main())

@@ -267,6 +267,7 @@ def _server_config(args):
         timeout_s=args.timeout_ms / 1000.0,
         device=DEVICES[args.device],
         plan_cache_capacity=args.cache_capacity,
+        dispatch_memo=not getattr(args, "no_dispatch_memo", False),
     )
 
 
@@ -286,7 +287,7 @@ def cmd_serve(args) -> int:
         config = replace(config, slo=SLOPolicy(rules=rules))
     server = Server(config)
     if args.trace:
-        server.enable_tracing()
+        server.enable_tracing(sample=getattr(args, "trace_sample", 1))
     report = server.run(trace)
     slo_ok = server.slo_report is None or server.slo_report.passed
     if args.trace:
@@ -357,7 +358,7 @@ def cmd_chaos(args) -> int:
         server = Server(config, fault_plan=plan if with_faults else None,
                         fault_seed=fault_seed)
         if trace_path:
-            server.enable_tracing()
+            server.enable_tracing(sample=getattr(args, "trace_sample", 1))
         report = server.run(trace)
         if trace_path:
             _write_trace(trace_path, server.obs.tracer, server.obs.registry,
@@ -457,7 +458,7 @@ def cmd_cluster(args) -> int:
         kills=kills)
     cluster = Cluster(config)
     if args.trace:
-        cluster.enable_tracing()
+        cluster.enable_tracing(sample=getattr(args, "trace_sample", 1))
     report = cluster.run(trace)
 
     if args.trace:
@@ -527,7 +528,7 @@ def cmd_trace(args) -> int:
             if args.fault_plan else None)
     server = Server(_server_config(args), fault_plan=plan,
                     fault_seed=spec.seed)
-    tracer = server.enable_tracing()
+    tracer = server.enable_tracing(sample=getattr(args, "trace_sample", 1))
     report = server.run(trace)
     print(trace_summary(trace, spec))
     if plan is not None:
@@ -542,12 +543,53 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _host_hotspots(top: int) -> str:
+    """cProfile one reference serving run (dynamic batching + forced
+    batch-1 over the same trace) and return the hottest-function table.
+
+    This profiles *host* time spent simulating — the quantity the
+    dispatch-memo fast path optimises — not simulated time; the run's
+    simulated report is identical to an unprofiled one.
+    """
+    import cProfile
+    import io
+    import pstats
+    from dataclasses import replace
+
+    from .serve import (BatchPolicy, Server, ServerConfig, TrafficSpec,
+                        generate_trace)
+
+    spec = TrafficSpec(duration_s=3.0, rate_rps=6000)
+    trace = generate_trace(spec)
+    config = ServerConfig()
+    # Warm the process-wide advisor/evalcache models so the table shows
+    # the steady-state serving loop, not one-time model evaluation.
+    Server(config).run(trace)
+    profile = cProfile.Profile()
+    profile.enable()
+    Server(config).run(trace)
+    Server(replace(config, policy=BatchPolicy(max_batch=1,
+                                              max_wait_s=0.0))).run(trace)
+    profile.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profile, stream=out)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    return out.getvalue()
+
+
 def cmd_analyze(args) -> int:
     import json
 
     from .obs.analyze import analyze_run, load_jsonl
     from .obs.diff import diff_traces
 
+    if args.hotspots_host:
+        print(_host_hotspots(args.top))
+        return 0
+    if args.trace is None:
+        raise ValueError("analyze needs a JSONL trace path "
+                         "(or --hotspots-host to profile the host)")
     try:
         analysis = analyze_run(load_jsonl(args.trace))
         diff = None
@@ -641,6 +683,10 @@ def _add_obs_args(p) -> None:
                    help="emit the end-of-run metrics snapshot: to PATH as "
                         "JSON, printed (or embedded under --json) when "
                         "PATH is omitted")
+    p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                   help="with --trace, keep only 1 in N serve.batch span "
+                        "trees (deterministic; metrics and the report "
+                        "stay exact; default 1 = full tracing)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -735,6 +781,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="queueing timeout before shedding (default 250 ms)")
         p.add_argument("--cache-capacity", type=int, default=128,
                        help="plan cache entries (default 128)")
+        p.add_argument("--no-dispatch-memo", action="store_true",
+                       help="disable the dispatch memo fast path "
+                            "(reference scheduler; same-seed reports are "
+                            "byte-identical either way, just slower)")
         p.add_argument("--device", choices=sorted(DEVICES),
                        default="Tesla K40c", help="modelled GPU")
 
@@ -837,6 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="also emit the metrics snapshot (to PATH, or "
                               "printed when PATH is omitted)")
+    p_trace.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                         help="keep only 1 in N serve.batch span trees "
+                              "(deterministic; the report stays exact)")
     # A traced second of traffic is plenty to read; heavier runs are
     # one --duration/--rate away.
     p_trace.set_defaults(fn=cmd_trace, duration=1.0, rate=1000.0)
@@ -845,8 +898,14 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="offline trace analytics: critical path, hotspot "
                         "table, and (with --baseline) regression "
                         "attribution between two runs")
-    p_analyze.add_argument("trace", help="JSONL event log to analyze "
-                                         "(see 'trace --out run.jsonl')")
+    p_analyze.add_argument("trace", nargs="?", default=None,
+                           help="JSONL event log to analyze "
+                                "(see 'trace --out run.jsonl')")
+    p_analyze.add_argument("--hotspots-host", action="store_true",
+                           help="profile the simulator itself: cProfile a "
+                                "reference serving run on this host and "
+                                "print the hottest functions (simulated "
+                                "results are unaffected)")
     p_analyze.add_argument("--baseline", metavar="PATH", default=None,
                            help="second JSONL log to diff against "
                                 "(baseline -> trace)")

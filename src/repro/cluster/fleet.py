@@ -49,7 +49,7 @@ from ..obs.slo import SLOMonitor, SLOPolicy
 from ..obs.tracer import SimTracer
 from ..rng import DEFAULT_SEED
 from ..serve.loadgen import Arrival
-from ..serve.request import Request
+from ..serve.request import Request, fast_request
 from ..serve.scheduler import ServerConfig
 from .autoscaler import AutoscalePolicy, Autoscaler
 from .replica import Replica
@@ -127,6 +127,7 @@ class Cluster:
         #: (name, tracer) per replica, for the merged exports.
         self.replica_tracers: List[Tuple[str, SimTracer]] = []
         self._tracing = False
+        self._trace_sample = 1
         self._next_index = 0
         self._peak_routable = 0
         self._consumed: Dict[int, int] = {}      # completions collected
@@ -151,15 +152,22 @@ class Cluster:
 
     # -- observability -----------------------------------------------------
 
-    def enable_tracing(self) -> SimTracer:
+    def enable_tracing(self, sample: int = 1) -> SimTracer:
         """Attach a fleet tracer (router + autoscaler + SLO events) on
         the fleet clock; replicas spawned afterwards each get their own
         tracer in a disjoint span-id block.  Call before :meth:`run`.
-        Returns the fleet tracer for the merged exports
+        ``sample`` > 1 samples each replica's ``serve.batch`` unit
+        trees 1-in-``sample`` (see
+        :class:`~repro.obs.tracer.TraceSampler`); the fleet tracer's
+        own router/autoscaler events are never sampled.  Returns the
+        fleet tracer for the merged exports
         (:func:`repro.obs.export.cluster_chrome_trace`)."""
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
         tracer = SimTracer(self.clock)
         self.obs.tracer = tracer
         self._tracing = True
+        self._trace_sample = sample
         return tracer
 
     def _window_snapshot(self) -> dict:
@@ -205,7 +213,7 @@ class Cluster:
             index, self.config.server, advisor=self._advisor,
             fault_plan=plan,
             fault_seed=self.config.seed + _FAULT_SEED_STRIDE * (index + 1),
-            tracing=self._tracing)
+            tracing=self._tracing, trace_sample=self._trace_sample)
         replica.begin(now_s)
         self.replicas.append(replica)
         self._consumed[index] = 0
@@ -269,10 +277,9 @@ class Cluster:
                 target.admit(request)
 
     def _route_arrival(self, arrival: Arrival, now_s: float) -> None:
-        request = Request(rid=arrival.rid, model=arrival.model,
-                          layer=arrival.layer, key=arrival.key,
-                          arrival_s=arrival.t_s,
-                          timeout_s=self.config.server.timeout_s)
+        request = fast_request(arrival.rid, arrival.model, arrival.layer,
+                               arrival.key, arrival.t_s,
+                               self.config.server.timeout_s)
         self._win_offered.append(arrival.t_s)
         target = self.router.route(request, self.replicas, now_s)
         if target is not None:
@@ -315,7 +322,7 @@ class Cluster:
         if self._ran:
             raise RuntimeError("a Cluster runs one trace; build a new one")
         self._ran = True
-        pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
+        pending = sorted(trace, key=lambda a: (a.t_s, a.rid))
         self._kill_queue = deque(
             sorted(self.config.kills.items(), key=lambda kv: (kv[1], kv[0])))
         for _ in range(self.config.replicas):
@@ -344,29 +351,43 @@ class Cluster:
                 root.__exit__(None, None, None)
         return self._build_report(len(trace), replicas_final)
 
-    def _loop(self, pending: Deque[Arrival]) -> None:
+    def _loop(self, pending: Sequence[Arrival]) -> None:
+        # Sorted list + cursor instead of a deque of popped arrivals:
+        # admission walks a slice, and the frequently-read "next
+        # arrival time" is one index away.  Per-iteration attribute
+        # lookups (clock, monitor, kill queue) are hoisted; the replica
+        # list itself must be re-read each pass because the autoscaler
+        # and kill plane mutate it mid-loop.
+        clock = self.clock
+        monitor = self.monitor
+        kill_queue = self._kill_queue
+        route = self._route_arrival
+        n = len(pending)
+        i = 0
         while True:
-            now = self.clock.now_s
-            self._apply_kills(now)
-            if self.monitor is not None:
-                self.monitor.poll(now)
-            while pending and pending[0].t_s <= now:
-                self._route_arrival(pending.popleft(), now)
-            drain = not pending
+            now = clock.now_s
+            if kill_queue:
+                self._apply_kills(now)
+            if monitor is not None:
+                monitor.poll(now)
+            while i < n and pending[i].t_s <= now:
+                route(pending[i], now)
+                i += 1
+            drain = i >= n
             for replica in list(self.replicas):
                 replica.poll(now, drain=drain)
             self._collect_completions()
             self._retire_idle_drainers(now)
-            if not pending and not any(r.queue_depth for r in self.replicas
-                                       if r.active):
+            if drain and not any(r.queue_depth for r in self.replicas
+                                 if r.active):
                 return
             events: List[float] = []
-            if pending:
-                events.append(pending[0].t_s)
-            if self._kill_queue:
-                events.append(self._kill_queue[0][1])
-            if self.monitor is not None:
-                events.append(self.monitor.next_poll_s)
+            if i < n:
+                events.append(pending[i].t_s)
+            if kill_queue:
+                events.append(kill_queue[0][1])
+            if monitor is not None:
+                events.append(monitor.next_poll_s)
             for replica in self.replicas:
                 if not replica.active:
                     continue
@@ -384,7 +405,7 @@ class Cluster:
                 raise RuntimeError(
                     f"cluster event loop stalled at t={now:.6f}s "
                     f"(next event {horizon:.6f}s)")
-            self.clock.advance_to(horizon)
+            clock.advance_to(horizon)
 
     def _build_report(self, offered: int,
                       replicas_final: int) -> ClusterReport:

@@ -30,7 +30,7 @@ from typing import List, Optional, Tuple
 
 from ..faults import FaultPlan
 from ..obs.context import Observability, obs_session
-from ..obs.tracer import SimTracer
+from ..obs.tracer import SimTracer, TraceSampler
 from ..serve.request import Request
 from ..serve.scheduler import Server, ServerConfig
 from ..serve.stats import StatsReport
@@ -56,7 +56,8 @@ class Replica:
                  advisor=None,
                  fault_plan: Optional[FaultPlan] = None,
                  fault_seed: Optional[int] = None,
-                 tracing: bool = False):
+                 tracing: bool = False,
+                 trace_sample: int = 1):
         self.index = index
         self.name = f"replica{index}"
         # The fleet monitor owns SLO evaluation; a per-replica monitor
@@ -67,8 +68,11 @@ class Replica:
                              fault_plan=fault_plan, fault_seed=fault_seed,
                              obs=obs)
         if tracing:
-            obs.tracer = SimTracer(self.server.clock,
-                                   first_sid=REPLICA_SID_STRIDE * (index + 1))
+            tracer = SimTracer(self.server.clock,
+                               first_sid=REPLICA_SID_STRIDE * (index + 1))
+            if trace_sample > 1:
+                tracer = TraceSampler(tracer, trace_sample)
+            obs.tracer = tracer
         self.tracer = obs.tracer
         self.alive = True
         self.draining = False

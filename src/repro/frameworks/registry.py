@@ -59,6 +59,11 @@ def shared_implementations() -> List[ConvImplementation]:
     return list(_SHARED.values())
 
 
+#: name-or-paper-name -> shared instance; built once on first resolve
+#: (the serving dispatcher resolves per batch, so this is hot).
+_BY_EITHER: Dict[str, ConvImplementation] = {}
+
+
 def resolve_implementation(name: str) -> ConvImplementation:
     """Shared-instance lookup by registry name *or* paper name.
 
@@ -66,10 +71,19 @@ def resolve_implementation(name: str) -> ConvImplementation:
     registry keys by ``name`` (``"cudnn"``); dispatchers hold whichever
     string they were handed, so accept both.
     """
+    impl = _BY_EITHER.get(name)
+    if impl is not None:
+        return impl
     shared_implementations()
-    by_paper = {impl.paper_name: impl for impl in _SHARED.values()}
-    impl = _SHARED.get(name) or by_paper.get(name)
-    if impl is None:
-        options = sorted(_SHARED) + sorted(by_paper)
-        raise KeyError(f"unknown implementation {name!r}; options: {options}")
-    return impl
+    if not _BY_EITHER:
+        # Registry names win a (hypothetical) collision with a paper
+        # name, matching the original lookup precedence.
+        _BY_EITHER.update(
+            {impl.paper_name: impl for impl in _SHARED.values()})
+        _BY_EITHER.update(_SHARED)
+        impl = _BY_EITHER.get(name)
+        if impl is not None:
+            return impl
+    options = sorted(_SHARED) + sorted(
+        impl.paper_name for impl in _SHARED.values())
+    raise KeyError(f"unknown implementation {name!r}; options: {options}")

@@ -112,6 +112,12 @@ class DeviceAllocator:
         return max(0, int(self._pressure()))
 
     @property
+    def observed(self) -> bool:
+        """Whether an alloc/free observer is attached (observers see
+        per-buffer events the memoized replay path skips)."""
+        return self._observer is not None
+
+    @property
     def live_buffers(self) -> int:
         return len(self._live)
 
@@ -142,6 +148,44 @@ class DeviceAllocator:
         if self._observer is not None:
             self._observer("alloc", buf, self._in_use)
         return buf
+
+    def replay_transient(self, rounded_sizes, total_rounded: int) -> None:
+        """Replay an alloc-everything-then-free-everything episode.
+
+        The serving dispatch memo records the rounded buffer sizes of a
+        batch's memory plan once, then replays them here on every memo
+        hit instead of constructing/freeing real :class:`Buffer`
+        objects.  Byte-exact with the real loop: same peak high-water
+        mark, same error type and fields at the same buffer, same
+        OOM-before-pressure check order, and the peak of a partially
+        allocated prefix is charged before the error propagates (the
+        real loop bumps the peak per successful alloc and the caller
+        frees the prefix afterwards).  Net ``in_use`` is unchanged.
+
+        Only valid when no observer is attached (observers see per-
+        buffer events the replay skips); callers gate on that.
+        """
+        capacity = self.device.global_memory_bytes
+        start = self._in_use
+        reserved = self.reserved_bytes
+        if start + total_rounded <= capacity - reserved:
+            peak = start + total_rounded
+            if peak > self._peak:
+                self._peak = peak
+            return
+        in_use = start
+        for rounded in rounded_sizes:
+            if in_use + rounded > capacity:
+                if in_use > self._peak:
+                    self._peak = in_use
+                raise DeviceOOMError(rounded, in_use, capacity)
+            if reserved and in_use + rounded > capacity - reserved:
+                if in_use > self._peak:
+                    self._peak = in_use
+                raise MemoryPressureError(rounded, in_use, capacity, reserved)
+            in_use += rounded
+        if in_use > self._peak:
+            self._peak = in_use
 
     def free(self, buf: Buffer) -> None:
         """Release a live buffer; freeing twice is an error."""

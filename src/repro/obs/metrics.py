@@ -33,6 +33,10 @@ LabelSet = Tuple[Tuple[str, str], ...]
 
 
 def _labels(labels: Dict[str, object]) -> LabelSet:
+    if not labels:
+        # The unlabeled case dominates the serving hot path; skip the
+        # generator + sort machinery for it.
+        return ()
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -107,6 +111,16 @@ class Histogram:
             raise ValueError(
                 f"histogram observations must be finite, got {value}")
         self.observations.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk :meth:`observe` (the serving stats' streaming path);
+        same finiteness contract, one ``extend`` instead of n appends."""
+        values = list(values)
+        if not all(map(math.isfinite, values)):
+            bad = next(v for v in values if not math.isfinite(v))
+            raise ValueError(
+                f"histogram observations must be finite, got {bad}")
+        self.observations.extend(values)
 
     @property
     def count(self) -> int:
@@ -221,6 +235,10 @@ class _NullMetric:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        # Must never touch the class-level shared `observations` list.
         pass
 
     def snapshot_value(self) -> float:

@@ -18,6 +18,19 @@ Disabled observability must cost nothing on the hot path (this repo
 targets a single-CPU box), so the :data:`NULL_TRACER` singleton
 answers every call with shared no-op objects: no allocation, no
 branching at call sites.
+
+Full tracing of a million-request run is expensive in host time and
+memory, so :class:`TraceSampler` wraps a :class:`SimTracer` and keeps
+only one in every N *units* (the ``serve.batch`` span and everything
+nested under it); spans outside any unit — the run root, admission
+events, autoscaler actions — are always kept.  Sampling is a purely
+observational change: the metrics registry still counts every request
+exactly, and the simulated report is byte-identical to an untraced
+run.  Call sites distinguish ``tracer.enabled`` (is this a real
+tracer at all — drives span bookkeeping like hit-rate annotations)
+from ``tracer.recording`` (are spans being kept *right now* — drives
+expensive span synthesis like gpusim kernel leaves, and gates the
+scheduler's dispatch fast path).
 """
 
 from __future__ import annotations
@@ -115,6 +128,9 @@ class SimTracer:
     """
 
     enabled = True
+    #: Spans opened now will actually be kept (always true for a bare
+    #: SimTracer; a :class:`TraceSampler` flips it inside dropped units).
+    recording = True
 
     def __init__(self, clock, first_sid: int = 1):
         if first_sid < 1:
@@ -243,7 +259,9 @@ class NullTracer:
 
     __slots__ = ()
     enabled = False
+    recording = False
     roots: List[Span] = []
+    orphan_events: List[SpanEvent] = []
 
     def span(self, name: str, cat: str = "span", **attrs) -> _NullSpan:
         return _NULL_SPAN
@@ -271,3 +289,125 @@ class NullTracer:
 
 #: Process-wide disabled tracer (the default everywhere).
 NULL_TRACER = NullTracer()
+
+
+class _GateSpan:
+    """Stands in for a dropped unit's root span: records nothing, but
+    suppresses the sampler for exactly the unit's dynamic extent."""
+
+    __slots__ = ("_sampler",)
+    name = ""
+    cat = ""
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+
+    def __init__(self, sampler: "TraceSampler"):
+        self._sampler = sampler
+
+    def annotate(self, **attrs) -> "_GateSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_GateSpan":
+        self._sampler._suppressed += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sampler._suppressed -= 1
+
+
+class TraceSampler:
+    """1-in-N unit sampling over a :class:`SimTracer`.
+
+    A *unit* is one span tree rooted at ``unit`` (``serve.batch`` by
+    default — one dynamic batch with its plan lookup, dispatch and
+    kernel leaves).  The sampler keeps the first unit and every
+    ``every``-th after it, deterministically by unit count (no RNG, so
+    same-seed runs still produce byte-identical sampled traces), and
+    suppresses everything nested inside a dropped unit.  Spans and
+    events *outside* any unit are always recorded, so the run root,
+    admission/shed events and fault census survive any sampling rate.
+
+    Only the trace thins out: the metrics registry is untouched, every
+    counter stays exact, and the simulated report is unchanged (the
+    scheduler's byte-identity invariant).  Exports work unchanged —
+    the sampler delegates the whole read API (``roots`` / ``walk`` /
+    ``orphan_events`` / ``span_count`` / ``find`` / ``clock``) to the
+    wrapped tracer.
+    """
+
+    enabled = True
+
+    def __init__(self, inner: SimTracer, every: int, unit: str = "serve.batch"):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.inner = inner
+        self.every = every
+        self.unit = unit
+        #: Units seen / units whose span tree was kept.
+        self.units_total = 0
+        self.units_kept = 0
+        self._suppressed = 0
+
+    # -- recording ---------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        """False inside a dropped unit (call sites skip span synthesis
+        and take the dispatch fast path there)."""
+        return self._suppressed == 0
+
+    def span(self, name: str, cat: str = "span", **attrs):
+        if self._suppressed:
+            return _NULL_SPAN
+        if name == self.unit:
+            self.units_total += 1
+            if (self.units_total - 1) % self.every:
+                return _GateSpan(self)
+            self.units_kept += 1
+        return self.inner.span(name, cat, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        if not self._suppressed:
+            self.inner.event(name, **attrs)
+
+    def add_span(self, name: str, cat: str, start_s: float, end_s: float,
+                 **attrs):
+        if self._suppressed:
+            return _NULL_SPAN
+        return self.inner.add_span(name, cat, start_s, end_s, **attrs)
+
+    # -- delegated read API (exports and analytics) ------------------------
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def roots(self) -> List[Span]:
+        return self.inner.roots
+
+    @property
+    def orphan_events(self) -> List[SpanEvent]:
+        return self.inner.orphan_events
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self.inner.current
+
+    def span_count(self) -> int:
+        return self.inner.span_count()
+
+    def walk(self):
+        return self.inner.walk()
+
+    def find(self, name: str) -> List[Span]:
+        return self.inner.find(name)
+
+    def stats(self) -> Dict[str, int]:
+        return {"units_total": self.units_total,
+                "units_kept": self.units_kept,
+                "every": self.every}

@@ -89,6 +89,12 @@ class DynamicBatcher:
         self.policy = policy
         self.released = 0
         self.padded_slots = 0  # cumulative wasted slots from bucketing
+        # Hot-path hoists: the policy is frozen for the batcher's
+        # lifetime, so its knobs and the (cap-free) fill -> padded map
+        # never change.
+        self._max_batch = policy.max_batch
+        self._max_wait_s = policy.max_wait_s
+        self._padded_cache: dict = {}
 
     def next_batch(self, queue: AdmissionQueue, now_s: float,
                    drain: bool = False) -> Optional[Batch]:
@@ -98,19 +104,26 @@ class DynamicBatcher:
         if head is None:
             return None
         key, oldest = head
-        count = queue.lane_sizes()[key]
-        full = count >= self.policy.max_batch
-        # Same expression as release_at(): comparing now against the
+        max_batch = self._max_batch
+        # Release when full, waited past the guard, or draining.  Same
+        # expression as release_at(): comparing now against the
         # absolute release time keeps the scheduler's advance_to(release)
         # exact under floating point ((a + w) - a can round below w).
-        waited = now_s >= oldest.arrival_s + self.policy.max_wait_s
-        if not (full or waited or drain):
+        if (not drain and now_s < oldest.arrival_s + self._max_wait_s
+                and queue.lane_len(key) < max_batch):
             return None
-        requests = queue.take(key, self.policy.max_batch)
-        padded = self.policy.padded(len(requests))
+        requests = queue.take(key, max_batch)
+        fill = len(requests)
+        padded = self._padded_cache.get(fill)
+        if padded is None:
+            padded = self._padded_cache[fill] = self.policy.padded(fill)
         self.released += 1
-        self.padded_slots += padded - len(requests)
-        return Batch(requests=tuple(requests), key=key, batch=padded)
+        self.padded_slots += padded - fill
+        batch = Batch.__new__(Batch)
+        # Frozen-dataclass fast construction (see request.fast_request).
+        batch.__dict__.update(requests=tuple(requests), key=key,
+                              batch=padded)
+        return batch
 
     def release_at(self, queue: AdmissionQueue) -> Optional[float]:
         """Earliest future time at which the max-wait guard will

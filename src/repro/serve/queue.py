@@ -22,6 +22,7 @@ than being rejected, so they are kept out of the shed accounting.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -30,7 +31,18 @@ from .request import Request, ShapeKey
 
 
 class AdmissionQueue:
-    """FIFO-per-shape queue with one global depth bound."""
+    """FIFO-per-shape queue with one global depth bound.
+
+    :meth:`shed_expired` is amortized O(1): the queue maintains a lazy
+    lower bound on the earliest queued deadline (``_min_deadline``), so
+    the per-iteration scheduler call returns immediately unless some
+    deadline has actually passed.  Removals (``take``/``drain``) leave
+    the bound stale-*low*, which is safe — at worst one wasted scan.
+    Lanes are deadline-sorted in the common case (same timeout, arrival
+    order), letting the scan pop expired heads in O(dropped); a lane
+    only falls back to a full partition after an out-of-order insert
+    (a cluster requeue of an older request).
+    """
 
     def __init__(self, max_depth: int = 256):
         if max_depth <= 0:
@@ -41,6 +53,22 @@ class AdmissionQueue:
         self._lanes: "OrderedDict[ShapeKey, Deque[Request]]" = OrderedDict()
         self._depth = 0
         self._closed = False
+        #: Lower bound on the earliest deadline of any queued request
+        #: (stale-low after removals; +inf when provably empty).
+        self._min_deadline = float("inf")
+        #: Lanes whose deadline order was broken by an out-of-order
+        #: insert; they shed by partition instead of head-popping.
+        self._unsorted: set = set()
+        #: Lazy min-heap of ``(head_arrival_s, lane_seq, key)`` entries,
+        #: one pushed per head change.  Stale entries (the lane moved on)
+        #: are discarded when they surface at the top, making
+        #: :meth:`oldest_lane` amortized O(1) instead of an O(lanes)
+        #: scan per batcher release.
+        self._head_heap: List[Tuple[float, int, ShapeKey]] = []
+        #: Lane creation order — the tie-break the heap shares with the
+        #: OrderedDict scan it replaces (keys are never deleted, so
+        #: creation order *is* iteration order).
+        self._lane_seq: Dict[ShapeKey, int] = {}
         self.admitted = 0
         self.rejected = 0
         self.shed = 0
@@ -60,17 +88,32 @@ class AdmissionQueue:
     def lane_sizes(self) -> Dict[ShapeKey, int]:
         return {k: len(d) for k, d in self._lanes.items() if d}
 
+    def lane_len(self, key: ShapeKey) -> int:
+        """Depth of one lane (0 for an unknown key) — the batcher's
+        per-release query, without materialising :meth:`lane_sizes`."""
+        lane = self._lanes.get(key)
+        return len(lane) if lane is not None else 0
+
     def oldest_lane(self) -> Optional[Tuple[ShapeKey, Request]]:
         """The lane whose head request has waited longest, as
         ``(key, head)``; ``None`` when empty.  Ties break by lane
-        insertion order, keeping the scan deterministic."""
-        best: Optional[Tuple[ShapeKey, Request]] = None
-        for key, lane in self._lanes.items():
-            if not lane:
-                continue
-            if best is None or lane[0].arrival_s < best[1].arrival_s:
-                best = (key, lane[0])
-        return best
+        insertion order, keeping the selection deterministic.
+
+        Served from the lazy head heap: the top entry is returned if it
+        still describes its lane's current head, else discarded.  An
+        entry whose arrival matches the current head is equivalent to a
+        fresh one — selection depends only on (arrival, lane order) —
+        so equal-arrival staleness cannot change the answer.
+        """
+        heap = self._head_heap
+        lanes = self._lanes
+        while heap:
+            arrival, _seq, key = heap[0]
+            lane = lanes.get(key)
+            if lane and lane[0].arrival_s == arrival:
+                return (key, lane[0])
+            heapq.heappop(heap)
+        return None
 
     def oldest_arrival(self) -> Optional[float]:
         head = self.oldest_lane()
@@ -93,7 +136,19 @@ class AdmissionQueue:
         lane = self._lanes.get(request.key)
         if lane is None:
             lane = self._lanes[request.key] = deque()
+            self._lane_seq[request.key] = len(self._lane_seq)
+        deadline = request.arrival_s + request.timeout_s
+        if lane:
+            if deadline < lane[-1].arrival_s + lane[-1].timeout_s:
+                self._unsorted.add(request.key)
+        else:
+            # Appending to an empty lane creates a new head.
+            heapq.heappush(self._head_heap,
+                           (request.arrival_s,
+                            self._lane_seq[request.key], request.key))
         lane.append(request)
+        if deadline < self._min_deadline:
+            self._min_deadline = deadline
         self._depth += 1
         self.admitted += 1
         return True
@@ -103,9 +158,20 @@ class AdmissionQueue:
         lane = self._lanes.get(key)
         if lane is None:
             return []
-        out: List[Request] = []
-        while lane and len(out) < n:
-            out.append(lane.popleft())
+        if len(lane) <= n:
+            out = list(lane)
+            lane.clear()
+        elif n == 1:
+            # batch=1 serving: one pop, no listcomp machinery.
+            out = [lane.popleft()]
+            heapq.heappush(self._head_heap,
+                           (lane[0].arrival_s, self._lane_seq[key], key))
+        else:
+            popleft = lane.popleft
+            out = [popleft() for _ in range(n)]
+            # The lane has a new head; the old entry goes stale.
+            heapq.heappush(self._head_heap,
+                           (lane[0].arrival_s, self._lane_seq[key], key))
         self._depth -= len(out)
         return out
 
@@ -115,8 +181,17 @@ class AdmissionQueue:
         lane = self._lanes.get(key)
         if lane is None:
             lane = self._lanes[key] = deque()
+            self._lane_seq[key] = len(self._lane_seq)
         for req in reversed(requests):
             lane.appendleft(req)
+            deadline = req.arrival_s + req.timeout_s
+            if deadline < self._min_deadline:
+                self._min_deadline = deadline
+        if requests:
+            # A head insert can break the lane's deadline order.
+            self._unsorted.add(key)
+            heapq.heappush(self._head_heap,
+                           (lane[0].arrival_s, self._lane_seq[key], key))
         self._depth += len(requests)
 
     def drain(self, for_requeue: bool = False) -> List[Request]:
@@ -140,6 +215,9 @@ class AdmissionQueue:
             out.extend(lane)
             lane.clear()
         self._depth = 0
+        self._min_deadline = float("inf")
+        self._unsorted.clear()
+        self._head_heap.clear()
         if not for_requeue:
             self.closed_out += len(out)
         return out
@@ -155,14 +233,54 @@ class AdmissionQueue:
         return drained
 
     def shed_expired(self, now_s: float) -> List[Request]:
-        """Drop every admitted request whose deadline has passed."""
+        """Drop every admitted request whose deadline has passed.
+
+        Amortized O(1): returns immediately unless ``now_s`` has moved
+        past the tracked minimum deadline.  When it has, sorted lanes
+        pop expired heads in O(dropped); only lanes marked unsorted by
+        an out-of-order insert pay a full partition.
+        """
+        if now_s <= self._min_deadline:
+            return []
         dropped: List[Request] = []
-        for lane in self._lanes.values():
-            kept = deque(r for r in lane if not r.expired(now_s))
-            if len(kept) != len(lane):
-                dropped.extend(r for r in lane if r.expired(now_s))
-                lane.clear()
-                lane.extend(kept)
+        min_deadline = float("inf")
+        unsorted = self._unsorted
+        for key, lane in self._lanes.items():
+            if not lane:
+                continue
+            if key in unsorted:
+                kept = deque(r for r in lane
+                             if not now_s > r.arrival_s + r.timeout_s)
+                if len(kept) != len(lane):
+                    dropped.extend(r for r in lane
+                                   if now_s > r.arrival_s + r.timeout_s)
+                    lane.clear()
+                    lane.extend(kept)
+                if lane:
+                    lane_min = min(r.arrival_s + r.timeout_s for r in lane)
+                    if lane_min < min_deadline:
+                        min_deadline = lane_min
+                else:
+                    unsorted.discard(key)
+            else:
+                while lane:
+                    head = lane[0]
+                    deadline = head.arrival_s + head.timeout_s
+                    if now_s > deadline:
+                        dropped.append(lane.popleft())
+                    else:
+                        if deadline < min_deadline:
+                            min_deadline = deadline
+                        break
+        self._min_deadline = min_deadline
+        if dropped:
+            # A shedding pass already visited every lane; rebuilding the
+            # head heap here both repairs the changed heads and sweeps
+            # out accumulated stale entries.
+            seq = self._lane_seq
+            self._head_heap = [(lane[0].arrival_s, seq[k], k)
+                               for k, lane in self._lanes.items() if lane]
+            heapq.heapify(self._head_heap)
         self._depth -= len(dropped)
         self.shed += len(dropped)
         return dropped

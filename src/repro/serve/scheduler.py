@@ -47,11 +47,11 @@ untraced hot path byte-identical to the pre-observability scheduler.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.advisor import Advisor, RankedPlan
+from ..core.evalcache import DispatchMemo
 from ..errors import (DeviceOOMError, MemoryPressureError, ReproError,
                       TransientKernelError)
 from ..faults import FaultInjector, FaultPlan
@@ -62,13 +62,13 @@ from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.timing import SimClock
 from ..obs.context import Observability, obs_session
 from ..obs.slo import SLOMonitor, SLOPolicy, SLOReport
-from ..obs.tracer import SimTracer
+from ..obs.tracer import SimTracer, TraceSampler
 from ..rng import DEFAULT_SEED
 from .batcher import BatchPolicy, DynamicBatcher
 from .loadgen import Arrival
-from .plan_cache import PlanCache
+from .plan_cache import PlanCache, _MISSING
 from .queue import AdmissionQueue
-from .request import Completion, Request, ShapeKey, batched_config
+from .request import Request, ShapeKey, batched_config, fast_request
 from .resilience import CircuitBreaker, ResilienceConfig
 from .stats import ServingStats, StatsReport
 
@@ -99,6 +99,12 @@ class ServerConfig:
     #: ``None`` (the default) keeps the run byte-identical to an
     #: unmonitored one.
     slo: Optional[SLOPolicy] = None
+    #: Memoize per-(shape, batch, implementation) memory plans so
+    #: repeat dispatches replay the allocation episode instead of
+    #: re-deriving it (:class:`~repro.core.evalcache.DispatchMemo`).
+    #: Purely a host-time optimisation — reports, metrics and traces
+    #: are byte-identical with it off.
+    dispatch_memo: bool = True
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -137,6 +143,17 @@ class Server:
             device=config.device, implementations=shared_implementations())
         self.plan_cache = PlanCache(config.plan_cache_capacity)
         self.clock = SimClock()
+        self._device_name = config.device.name
+        self._forward_scale = FORWARD_FRACTION if config.forward_only else 1.0
+        #: Memory-plan memo behind the dispatch fast path; None when
+        #: disabled (``--no-dispatch-memo``).
+        self._memo: Optional[DispatchMemo] = (DispatchMemo()
+                                              if config.dispatch_memo
+                                              else None)
+        self._fallback_limit = 1 + config.resilience.max_fallbacks
+        # (key, padded) -> LayerConfig; pure function of its key, so
+        # the frozen configs are shared across dispatches.
+        self._config_cache: Dict[Tuple[ShapeKey, int], object] = {}
         #: (simulated time, bytes in use) per allocator event, when
         #: timeline recording is on.
         self.memory_timeline: List[Tuple[float, int]] = []
@@ -170,22 +187,52 @@ class Server:
         self._breaker_base = (0, 0)
         self._injector_base = (0, 0)
 
-    def enable_tracing(self) -> SimTracer:
+    def enable_tracing(self, sample: int = 1) -> Union[SimTracer,
+                                                       TraceSampler]:
         """Attach a span tracer driven by this server's clock.
 
-        Returns the tracer so the caller can export its span forest
-        after :meth:`run` (see :mod:`repro.obs.export`).
+        ``sample`` > 1 wraps it in a :class:`~repro.obs.tracer.
+        TraceSampler` keeping one in every ``sample`` ``serve.batch``
+        span trees (exact metrics, thinned trace).  Returns the tracer
+        so the caller can export its span forest after :meth:`run`
+        (see :mod:`repro.obs.export`).
         """
-        tracer = SimTracer(self.clock)
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        tracer: Union[SimTracer, TraceSampler] = SimTracer(self.clock)
+        if sample > 1:
+            tracer = TraceSampler(tracer, sample)
         self.obs.tracer = tracer
         return tracer
+
+    def dispatch_memo_stats(self) -> Optional[Dict[str, object]]:
+        """Hit/miss counters of the dispatch memo (None when disabled).
+
+        Deliberately *not* part of the metrics registry or the report:
+        the memo is purely a host-side optimisation, and folding its
+        traffic into observable state would break the memo-on/off
+        byte-identity invariant the benches gate on.
+        """
+        return None if self._memo is None else self._memo.stats()
 
     # ------------------------------------------------------------------
 
     def _plan_for(self, key: ShapeKey, batch: int) -> Tuple[RankedPlan, ...]:
-        cache_key = (key, batch, self.config.device.name)
-        with self.obs.tracer.span("serve.plan", cat="serve",
-                                  batch=batch) as sp:
+        cache_key = (key, batch, self._device_name)
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            # Span-free hot path: identical cache traffic (the lookup
+            # still counts its hit or miss) without building a compute
+            # closure per call.
+            plans = self.plan_cache.get(cache_key)
+            if plans is not _MISSING:
+                return plans
+            plans = self.advisor.plan_ranked(
+                batched_config(key, batch),
+                memory_budget=self.config.memory_budget)
+            self.plan_cache.put(cache_key, plans)
+            return plans
+        with tracer.span("serve.plan", cat="serve", batch=batch) as sp:
             hit = cache_key in self.plan_cache
             plans = self.plan_cache.get_or_compute(
                 cache_key,
@@ -222,6 +269,10 @@ class Server:
         :class:`DeviceOOMError` / :class:`MemoryPressureError` when the
         memory plan does not fit (the caller splits or sheds).
         """
+        if (self._memo is not None and not self.obs.tracer.recording
+                and not self._allocator.observed):
+            self._dispatch_fast(plan, rank, config, padded, requests, stats)
+            return
         impl = resolve_implementation(plan.implementation)
         res = self.config.resilience
         tracer = self.obs.tracer
@@ -277,17 +328,73 @@ class Server:
                 self._allocator.free(buf)
             if self._injector is not None:
                 self._breaker.record_success(plan.implementation)
-            if tracer.enabled:
+            if tracer.recording:
                 self._kernel_leaves(tracer, impl, config, start, finish)
-        stats.record_batch(padded, len(requests), plan.implementation)
+        stats.record_dispatch(requests, start, finish, padded,
+                              len(requests), plan.implementation)
         if rank > 0:
             stats.fallback_batches += 1
             stats.fallback_completions += len(requests)
-        stats.record_completions([
-            Completion(request=r, start_s=start, finish_s=finish,
-                       batch=padded, fill=len(requests),
-                       implementation=plan.implementation)
-            for r in requests])
+
+    def _dispatch_fast(self, plan: RankedPlan, rank: int, config,
+                       padded: int, requests: List[Request],
+                       stats: ServingStats) -> None:
+        """The memoized dispatch lane.
+
+        Same simulated-time arithmetic, fault ladder, error semantics
+        and accounting as :meth:`_dispatch`, with two host-time-only
+        substitutions: the memory plan comes from the
+        :class:`~repro.core.evalcache.DispatchMemo` (keyed by shape,
+        batch, implementation, device and the plan-cache corruption
+        epoch) and is replayed through
+        :meth:`~repro.gpusim.allocator.DeviceAllocator.replay_transient`
+        instead of allocating real buffers.  Only taken when nothing
+        can observe the difference: no span is being recorded and no
+        allocator observer is attached.
+        """
+        impl_name = plan.implementation
+        allocator = self._allocator
+        clock = self.clock
+        injector = self._injector
+        key = requests[0].key
+        sizes, total = self._memo.memory_plan(
+            (key, padded, impl_name, self._device_name,
+             self.plan_cache.corruptions),
+            resolve_implementation(impl_name), config)
+        if injector is None:
+            # No fault plan: replay can only raise OOM (handled by the
+            # caller) and nothing rewrites the service time.
+            allocator.replay_transient(sizes, total)
+            start = clock._now
+            finish = clock.advance(plan.time_s * self._forward_scale)
+        else:
+            res = self.config.resilience
+            attempts = 0
+            while True:
+                try:
+                    allocator.replay_transient(sizes, total)
+                    injector.check_launch(clock.now_s, impl_name, rank)
+                except TransientKernelError as fault:
+                    self._breaker.record_failure(impl_name, clock.now_s)
+                    clock.advance(fault.retry_cost_s)
+                    attempts += 1
+                    if attempts >= res.max_attempts:
+                        raise _RetriesExhausted() from fault
+                    stats.retries += 1
+                    clock.advance(res.backoff_s(attempts))
+                    continue
+                break
+            start = clock.now_s
+            service = plan.time_s * self._forward_scale
+            service *= injector.slowdown(start)
+            finish = clock.advance(service)
+            self._breaker.record_success(impl_name)
+        fill = len(requests)
+        stats.record_dispatch(requests, start, finish, padded, fill,
+                              impl_name)
+        if rank > 0:
+            stats.fallback_batches += 1
+            stats.fallback_completions += fill
 
     def _kernel_leaves(self, tracer, impl, config, start: float,
                        finish: float) -> None:
@@ -317,32 +424,53 @@ class Server:
                             role=role, model_time_s=k.time_s)
             t += dur
 
-    def _split(self, requests: List[Request], key: ShapeKey,
+    def _split(self, requests: Sequence[Request], key: ShapeKey,
                stats: ServingStats) -> None:
         stats.oom_splits += 1
         mid = (len(requests) + 1) // 2
         self._execute(requests[:mid], key, stats)
         self._execute(requests[mid:], key, stats)
 
-    def _execute(self, requests: List[Request], key: ShapeKey,
-                 stats: ServingStats) -> None:
+    def _execute(self, requests: Sequence[Request], key: ShapeKey,
+                 stats: ServingStats,
+                 padded: Optional[int] = None) -> None:
         """Serve one group of same-shape requests, walking the recovery
         ladder: retry → fallback → breaker skip → split on OOM →
-        degrade under pressure → shed (counted by cause) last."""
-        cap = self._effective_cap()
+        degrade under pressure → shed (counted by cause) last.
+
+        ``padded`` is an optional precomputed ``policy.padded(fill)``
+        hint from the batcher (valid only while no degradation cap is
+        active — the batcher computed it cap-free).
+        """
+        # Inlined _effective_cap guard: no method call while no
+        # degradation window is active (the overwhelmingly common case).
+        cap = self._degraded_cap
+        if cap is not None:
+            cap = self._effective_cap()
         if cap is not None and len(requests) > cap:
             for i in range(0, len(requests), cap):
                 self._execute(requests[i:i + cap], key, stats)
             return
-        padded = self.config.policy.padded(len(requests), cap)
+        if padded is None or cap is not None:
+            padded = self.config.policy.padded(len(requests), cap)
         plans = self._plan_for(key, padded)
         if not plans:
             stats.oom_shed += len(requests)
             stats.record_shed("infeasible", len(requests))
             return
-        config = batched_config(key, padded)
+        config = self._config_cache.get((key, padded))
+        if config is None:
+            config = self._config_cache[(key, padded)] = \
+                batched_config(key, padded)
         tracer = self.obs.tracer
-        limit = 1 + self.config.resilience.max_fallbacks
+        # Pick the dispatch lane once per batch: the memoized fast lane
+        # whenever nothing can observe the difference (no span being
+        # recorded, no allocator observer), else the reference path.
+        dispatch = (self._dispatch_fast
+                    if (self._memo is not None and not tracer.recording
+                        and not self._allocator.observed)
+                    else self._dispatch)
+        limit = self._fallback_limit
         for rank, plan in enumerate(plans[:limit]):
             if self._injector is not None and \
                     not self._breaker.allow(plan.implementation,
@@ -351,7 +479,7 @@ class Server:
                              implementation=plan.implementation, rank=rank)
                 continue
             try:
-                self._dispatch(plan, rank, config, padded, requests, stats)
+                dispatch(plan, rank, config, padded, requests, stats)
             except _RetriesExhausted:
                 continue            # substitute the next-ranked plan
             except MemoryPressureError:
@@ -437,12 +565,23 @@ class Server:
         if batch is None:
             return False
         tracer = self.obs.tracer
+        if not tracer.enabled:
+            # Span-free hot path: skips the attribute bundle the no-op
+            # span would discard anyway.  Identical accounting.
+            try:
+                self._execute(batch.requests, batch.key, self.stats,
+                              batch.batch)
+            except ReproError:
+                self.stats.unhandled_errors += 1
+                self.stats.record_shed("error", len(batch.requests))
+            return True
         with tracer.span("serve.batch", cat="serve",
                          model=batch.requests[0].model,
                          layer=batch.requests[0].layer,
                          fill=batch.fill, batch=batch.batch):
             try:
-                self._execute(list(batch.requests), batch.key, self.stats)
+                self._execute(list(batch.requests), batch.key, self.stats,
+                              batch.batch)
             except ReproError as exc:
                 # No recovery layer absorbed it: count the failure
                 # loudly instead of crashing the serving loop.
@@ -477,35 +616,79 @@ class Server:
         """Serve one arrival trace to completion; returns the report."""
         self.begin()
         tracer = self.obs.tracer
-        pending = deque(sorted(trace, key=lambda a: (a.t_s, a.rid)))
+        clock = self.clock
+        queue = self.queue
+        stats = self.stats
+        monitor = self._monitor
+        timeout_s = self.config.timeout_s
+        # Sorted list + cursor instead of a deque of popped arrivals:
+        # bulk admission walks a slice with no per-element pops.  The
+        # per-request admit() path (with its serve.admit/reject events)
+        # is only needed when a real tracer is attached.
+        pending = sorted(trace, key=lambda a: (a.t_s, a.rid))
+        n = len(pending)
+        i = 0
+        traced_admits = tracer.enabled
+        offer = None if traced_admits else queue.offer
+        next_batch = self.batcher.next_batch
         with obs_session(self.obs), \
                 tracer.span("serve.run", cat="serve",
-                            device=self.config.device.name,
+                            device=self._device_name,
                             arrivals=len(trace)):
-            while pending or len(self.queue):
-                if self._monitor is not None:
-                    self._monitor.poll(self.clock.now_s)
-                while pending and pending[0].t_s <= self.clock.now_s:
-                    arrival = pending.popleft()
-                    self.admit(Request(
-                        rid=arrival.rid, model=arrival.model,
-                        layer=arrival.layer,
-                        key=arrival.key, arrival_s=arrival.t_s,
-                        timeout_s=self.config.timeout_s))
-                self.shed_expired()
-                if self.pump(drain=not pending):
-                    continue
-                if not len(self.queue) and not pending:
+            while i < n or queue._depth:
+                now = clock._now
+                if monitor is not None:
+                    monitor.poll(now)
+                if i < n and pending[i].t_s <= now:
+                    j = i
+                    if traced_admits:
+                        while j < n and pending[j].t_s <= now:
+                            a = pending[j]
+                            self.admit(Request(
+                                rid=a.rid, model=a.model, layer=a.layer,
+                                key=a.key, arrival_s=a.t_s,
+                                timeout_s=timeout_s))
+                            j += 1
+                        i = j
+                    else:
+                        while j < n and pending[j].t_s <= now:
+                            a = pending[j]
+                            offer(fast_request(a.rid, a.model, a.layer,
+                                               a.key, a.t_s, timeout_s))
+                            j += 1
+                        stats.count_offered(j - i)
+                        i = j
+                if traced_admits:
+                    self.shed_expired()
+                    if self.pump(drain=i >= n):
+                        continue
+                else:
+                    # Inlined shed + pump: the guard on the queue's lazy
+                    # deadline bound and the direct _execute call skip
+                    # two call frames per iteration; accounting is
+                    # identical to shed_expired()/pump() above.
+                    if now > queue._min_deadline:
+                        queue.shed_expired(now)
+                    batch = next_batch(queue, now, i >= n)
+                    if batch is not None:
+                        try:
+                            self._execute(batch.requests, batch.key,
+                                          stats, batch.batch)
+                        except ReproError:
+                            stats.unhandled_errors += 1
+                            stats.record_shed("error", len(batch.requests))
+                        continue
+                if i >= n and not queue._depth:
                     break
                 # Nothing releasable: advance to the next event — the next
                 # arrival or the oldest lane's max-wait expiry.
                 events = []
-                if pending:
-                    events.append(pending[0].t_s)
-                release = self.batcher.release_at(self.queue)
+                if i < n:
+                    events.append(pending[i].t_s)
+                release = self.batcher.release_at(queue)
                 if release is not None:
                     events.append(release)
-                self.clock.advance_to(min(events))
+                clock.advance_to(min(events))
         return self.finish()
 
 

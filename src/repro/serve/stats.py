@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 from ..obs.hist import percentile  # noqa: F401  (re-export, see docstring)
 from ..obs.metrics import MetricsRegistry
-from .request import Completion
+from .request import Completion, fast_completion
 
 #: Scalar attribute -> the registry counter backing it.
 _COUNTERS = {
@@ -208,6 +208,33 @@ class ServingStats:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.completions: List[Completion] = []
         self.batch_fills: List[int] = []
+        # Hot-path metric caches.  Registry lookups normalise labels and
+        # hash on every call; the scheduler hits the same handful of
+        # series millions of times per run, so resolve each once.
+        # Lazily populated so a run that never touches a series leaves
+        # the registry (and its snapshot) exactly as before.
+        self._hot: Dict[str, object] = {}
+        self._batch_counters: Dict[int, object] = {}
+        self._impl_counters: Dict[str, object] = {}
+        # The three per-batch histograms, bound lazily as attributes —
+        # one attribute load per record instead of a name lookup.
+        self._fill_hist = None
+        self._latency_hist = None
+        self._wait_hist = None
+        self._completed_counter = None
+        self._offered_counter = None
+
+    def _counter(self, name: str):
+        metric = self._hot.get(name)
+        if metric is None:
+            metric = self._hot[name] = self.registry.counter(name)
+        return metric
+
+    def _histogram(self, name: str):
+        metric = self._hot.get(name)
+        if metric is None:
+            metric = self._hot[name] = self.registry.histogram(name)
+        return metric
 
     # -- registry-backed views ---------------------------------------------
 
@@ -238,30 +265,123 @@ class ServingStats:
     # -- recording ---------------------------------------------------------
 
     def record_batch(self, padded: int, fill: int, implementation: str) -> None:
-        self.registry.counter("serve_batches_total", size=padded).inc()
-        self.registry.counter("serve_dispatched_requests_total",
-                              implementation=implementation).inc(fill)
-        self.registry.histogram("serve_batch_fill").observe(fill)
+        by_size = self._batch_counters.get(padded)
+        if by_size is None:
+            by_size = self._batch_counters[padded] = self.registry.counter(
+                "serve_batches_total", size=padded)
+        by_size.inc()
+        by_impl = self._impl_counters.get(implementation)
+        if by_impl is None:
+            by_impl = self._impl_counters[implementation] = \
+                self.registry.counter("serve_dispatched_requests_total",
+                                      implementation=implementation)
+        by_impl.inc(fill)
+        fill_hist = self._fill_hist
+        if fill_hist is None:
+            fill_hist = self._fill_hist = self._histogram("serve_batch_fill")
+        fill_hist.observe(fill)
         self.batch_fills.append(fill)
 
     def record_completions(self, completions: List[Completion]) -> None:
         self.completions.extend(completions)
-        self.registry.counter("serve_requests_completed_total").inc(
-            len(completions))
-        latency = self.registry.histogram("serve_latency_seconds")
-        wait = self.registry.histogram("serve_queue_wait_seconds")
+        self._counter("serve_requests_completed_total").inc(len(completions))
+        latency_hist = self._latency_hist
+        if latency_hist is None:
+            latency_hist = self._latency_hist = \
+                self._histogram("serve_latency_seconds")
+            self._wait_hist = self._histogram("serve_queue_wait_seconds")
+        # One walk computes both series; finalize() reuses the latency
+        # observations instead of re-deriving them from the completions.
+        if len(completions) == 1:
+            c = completions[0]
+            arrival = c.request.arrival_s
+            latency_hist.observe(c.finish_s - arrival)
+            self._wait_hist.observe(c.start_s - arrival)
+            return
+        latencies = []
+        waits = []
         for c in completions:
-            latency.observe(c.latency_s)
-            wait.observe(c.queue_wait_s)
+            arrival = c.request.arrival_s
+            latencies.append(c.finish_s - arrival)
+            waits.append(c.start_s - arrival)
+        latency_hist.observe_many(latencies)
+        self._wait_hist.observe_many(waits)
+
+    def record_dispatch(self, requests, start_s: float, finish_s: float,
+                        padded: int, fill: int,
+                        implementation: str) -> None:
+        """Fused :meth:`record_batch` + :meth:`record_completions` for
+        the dispatch paths: one walk over the batch builds the
+        :class:`Completion` objects and both latency series, with
+        identical registry traffic (same metrics, same observation
+        order) to calling the two-step API."""
+        by_size = self._batch_counters.get(padded)
+        if by_size is None:
+            by_size = self._batch_counters[padded] = self.registry.counter(
+                "serve_batches_total", size=padded)
+        by_size.inc()
+        by_impl = self._impl_counters.get(implementation)
+        if by_impl is None:
+            by_impl = self._impl_counters[implementation] = \
+                self.registry.counter("serve_dispatched_requests_total",
+                                      implementation=implementation)
+        by_impl.inc(fill)
+        fill_hist = self._fill_hist
+        if fill_hist is None:
+            fill_hist = self._fill_hist = self._histogram("serve_batch_fill")
+        fill_hist.observe(fill)
+        self.batch_fills.append(fill)
+        latency_hist = self._latency_hist
+        if latency_hist is None:
+            latency_hist = self._latency_hist = \
+                self._histogram("serve_latency_seconds")
+            self._wait_hist = self._histogram("serve_queue_wait_seconds")
+        completions = self.completions
+        if fill == 1:
+            r = requests[0]
+            completions.append(fast_completion(
+                r, start_s, finish_s, padded, fill, implementation))
+            arrival = r.arrival_s
+            latency_hist.observe(finish_s - arrival)
+            self._wait_hist.observe(start_s - arrival)
+        else:
+            latencies = []
+            waits = []
+            for r in requests:
+                completions.append(fast_completion(
+                    r, start_s, finish_s, padded, fill, implementation))
+                arrival = r.arrival_s
+                latencies.append(finish_s - arrival)
+                waits.append(start_s - arrival)
+            latency_hist.observe_many(latencies)
+            self._wait_hist.observe_many(waits)
+        completed = self._completed_counter
+        if completed is None:
+            completed = self._completed_counter = \
+                self._counter("serve_requests_completed_total")
+        completed.inc(fill)
 
     def record_shed(self, cause: str, n: int = 1) -> None:
         """Attribute ``n`` dropped requests to one failure cause."""
         if n:
             self.registry.counter("serve_sheds_total", cause=cause).inc(n)
 
+    def count_offered(self, n: int) -> None:
+        """Bulk ``stats.offered += n`` (the run loop's batched admit)."""
+        if n:
+            offered = self._offered_counter
+            if offered is None:
+                offered = self._offered_counter = \
+                    self._counter("serve_requests_offered_total")
+            offered.inc(n)
+
     def finalize(self, duration_s: float, plan_cache_stats: Dict[str, float],
                  peak_memory_bytes: int) -> StatsReport:
-        latencies = sorted(c.latency_s for c in self.completions)
+        # record_completions() already computed every latency once;
+        # sort that stream instead of walking the completions again.
+        latencies = (sorted(self._histogram("serve_latency_seconds")
+                            .observations)
+                     if self.completions else [])
         n_batches = len(self.batch_fills)
         total_padded = sum(size * count
                            for size, count in self.batch_histogram.items())
@@ -315,10 +435,10 @@ class ServingStats:
 
 def _counter_view(metric: str) -> property:
     def fget(self: ServingStats) -> int:
-        return int(self.registry.counter(metric).value)
+        return int(self._counter(metric).value)
 
     def fset(self: ServingStats, value: int) -> None:
-        self.registry.counter(metric).set(value)
+        self._counter(metric).set(value)
 
     return property(fget, fset,
                     doc=f"View over the ``{metric}`` registry counter.")
