@@ -107,6 +107,78 @@ def run_autoscale_recovery(duration_s: float = 2.0,
     }
 
 
+def run_million_chaos(duration_s: float = 50.0,
+                      rate_rps: float = 20000.0) -> dict:
+    """A million-request fleet trace with a mid-run correlated domain
+    failure: an eight-replica fleet in two racks, rack0 (half the
+    fleet) dying at 40% of the run, the health plane detecting,
+    evacuating and restarting all four members while hedging defends
+    the tail.  The archived artifact records the scorecard and a
+    sha256 digest of the full report — the acceptance-scale
+    self-healing run."""
+    from repro.cluster import ClusterConfig, HealthConfig, serve_cluster
+    from repro.faults import DomainFailureSpec, FleetFaultPlan
+    from repro.serve import TrafficSpec, generate_trace
+
+    replicas = 8
+    fail_at = round(duration_s * 0.4, 3)
+    plan = FleetFaultPlan(
+        name="rack0-outage",
+        domains={"rack0": tuple(range(replicas // 2)),
+                 "rack1": tuple(range(replicas // 2, replicas))},
+        domain_failures=(DomainFailureSpec(domain="rack0", at_s=fail_at),))
+    spec = TrafficSpec(duration_s=duration_s, rate_rps=rate_rps, seed=13)
+    trace = generate_trace(spec)
+    config = ClusterConfig(
+        replicas=replicas, policy="least-loaded", seed=spec.seed,
+        health=HealthConfig(hedge_after_s=0.02),
+        fleet_fault_plan=plan)
+    t0 = time.perf_counter()
+    report = serve_cluster(trace, config)
+    wall = time.perf_counter() - t0
+    score = report.health
+    return {
+        "workload": {"duration_s": duration_s, "rate_rps": rate_rps,
+                     "seed": spec.seed, "arrivals": len(trace),
+                     "replicas": replicas, "policy": config.policy,
+                     "rack0_fails_at_s": fail_at},
+        "completed": report.completed,
+        "completion_rate": round(report.completion_rate, 6),
+        "requeued": report.requeued,
+        "throughput_rps": round(report.throughput_rps, 1),
+        "latency_p50_ms": round(report.latency_p50_ms, 3),
+        "latency_p99_ms": round(report.latency_p99_ms, 3),
+        "replicas_started": report.replicas_started,
+        "shed_by_cause": dict(sorted(report.shed_by_cause.items())),
+        "health": score,
+        "digest": _digest(report),
+        "host_wall_s": round(wall, 3),
+        "events_per_host_s": round(len(trace) / wall) if wall else None,
+    }
+
+
+def check_million_gates(payload: dict) -> list:
+    failures = []
+    if payload["workload"]["arrivals"] < 1_000_000:
+        failures.append(f"trace has {payload['workload']['arrivals']} "
+                        f"arrivals, under the million-request bar")
+    score = payload["health"]
+    half = payload["workload"]["replicas"] // 2
+    if score["crashes"] != half:
+        failures.append(f"rack outage observed {score['crashes']} "
+                        f"crash(es), expected {half}")
+    if score["restarts"] != half:
+        failures.append(f"supervisor restarted {score['restarts']} of "
+                        f"{half} crashed replicas")
+    if score["hedges_issued"] != (score["hedge_wins"]
+                                  + score["hedge_cancels"]):
+        failures.append("hedge scorecard does not reconcile")
+    if payload["completion_rate"] < 0.99:
+        failures.append(f"completion rate {payload['completion_rate']:.4f} "
+                        f"< 0.99 — the fleet did not absorb the outage")
+    return failures
+
+
 def run_benchmark(quick: bool = False) -> dict:
     t0 = time.perf_counter()
     if quick:
@@ -197,7 +269,33 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="~4k-request trace instead of the "
                              "acceptance-scale 100k")
+    parser.add_argument("--million", action="store_true",
+                        help="archive the million-request self-healing "
+                             "run (mid-run rack outage) instead of the "
+                             "policy comparison")
     args = parser.parse_args(argv)
+
+    if args.million:
+        payload = run_million_chaos()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / "cluster_million_chaos.json"
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        score = payload["health"]
+        print(f"million-request rack outage: "
+              f"{payload['workload']['arrivals']} arrivals, "
+              f"{payload['completed']} completed "
+              f"({payload['completion_rate'] * 100:.2f}%), "
+              f"{score['crashes']} crash(es) -> {score['restarts']} "
+              f"restart(s), {score['hedges_issued']} hedge(s), "
+              f"p99 {payload['latency_p99_ms']:.2f} ms")
+        print(f"report digest {payload['digest']}")
+        print(f"host wall {payload['host_wall_s']:.1f} s "
+              f"({payload['events_per_host_s']} req/s simulated)")
+        print(f"wrote {out}")
+        failures = check_million_gates(payload)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     payload = run_benchmark(quick=args.quick)
     print(_render_text(payload))

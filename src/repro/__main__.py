@@ -25,14 +25,22 @@ Commands
 ``loadgen [--seed ...]``
     Generate a deterministic trace and compare dynamic batching
     against forced batch=1 on it.
-``chaos [--fault-plan ...]``
+``chaos [--fault-plan ...] [--cluster --fleet-plan ...]``
     Run the same traffic twice — fault-free and under a named fault
     plan — and report the resilience stats (retries, fallbacks,
-    breaker trips, shed causes) plus a determinism digest.
+    breaker trips, shed causes) plus a determinism digest.  With
+    ``--cluster``, inject a named *fleet* fault plan (crashes,
+    degrades, flapping, correlated domain outages) into a replicated
+    fleet with the self-healing plane attached, and additionally gate
+    on recovery: post-recovery tail latency back at the pre-fault
+    baseline, and a reconciled self-healing scorecard.
 ``cluster [--replicas N --policy p2c --slo ... --autoscale]``
     Serve the traffic across a replicated fleet of simulated GPUs:
     pluggable routing, per-replica fault plans and scheduled kills,
     and (with ``--autoscale``) SLO-driven scale up / graceful drain.
+    ``--health`` attaches the self-healing plane (heartbeat probes,
+    supervisor restarts); ``--hedge-after-ms`` adds hedged requests,
+    ``--fleet-plan`` injects fleet chaos.
 ``trace [--out ...]``
     Run one traced serving run and export its span timeline
     (Chrome-trace/Perfetto JSON, or the JSONL event log).
@@ -338,6 +346,123 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_chaos_cluster(args) -> int:
+    """``chaos --cluster``: fleet chaos with the self-healing plane.
+
+    Three runs — healthy baseline, chaos, chaos re-run — then three
+    gates: the same-seed chaos digest is byte-identical, the
+    self-healing scorecard reconciles (every crash has a restart
+    scheduled or denied; every hedge resolved as a win or a cancel),
+    and the post-recovery tail latency is back at the pre-fault
+    baseline.
+    """
+    import hashlib
+    import json
+
+    from .cluster import Cluster, ClusterConfig, HealthConfig
+    from .faults import named_fleet_plan
+    from .obs.hist import percentile
+    from .serve import generate_trace, trace_summary
+
+    if args.quick:
+        args.duration = 2.0
+        args.rate = 3000.0
+    spec = _traffic_spec(args)
+    trace = generate_trace(spec)
+    plan = named_fleet_plan(args.fleet_plan, duration_s=spec.duration_s,
+                            replicas=args.replicas)
+    hedge_s = (args.hedge_after_ms / 1000.0
+               if args.hedge_after_ms else None)
+    health = HealthConfig(hedge_after_s=hedge_s)
+
+    def run_once(with_faults):
+        config = ClusterConfig(
+            replicas=args.replicas, policy=args.policy,
+            server=_server_config(args), seed=spec.seed, health=health,
+            fleet_fault_plan=plan if with_faults else None)
+        cluster = Cluster(config)
+        report = cluster.run(trace)
+        completions = sorted(
+            (c.finish_s, c.latency_s)
+            for r in cluster.replicas
+            for c in r.server.stats.completions)
+        return report, completions
+
+    def digest(report):
+        blob = json.dumps(report.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    baseline, _ = run_once(False)
+    chaos, completions = run_once(True)
+    rerun, _ = run_once(True)
+    deterministic = digest(chaos) == digest(rerun)
+
+    # Recovery: tail latency over the run's last fifth must be back at
+    # (within 50% of) the pre-fault level.  Both windows come from the
+    # chaos run itself, so a fleet that never heals cannot pass by
+    # having been fast before the fault.
+    fault_t = plan.first_event_s()
+    tail_start = spec.duration_s * 0.8
+    pre = sorted(lat for t, lat in completions
+                 if fault_t is not None and t < fault_t)
+    post = sorted(lat for t, lat in completions if t >= tail_start)
+    pre_p99 = percentile(pre, 99) * 1000 if pre else None
+    post_p99 = percentile(post, 99) * 1000 if post else None
+    recovered = (True if pre_p99 is None or post_p99 is None
+                 else post_p99 <= pre_p99 * 1.5)
+
+    score = chaos.health or {}
+    reconciled = (
+        score.get("crashes", 0) == (score.get("restarts", 0)
+                                    + score.get("restarts_pending", 0)
+                                    + score.get("restarts_denied", 0))
+        and score.get("hedges_issued", 0) == (score.get("hedge_wins", 0)
+                                              + score.get("hedge_cancels", 0)))
+    ratio = (chaos.completed / baseline.completed
+             if baseline.completed else 0.0)
+    ok = deterministic and reconciled and recovered
+
+    if args.json:
+        doc = {
+            "traffic": {"arrivals": len(trace),
+                        "duration_s": spec.duration_s,
+                        "pattern": spec.pattern,
+                        "seed": spec.seed},
+            "fleet_plan": {"name": plan.name,
+                           "description": plan.describe(),
+                           "replicas": args.replicas,
+                           "policy": args.policy,
+                           "hedge_after_ms": args.hedge_after_ms},
+            "fault_free": baseline.to_dict(),
+            "chaos": chaos.to_dict(),
+            "completion_ratio": ratio,
+            "recovery": {"fault_at_s": fault_t,
+                         "pre_fault_p99_ms": pre_p99,
+                         "post_recovery_p99_ms": post_p99,
+                         "recovered": recovered},
+            "scorecard_reconciled": reconciled,
+            "deterministic": deterministic,
+            "digest": digest(chaos),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print(trace_summary(trace, spec))
+    print(f"\nfleet plan: {plan.describe()}")
+    print("\n== fault-free fleet ==")
+    print(baseline.render())
+    print(f"\n== under {plan.name!r} ==")
+    print(chaos.render())
+    print(f"\ncompletion ratio vs fault-free: {ratio:.3f}")
+    if fault_t is not None and pre_p99 is not None and post_p99 is not None:
+        print(f"p99 before fault @{fault_t:.2f}s: {pre_p99:.2f} ms; "
+              f"post-recovery (last fifth): {post_p99:.2f} ms -> "
+              f"{'recovered' if recovered else 'NOT RECOVERED'}")
+    print(f"scorecard reconciled: {reconciled}")
+    print(f"deterministic re-run: {deterministic}")
+    return 0 if ok else 1
+
+
 def cmd_chaos(args) -> int:
     import hashlib
     import json
@@ -345,6 +470,8 @@ def cmd_chaos(args) -> int:
     from .faults import named_plan
     from .serve import Server, generate_trace, trace_summary
 
+    if getattr(args, "cluster", False):
+        return _cmd_chaos_cluster(args)
     if args.quick:
         args.duration = 1.0
         args.rate = 1500.0
@@ -413,8 +540,8 @@ def cmd_chaos(args) -> int:
 def cmd_cluster(args) -> int:
     import json
 
-    from .cluster import AutoscalePolicy, Cluster, ClusterConfig
-    from .faults import named_plan
+    from .cluster import AutoscalePolicy, Cluster, ClusterConfig, HealthConfig
+    from .faults import named_fleet_plan, named_plan
     from .obs.slo import DEFAULT_RULES, SLOPolicy, load_rules
     from .serve import generate_trace, trace_summary
 
@@ -444,18 +571,34 @@ def cmd_cluster(args) -> int:
             fault_plans = {i: plan for i in args.fault_replica}
         else:
             default_plan = plan
-    kills = {}
+    kills = []
     if args.kill_replica is not None:
-        if args.kill_at is None:
-            raise ValueError("--kill-replica needs --kill-at SECONDS")
-        kills = {args.kill_replica: args.kill_at}
+        if (args.kill_at is None
+                or len(args.kill_at) != len(args.kill_replica)):
+            raise ValueError("each --kill-replica needs a matching "
+                             "--kill-at SECONDS")
+        kills = list(zip(args.kill_replica, args.kill_at))
+
+    fleet_plan = None
+    if args.fleet_plan:
+        fleet_plan = named_fleet_plan(args.fleet_plan,
+                                      duration_s=spec.duration_s,
+                                      replicas=args.replicas)
+    health = None
+    if args.health or fleet_plan is not None or args.hedge_after_ms:
+        health = HealthConfig(
+            probe_interval_s=args.probe_interval_ms / 1000.0,
+            max_restarts=args.max_restarts,
+            hedge_after_s=(args.hedge_after_ms / 1000.0
+                           if args.hedge_after_ms else None),
+            retry_budget_ratio=args.retry_budget)
 
     config = ClusterConfig(
         replicas=args.replicas, policy=args.policy,
         server=_server_config(args), seed=spec.seed,
         slo=slo, autoscale=autoscale, window_s=args.window_ms / 1000.0,
         fault_plans=fault_plans, default_fault_plan=default_plan,
-        kills=kills)
+        kills=kills, health=health, fleet_fault_plan=fleet_plan)
     cluster = Cluster(config)
     if args.trace:
         cluster.enable_tracing(sample=getattr(args, "trace_sample", 1))
@@ -507,7 +650,9 @@ def cmd_cluster(args) -> int:
         print(f"fault plan: {args.fault_plan} on {targets}")
     if kills:
         print("kill schedule: " + ", ".join(
-            f"replica {i} @ {t:.3f}s" for i, t in sorted(kills.items())))
+            f"replica {i} @ {t:.3f}s" for i, t in sorted(kills)))
+    if fleet_plan is not None:
+        print(f"fleet plan: {fleet_plan.describe()}")
     print()
     print(report.render())
     if args.metrics == "-":
@@ -812,14 +957,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="named fault plan (default 'chaos')")
     p_chaos.add_argument("--fault-seed", type=int, default=None,
                          help="injector seed (default: the trace seed)")
+    from .cluster import POLICIES
+    from .faults import FLEET_PLAN_NAMES
+
+    p_chaos.add_argument("--cluster", action="store_true",
+                         help="fleet chaos: inject --fleet-plan into a "
+                              "replicated fleet with the self-healing "
+                              "plane attached, and gate on recovery")
+    p_chaos.add_argument("--fleet-plan", choices=FLEET_PLAN_NAMES,
+                         default="fleet-chaos",
+                         help="named fleet fault plan for --cluster "
+                              "(default 'fleet-chaos')")
+    p_chaos.add_argument("--replicas", type=int, default=4,
+                         help="fleet size for --cluster (default 4)")
+    p_chaos.add_argument("--policy", choices=POLICIES,
+                         default="round-robin",
+                         help="routing policy for --cluster (default "
+                              "round-robin)")
+    p_chaos.add_argument("--hedge-after-ms", type=float, default=20.0,
+                         help="hedge queued requests older than this in "
+                              "--cluster mode; 0 disables (default 20)")
     p_chaos.add_argument("--json", action="store_true",
                          help="machine-readable stats output")
     p_chaos.add_argument("--quick", action="store_true",
                          help="1-second smoke run (CI gate)")
     _add_obs_args(p_chaos)
     p_chaos.set_defaults(fn=cmd_chaos)
-
-    from .cluster import POLICIES
 
     p_cluster = sub.add_parser(
         "cluster", help="serve traffic across a replicated fleet with "
@@ -860,12 +1023,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="restrict --fault-plan to this replica "
                                 "index (repeatable; default: all replicas)")
     p_cluster.add_argument("--kill-replica", type=int, default=None,
-                           metavar="IDX",
+                           action="append", metavar="IDX",
                            help="kill this replica mid-run (with "
-                                "--kill-at)")
+                                "--kill-at; repeatable — pairs match "
+                                "positionally)")
     p_cluster.add_argument("--kill-at", type=float, default=None,
-                           metavar="SECONDS",
-                           help="simulated time of the --kill-replica kill")
+                           action="append", metavar="SECONDS",
+                           help="simulated time of the matching "
+                                "--kill-replica kill (repeatable)")
+    p_cluster.add_argument("--health", action="store_true",
+                           help="attach the self-healing plane: heartbeat "
+                                "probes, failure detection, supervisor "
+                                "restarts, retry budgets")
+    p_cluster.add_argument("--fleet-plan", choices=FLEET_PLAN_NAMES,
+                           default=None,
+                           help="inject a named fleet fault plan — "
+                                "crashes, degrades, flapping, domain "
+                                "outages (implies --health)")
+    p_cluster.add_argument("--hedge-after-ms", type=float, default=None,
+                           help="hedge queued requests older than this to "
+                                "a second replica (implies --health)")
+    p_cluster.add_argument("--probe-interval-ms", type=float, default=20.0,
+                           help="heartbeat probe cadence (default 20 ms)")
+    p_cluster.add_argument("--max-restarts", type=int, default=2,
+                           help="supervisor restarts per slot (default 2)")
+    p_cluster.add_argument("--retry-budget", type=float, default=0.1,
+                           help="per-tenant retry budget as a fraction of "
+                                "offered traffic (default 0.1)")
     p_cluster.add_argument("--json", action="store_true",
                            help="machine-readable report output")
     p_cluster.add_argument("--quick", action="store_true",

@@ -13,6 +13,11 @@ deterministic fleet of simulated GPUs on one shared virtual timeline:
 * :class:`~repro.cluster.autoscaler.Autoscaler` — a closed loop over
   the SLO engine's edge-triggered violation/recovery events, scaling
   between bounds with graceful drains;
+* :class:`~repro.cluster.health.HealthPlane` — the self-healing
+  control plane: heartbeat probes with phi-accrual suspicion,
+  supervisor restarts of crashed replicas, hedged requests and
+  per-tenant retry budgets (attach via
+  :attr:`~repro.cluster.fleet.ClusterConfig.health`);
 * :class:`~repro.cluster.fleet.Cluster` — the discrete-event driver
   tying them together; :func:`~repro.cluster.fleet.serve_cluster` is
   the one-shot convenience.
@@ -23,8 +28,11 @@ runs are byte-identical, replica for replica, span for span.
 
 from .autoscaler import AutoscalePolicy, Autoscaler
 from .fleet import Cluster, ClusterConfig, serve_cluster
+from .health import (HEALTH_SEED_STRIDE, HealthConfig, HealthPlane,
+                     RetryBudget)
 from .replica import REPLICA_SID_STRIDE, Replica
-from .report import ClusterReport, ReplicaSummary, aggregate_plan_cache
+from .report import (ClusterReport, ReplicaSummary, aggregate_plan_cache,
+                     aggregate_shed_causes)
 from .router import (POLICIES, LeastLoaded, PowerOfTwo, RoundRobin, Router,
                      RoutingPolicy, ShapeAffinity, make_policy)
 
@@ -34,17 +42,22 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterReport",
+    "HEALTH_SEED_STRIDE",
+    "HealthConfig",
+    "HealthPlane",
     "LeastLoaded",
     "POLICIES",
     "PowerOfTwo",
     "REPLICA_SID_STRIDE",
     "Replica",
     "ReplicaSummary",
+    "RetryBudget",
     "RoundRobin",
     "Router",
     "RoutingPolicy",
     "ShapeAffinity",
     "aggregate_plan_cache",
+    "aggregate_shed_causes",
     "make_policy",
     "serve_cluster",
 ]

@@ -7,16 +7,21 @@ timeline.  The event loop is a discrete-event simulation over a global
 
 1. apply any scheduled replica kills due now (chaos: the router sheds
    around the hole while the evacuated queue is re-routed);
-2. run the fleet SLO monitor's due evaluations — a violation /
+2. run the health plane (when configured): fleet-chaos transitions
+   (crashes, flaps), supervisor restarts due, heartbeat probes —
+   suspicion, eviction — and hedging (see
+   :mod:`repro.cluster.health`);
+3. run the fleet SLO monitor's due evaluations — a violation /
    recovery edge may scale the fleet through the autoscaler;
-3. route every arrival due now to a replica (the policy sees only
+4. route every arrival due now to a replica (the policy sees only
    routable replicas);
-4. poll each replica in index order: a replica whose private clock is
+5. poll each replica in index order: a replica whose private clock is
    behind catches up and releases batches; one that is mid-batch
    (clock ahead) waits for the fleet clock;
-5. advance the fleet clock to the next event — the earliest of: next
+6. advance the fleet clock to the next event — the earliest of: next
    arrival, each busy replica's completion, each queue's max-wait
-   release, the monitor's next poll, the next scheduled kill.
+   release, the monitor's next poll, the next scheduled kill, the
+   health plane's next probe/restart/chaos edge.
 
 Determinism is end-to-end: iteration is always in replica-index order,
 the only RNGs are the seeded per-replica fault injectors and the
@@ -36,11 +41,11 @@ feeds *that* to the :class:`~repro.obs.slo.SLOMonitor`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.advisor import Advisor
-from ..faults import FaultPlan
+from ..faults import FaultPlan, FleetFaultPlan, StragglerSpec
 from ..frameworks.registry import shared_implementations
 from ..gpusim.timing import SimClock
 from ..obs.context import Observability, obs_session
@@ -52,6 +57,7 @@ from ..serve.loadgen import Arrival
 from ..serve.request import Request, fast_request
 from ..serve.scheduler import ServerConfig
 from .autoscaler import AutoscalePolicy, Autoscaler
+from .health import HealthConfig, HealthPlane
 from .replica import Replica
 from .report import ClusterReport, ReplicaSummary, aggregate_plan_cache
 from .router import POLICIES, Router, make_policy
@@ -77,12 +83,36 @@ class ClusterConfig:
     autoscale: Optional[AutoscalePolicy] = None
     #: Sliding-window width for the fleet SLO snapshot, seconds.
     window_s: float = 1.0
-    #: Per-replica fault plans by index; replicas not listed use
-    #: ``default_fault_plan`` (``None`` = fault-free).
+    #: Per-replica fault plans by slot; replicas not listed use
+    #: ``default_fault_plan`` (``None`` = fault-free).  A supervisor
+    #: replacement inherits its slot's plan.
     fault_plans: Dict[int, FaultPlan] = field(default_factory=dict)
     default_fault_plan: Optional[FaultPlan] = None
-    #: Chaos: replica index -> simulated time at which it is killed.
-    kills: Dict[int, float] = field(default_factory=dict)
+    #: Chaos: scheduled replica kills, as either a list of
+    #: ``(slot, time_s)`` pairs — a slot may die more than once when
+    #: the supervisor restarts it — or the legacy ``{slot: time_s}``
+    #: dict (which can only express one death per slot).
+    kills: Union[Dict[int, float],
+                 Sequence[Tuple[int, float]]] = field(default_factory=dict)
+    #: Self-healing plane (detector, supervisor, hedging, retry
+    #: budgets); ``None`` keeps the fleet byte-identical to the
+    #: pre-health cluster.
+    health: Optional[HealthConfig] = None
+    #: Fleet-level chaos (replica crashes, degrades, flaps, domain
+    #: failures).  Crash-bearing plans require ``health``: without
+    #: probes nobody would ever observe the death and its stranded
+    #: queue would deadlock the fleet.
+    fleet_fault_plan: Optional[FleetFaultPlan] = None
+
+    def kill_schedule(self) -> List[Tuple[int, float]]:
+        """The kill list normalised to ``(slot, time_s)`` pairs in
+        execution order (time, then slot), whichever form ``kills``
+        took."""
+        if isinstance(self.kills, dict):
+            pairs = [(int(i), float(t)) for i, t in self.kills.items()]
+        else:
+            pairs = [(int(i), float(t)) for i, t in self.kills]
+        return sorted(pairs, key=lambda kv: (kv[1], kv[0]))
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -102,9 +132,16 @@ class ClusterConfig:
                     f"initial fleet size {self.replicas} outside autoscale "
                     f"bounds [{self.autoscale.min_replicas}, "
                     f"{self.autoscale.max_replicas}]")
-        for index, t_s in self.kills.items():
+        for index, t_s in self.kill_schedule():
             if index < 0 or t_s < 0:
                 raise ValueError(f"invalid kill {index} @ {t_s}")
+        if (self.fleet_fault_plan is not None
+                and self.fleet_fault_plan.needs_health
+                and self.health is None):
+            raise ValueError(
+                f"fleet fault plan {self.fleet_fault_plan.name!r} "
+                f"schedules crashes/flaps, which only the health plane "
+                f"can detect — set ClusterConfig.health")
 
 
 class Cluster:
@@ -131,8 +168,16 @@ class Cluster:
         self._next_index = 0
         self._peak_routable = 0
         self._consumed: Dict[int, int] = {}      # completions collected
+        self._incarnations: Dict[int, int] = {}  # spawns per slot
         self._requeued = 0
         self._kills_applied = 0
+        #: Fleet-level terminal sheds by cause (``no_replica`` is kept
+        #: in the router; ``retry_budget_exhausted`` lands here).
+        self._fleet_sheds: Dict[str, int] = {}
+        self.health: Optional[HealthPlane] = None
+        if config.health is not None:
+            self.health = HealthPlane(config.health, self, config.seed,
+                                      plan=config.fleet_fault_plan)
         self._kill_queue: Deque[Tuple[int, float]] = deque()
         self._ran = False
         # Sliding-window state for the fleet SLO snapshot.
@@ -204,23 +249,55 @@ class Cluster:
     def routable_count(self) -> int:
         return sum(1 for r in self.replicas if r.routable)
 
-    def _spawn(self, now_s: float) -> Replica:
+    def _spawn(self, now_s: float, slot: Optional[int] = None) -> Replica:
+        """Add a fleet member.  ``slot`` is set by the supervisor when
+        the new replica replaces a dead one: the replacement gets a
+        fresh index (and thus a fresh server with a **cold** plan
+        cache) but inherits the slot's fault plan and chaos targeting.
+        """
         index = self._next_index
         self._next_index += 1
-        plan = self.config.fault_plans.get(index,
-                                           self.config.default_fault_plan)
+        if slot is None:
+            slot = index
+        incarnation = self._incarnations.get(slot, 0)
+        self._incarnations[slot] = incarnation + 1
+        plan = self._slot_plan(slot)
         replica = Replica(
             index, self.config.server, advisor=self._advisor,
             fault_plan=plan,
             fault_seed=self.config.seed + _FAULT_SEED_STRIDE * (index + 1),
-            tracing=self._tracing, trace_sample=self._trace_sample)
+            tracing=self._tracing, trace_sample=self._trace_sample,
+            slot=slot, incarnation=incarnation)
         replica.begin(now_s)
         self.replicas.append(replica)
         self._consumed[index] = 0
         if self._tracing:
             self.replica_tracers.append((replica.name, replica.tracer))
+        if self.health is not None:
+            self.health.register(replica, now_s)
         self._peak_routable = max(self._peak_routable, self.routable_count)
         return replica
+
+    def _slot_plan(self, slot: int) -> Optional[FaultPlan]:
+        """The per-server fault plan for a slot, with any fleet-level
+        degrade windows for the slot compiled in as straggler windows
+        (so a degraded replica's *service times* slow down through the
+        existing injector; the health plane separately delays its
+        heartbeats)."""
+        plan = self.config.fault_plans.get(slot,
+                                           self.config.default_fault_plan)
+        fleet_plan = self.config.fleet_fault_plan
+        if fleet_plan is None:
+            return plan
+        degrades = fleet_plan.degrades_for(slot)
+        if not degrades:
+            return plan
+        extra = tuple(StragglerSpec(slowdown=d.factor, start_s=d.start_s,
+                                    end_s=d.end_s) for d in degrades)
+        if plan is None:
+            return FaultPlan(name=f"fleet:{fleet_plan.name}",
+                             stragglers=extra)
+        return replace(plan, stragglers=plan.stragglers + extra)
 
     def scale_up(self, now_s: float, rule: str = "") -> int:
         """Add one replica (autoscaler callback); returns its index."""
@@ -249,8 +326,10 @@ class Cluster:
     def _apply_kills(self, now_s: float) -> None:
         while self._kill_queue and self._kill_queue[0][1] <= now_s:
             index, _ = self._kill_queue.popleft()
+            # Kills target slots, so a schedule can kill a slot's
+            # restarted incarnation again (restart-then-kill-again).
             victim = next((r for r in self.replicas
-                           if r.index == index and r.active), None)
+                           if r.slot == index and r.active), None)
             if victim is None:
                 continue            # already retired or dead
             evacuated = victim.kill(now_s)
@@ -258,9 +337,35 @@ class Cluster:
             self.obs.registry.counter("cluster_kills_total").inc()
             self.obs.tracer.add_span("fault.replica_kill", cat="faults",
                                      start_s=now_s, end_s=now_s,
-                                     replica=index,
+                                     replica=victim.index,
                                      requeued=len(evacuated))
-            self._requeue(evacuated, now_s)
+            if self.health is not None:
+                self.health.on_kill(victim.slot, now_s)
+            self._requeue_failed(evacuated, now_s)
+
+    def _requeue_failed(self, requests: Sequence[Request],
+                        now_s: float) -> None:
+        """Re-route an *involuntary* evacuation (kill or eviction).
+
+        Without the health plane this is a plain requeue.  With it,
+        pending-hedge copies are skipped (their twin still serves the
+        rid) and each survivor spends a retry-budget token — requests
+        the tenant budget refuses are shed fleet-side under
+        ``retry_budget_exhausted``.  Voluntary autoscaler drains stay
+        budget-free: they are the fleet's own choice, not a failure.
+        """
+        if self.health is None:
+            self._requeue(requests, now_s)
+            return
+        route, denied = self.health.plan_requeue(list(requests))
+        if denied:
+            n = len(denied)
+            self._fleet_sheds["retry_budget_exhausted"] = \
+                self._fleet_sheds.get("retry_budget_exhausted", 0) + n
+            self.obs.registry.counter(
+                "cluster_sheds_total",
+                cause="retry_budget_exhausted").inc(n)
+        self._requeue(route, now_s)
 
     def _requeue(self, requests: Sequence[Request], now_s: float) -> None:
         """Re-route requests evacuated from a draining/killed replica.
@@ -281,11 +386,16 @@ class Cluster:
                                arrival.key, arrival.t_s,
                                self.config.server.timeout_s)
         self._win_offered.append(arrival.t_s)
+        if self.health is not None:
+            self.health.budget.on_offer(arrival.model)
         target = self.router.route(request, self.replicas, now_s)
         if target is not None:
             target.admit(request)
 
     def _collect_completions(self) -> None:
+        health = self.health
+        filtering = health is not None and health.hedging
+        now = self.clock.now_s
         for replica in self.replicas:
             stats = replica.server.stats
             if stats is None:
@@ -294,10 +404,20 @@ class Cluster:
             comps = stats.completions
             if len(comps) == start:
                 continue
-            for c in comps[start:]:
-                self._win_completions.append(
-                    (c.finish_s, c.latency_s, c.queue_wait_s))
-                self._all_latencies.append(c.latency_s)
+            if filtering:
+                # Hedged rids complete once fleet-side: the winner is
+                # kept, the losing copy's completion (if it raced to
+                # execute anyway) is dropped here.
+                for c in comps[start:]:
+                    if health.on_completion(c.request.rid, replica, now):
+                        self._win_completions.append(
+                            (c.finish_s, c.latency_s, c.queue_wait_s))
+                        self._all_latencies.append(c.latency_s)
+            else:
+                for c in comps[start:]:
+                    self._win_completions.append(
+                        (c.finish_s, c.latency_s, c.queue_wait_s))
+                    self._all_latencies.append(c.latency_s)
             self._consumed[replica.index] = len(comps)
 
     def _retire_idle_drainers(self, now_s: float) -> None:
@@ -323,8 +443,7 @@ class Cluster:
             raise RuntimeError("a Cluster runs one trace; build a new one")
         self._ran = True
         pending = sorted(trace, key=lambda a: (a.t_s, a.rid))
-        self._kill_queue = deque(
-            sorted(self.config.kills.items(), key=lambda kv: (kv[1], kv[0])))
+        self._kill_queue = deque(self.config.kill_schedule())
         for _ in range(self.config.replicas):
             self._spawn(0.0)
         with obs_session(self.obs):
@@ -344,8 +463,12 @@ class Cluster:
                     if replica.draining:
                         self._finish_drain(replica, end)
                     else:
-                        replica.retire(end, outcome="ran")
+                        replica.retire(
+                            end,
+                            outcome="crashed" if replica.down else "ran")
                 self._collect_completions()
+                if self.health is not None:
+                    self.health.finish()
                 root.annotate(completed=len(self._all_latencies),
                               replicas_final=replicas_final)
                 root.__exit__(None, None, None)
@@ -360,6 +483,7 @@ class Cluster:
         # and kill plane mutate it mid-loop.
         clock = self.clock
         monitor = self.monitor
+        health = self.health
         kill_queue = self._kill_queue
         route = self._route_arrival
         n = len(pending)
@@ -368,6 +492,8 @@ class Cluster:
             now = clock.now_s
             if kill_queue:
                 self._apply_kills(now)
+            if health is not None:
+                health.poll(now)
             if monitor is not None:
                 monitor.poll(now)
             while i < n and pending[i].t_s <= now:
@@ -386,6 +512,8 @@ class Cluster:
                 events.append(pending[i].t_s)
             if kill_queue:
                 events.append(kill_queue[0][1])
+            if health is not None:
+                events.append(health.next_event_s())
             if monitor is not None:
                 events.append(monitor.next_poll_s)
             for replica in self.replicas:
@@ -418,7 +546,8 @@ class Cluster:
                            started_s=r.started_s, retired_s=r.retired_s,
                            outcome=r.outcome,
                            routed=self.router.routed.get(r.index, 0),
-                           report=r.report)
+                           report=r.report,
+                           slot=r.slot, incarnation=r.incarnation)
             for r in self.replicas)
         slo_in_violation: Optional[bool] = None
         violations = recoveries = 0
@@ -432,6 +561,10 @@ class Cluster:
         registry.gauge("cluster_replicas_final").set(replicas_final)
         registry.gauge("cluster_replicas_peak").set(self._peak_routable)
         registry.gauge("cluster_duration_seconds").set(duration)
+        fleet_sheds = dict(self._fleet_sheds)
+        if self.router.no_replica:
+            fleet_sheds["no_replica"] = (fleet_sheds.get("no_replica", 0)
+                                         + self.router.no_replica)
         return ClusterReport(
             policy=self.config.policy,
             duration_s=duration,
@@ -459,6 +592,9 @@ class Cluster:
             replicas=summaries,
             autoscale_actions=tuple(self.autoscaler.actions
                                     if self.autoscaler is not None else ()),
+            shed_by_cause=fleet_sheds,
+            health=(self.health.scorecard()
+                    if self.health is not None else None),
         )
 
 

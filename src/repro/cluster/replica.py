@@ -50,6 +50,17 @@ class Replica:
     immediately at the next batch boundary — completions its clock
     already recorded stand (the kill lands between batches, never
     mid-dispatch, keeping the timeline consistent).
+
+    With the health plane attached two more states exist.  A *down*
+    replica (crashed or mid-flap) has silently stopped serving: it
+    stays formally active — traffic keeps queueing into it — until the
+    failure detector notices the missing heartbeats.  A *suspected*
+    replica is unrouted (``routable`` is False) but otherwise left
+    alone: either a late heartbeat clears the suspicion or the
+    supervisor :meth:`evict`\\ s it.  ``slot`` is the fleet position
+    the replica occupies — its own index, or for a supervisor
+    replacement the index of the original member it replaces — and
+    ``incarnation`` counts restarts in that slot.
     """
 
     def __init__(self, index: int, config: ServerConfig,
@@ -57,9 +68,15 @@ class Replica:
                  fault_plan: Optional[FaultPlan] = None,
                  fault_seed: Optional[int] = None,
                  tracing: bool = False,
-                 trace_sample: int = 1):
+                 trace_sample: int = 1,
+                 slot: Optional[int] = None,
+                 incarnation: int = 0):
         self.index = index
         self.name = f"replica{index}"
+        self.slot = index if slot is None else slot
+        self.incarnation = incarnation
+        self.down = False
+        self.suspected = False
         # The fleet monitor owns SLO evaluation; a per-replica monitor
         # would double-count violations on the merged timeline.
         config = replace(config, slo=None)
@@ -92,8 +109,10 @@ class Replica:
 
     @property
     def routable(self) -> bool:
-        """Eligible to receive new traffic from the router."""
-        return self.active and not self.draining
+        """Eligible to receive new traffic from the router.  A *down*
+        replica stays routable until the detector suspects it — the
+        fleet cannot route around a death it has not observed."""
+        return self.active and not self.draining and not self.suspected
 
     @property
     def queue_depth(self) -> int:
@@ -106,7 +125,12 @@ class Replica:
         return t if t > now_s else None
 
     def next_release_s(self) -> Optional[float]:
-        """When the max-wait guard will release the oldest lane."""
+        """When the max-wait guard will release the oldest lane.
+        ``None`` while down: a dead process releases nothing, and
+        advertising a release time would stall the fleet event loop
+        on an event that can never fire."""
+        if self.down:
+            return None
         if self.server.queue is None or not len(self.server.queue):
             return None
         return self.server.batcher.release_at(self.server.queue)
@@ -146,8 +170,13 @@ class Replica:
         the same order :meth:`Server.run` produces on one device.
         ``drain`` releases partial batches immediately (no arrivals
         left anywhere in the fleet).
+
+        A *down* replica does nothing at all — its private clock
+        freezes where the crash left it, so when (if) it recovers from
+        a flap, the first poll catches the clock up and sheds whatever
+        expired while it was dead.
         """
-        if not self.active:
+        if not self.active or self.down:
             return
         clock = self.server.clock
         if clock.now_s > now_s:
@@ -194,6 +223,26 @@ class Replica:
                           requeued=len(evacuated))
         self.alive = False
         self.retire(max(now_s, self.server.clock.now_s), outcome="killed")
+        return evacuated
+
+    def evict(self, now_s: float, outcome: str = "crashed") -> List[Request]:
+        """Supervisor eviction: the health plane gave up on this
+        replica (``outcome='crashed'`` when it is actually down,
+        ``'evicted'`` for a responsive replica evicted on a false
+        suspicion that crossed the eviction threshold).
+
+        Mechanically a :meth:`kill`, but reached by *observation* —
+        missed heartbeats — rather than by a schedule, and typically
+        long after the actual death: everything queued in the
+        meantime is only now evacuated for (budgeted) re-routing.
+        """
+        evacuated = self.server.queue.drain(for_requeue=True)
+        if evacuated:
+            self.server.stats.record_shed("requeued", len(evacuated))
+        self.tracer.event("replica.evicted", replica=self.index,
+                          requeued=len(evacuated))
+        self.alive = False
+        self.retire(max(now_s, self.server.clock.now_s), outcome=outcome)
         return evacuated
 
     def retire(self, now_s: float, outcome: str = "ran") -> StatsReport:

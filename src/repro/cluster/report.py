@@ -16,34 +16,70 @@ same-seed runs serialize byte-identically, which is what the CLI
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..serve.stats import StatsReport
+from ..serve.stats import StatsReport, merge_shed_causes
+
+
+def _sorted_doc(doc: Optional[dict]) -> Optional[dict]:
+    """Recursively key-sort a plain dict so serialization is stable
+    regardless of the insertion order the producer happened to use."""
+    if doc is None:
+        return None
+    return {k: (_sorted_doc(v) if isinstance(v, dict) else v)
+            for k, v in sorted(doc.items())}
 
 
 @dataclass(frozen=True)
 class ReplicaSummary:
-    """One fleet member's lifecycle plus its frozen serving report."""
+    """One fleet member's lifecycle plus its frozen serving report.
+
+    ``slot`` is the fleet position the replica occupied (a supervisor
+    replacement inherits its predecessor's slot under a fresh
+    ``index``) and ``incarnation`` counts restarts in that slot — 0
+    for every original member.
+    """
 
     index: int
     name: str
     started_s: float
     retired_s: Optional[float]
-    outcome: str                  # 'ran' | 'drained' | 'killed'
+    outcome: str        # 'ran' | 'drained' | 'killed' | 'crashed' | 'evicted'
     routed: int                   # requests the router sent here
     report: StatsReport
+    slot: int = -1                # -1: pre-health report (slot == index)
+    incarnation: int = 0
 
     def to_dict(self) -> dict:
         return {
             "index": self.index,
             "name": self.name,
+            "slot": self.slot if self.slot >= 0 else self.index,
+            "incarnation": self.incarnation,
             "started_s": self.started_s,
             "retired_s": self.retired_s,
             "outcome": self.outcome,
             "routed": self.routed,
             "report": self.report.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ReplicaSummary":
+        """Rebuild from :meth:`to_dict` output, tolerating documents
+        written before ``slot``/``incarnation`` existed."""
+        index = int(doc.get("index", 0))
+        return cls(
+            index=index,
+            name=doc.get("name", f"replica{index}"),
+            started_s=float(doc.get("started_s", 0.0)),
+            retired_s=doc.get("retired_s"),
+            outcome=doc.get("outcome", "ran"),
+            routed=int(doc.get("routed", 0)),
+            report=StatsReport.from_dict(doc.get("report", {})),
+            slot=int(doc.get("slot", index)),
+            incarnation=int(doc.get("incarnation", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -75,6 +111,17 @@ class ClusterReport:
     plan_cache: Dict[str, float]  # fleet-aggregated hits/misses/hit_rate
     replicas: Tuple[ReplicaSummary, ...]
     autoscale_actions: Tuple[dict, ...]
+    #: Fleet-level sheds by cause — losses the *routing layer* (not any
+    #: one replica) is responsible for: ``no_replica``,
+    #: ``retry_budget_exhausted``.  Per-replica causes (``timeout``,
+    #: ``hedge_cancelled``, …) live in each replica's report; an open
+    #: set — see :data:`repro.serve.stats.SHED_CAUSES`.
+    shed_by_cause: Dict[str, int] = field(default_factory=dict)
+    #: Self-healing scorecard from the health plane (None: no health
+    #: plane attached) — probes, detections, evictions, restarts,
+    #: hedging and retry-budget counters; see
+    #: :meth:`repro.cluster.health.HealthPlane.scorecard`.
+    health: Optional[dict] = None
 
     @property
     def completion_rate(self) -> float:
@@ -115,8 +162,52 @@ class ClusterReport:
                 "in_violation": self.slo_in_violation,
             },
             "plan_cache": dict(sorted(self.plan_cache.items())),
+            "shed_by_cause": dict(sorted(self.shed_by_cause.items())),
+            "health": _sorted_doc(self.health),
             "replicas": [r.to_dict() for r in self.replicas],
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ClusterReport":
+        """Rebuild from :meth:`to_dict` output.
+
+        Tolerant by construction: every field defaults when absent, so
+        reports archived before the health plane (no ``shed_by_cause``
+        / ``health`` / ``slot`` keys) load cleanly, and unknown shed
+        causes are carried verbatim rather than validated against a
+        closed taxonomy.
+        """
+        latency = doc.get("latency_ms", {})
+        autoscaler = doc.get("autoscaler", {})
+        slo = doc.get("slo", {})
+        return cls(
+            policy=doc.get("policy", "round-robin"),
+            duration_s=float(doc.get("duration_s", 0.0)),
+            offered=int(doc.get("offered", 0)),
+            completed=int(doc.get("completed", 0)),
+            requeued=int(doc.get("requeued", 0)),
+            no_replica_shed=int(doc.get("no_replica_shed", 0)),
+            throughput_rps=float(doc.get("throughput_rps", 0.0)),
+            latency_p50_ms=float(latency.get("p50", 0.0)),
+            latency_p95_ms=float(latency.get("p95", 0.0)),
+            latency_p99_ms=float(latency.get("p99", 0.0)),
+            replicas_started=int(doc.get("replicas_started", 0)),
+            replicas_peak=int(doc.get("replicas_peak", 0)),
+            replicas_final=int(doc.get("replicas_final", 0)),
+            scale_ups=int(autoscaler.get("scale_ups", 0)),
+            drains=int(autoscaler.get("drains", 0)),
+            kills=int(doc.get("kills", 0)),
+            slo_violations=int(slo.get("violations", 0)),
+            slo_recoveries=int(slo.get("recoveries", 0)),
+            slo_in_violation=slo.get("in_violation"),
+            plan_cache=dict(doc.get("plan_cache", {})),
+            replicas=tuple(ReplicaSummary.from_dict(r)
+                           for r in doc.get("replicas", ())),
+            autoscale_actions=tuple(autoscaler.get("actions", ())),
+            shed_by_cause={str(k): int(v)
+                           for k, v in doc.get("shed_by_cause", {}).items()},
+            health=doc.get("health"),
+        )
 
     def render(self) -> str:
         lines = [
@@ -147,9 +238,42 @@ class ClusterReport:
             lines.append(f"slo                   {self.slo_violations} "
                          f"violation(s), {self.slo_recoveries} "
                          f"recovery(ies), end state {state}")
-        for r in self.replicas:
+        if self.shed_by_cause:
+            lines.append("fleet sheds           " + "  ".join(
+                f"{cause}:{n}"
+                for cause, n in sorted(self.shed_by_cause.items())))
+        if self.health is not None:
+            h = self.health
             lines.append(
-                f"  {r.name:10s} [{r.outcome:7s}] "
+                f"health                {h.get('probes', 0)} probes, "
+                f"{h.get('detections', 0)} suspicion(s) "
+                f"({h.get('false_suspicions', 0)} false), "
+                f"{h.get('crashes', 0)} crash(es) observed, "
+                f"{h.get('flap_downs', 0)} flap(s)")
+            lines.append(
+                f"self-healing          {h.get('restarts', 0)} restart(s) "
+                f"({h.get('restarts_pending', 0)} pending, "
+                f"{h.get('restarts_denied', 0)} denied), "
+                f"{h.get('evictions', 0)} eviction(s)")
+            if h.get("hedges_issued", 0) or h.get("hedges_denied", 0):
+                lines.append(
+                    f"hedging               {h.get('hedges_issued', 0)} "
+                    f"issued = {h.get('hedge_wins', 0)} win(s) + "
+                    f"{h.get('hedge_cancels', 0)} cancel(s); "
+                    f"{h.get('hedges_denied', 0)} denied")
+            budget = h.get("retry_budget") or {}
+            if budget.get("spent", 0) or budget.get("exhaustions", 0):
+                tenants = budget.get("tenants_exhausted") or ()
+                lines.append(
+                    f"retry budget          {budget.get('spent', 0)} spent / "
+                    f"{budget.get('offers', 0)} offered, "
+                    f"{budget.get('exhaustions', 0)} exhaustion(s) across "
+                    f"{len(tenants)} tenant(s)")
+        for r in self.replicas:
+            tag = (f" slot{r.slot}#{r.incarnation}"
+                   if r.incarnation else "")
+            lines.append(
+                f"  {r.name:10s} [{r.outcome:7s}]{tag} "
                 f"routed {r.routed:6d}  completed {r.report.completed:6d}  "
                 f"shed rate {r.report.shed_rate * 100:5.1f} %  "
                 f"cache hit {r.report.plan_cache['hit_rate'] * 100:5.1f} %")
@@ -171,3 +295,14 @@ def aggregate_plan_cache(reports: Tuple[StatsReport, ...]) -> Dict[str, float]:
                                for r in reports)),
         "hit_rate": hits / total if total else 0.0,
     }
+
+
+def aggregate_shed_causes(report: ClusterReport) -> Dict[str, int]:
+    """Every shed in the run, by cause: the fleet-level causes
+    (``no_replica``, ``retry_budget_exhausted``) merged with each
+    replica's ``shed_by_cause``.  Open taxonomy — causes this build
+    has never heard of merge like any other (see
+    :func:`repro.serve.stats.merge_shed_causes`)."""
+    return merge_shed_causes(report.shed_by_cause,
+                             *(r.report.shed_by_cause
+                               for r in report.replicas))

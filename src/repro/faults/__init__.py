@@ -10,7 +10,11 @@ schedules:
   (what strikes, whom, when) and a catalogue of named plans;
 * :mod:`repro.faults.injector` — the :class:`FaultInjector` runtime
   that installs a plan onto a server's clock / allocator / plan cache
-  through the existing observer hooks and raises the typed errors.
+  through the existing observer hooks and raises the typed errors;
+* :mod:`repro.faults.fleet` — fleet-level chaos: replica-targeted
+  crashes, degrade windows and flapping plus correlated failure
+  domains (:class:`FleetFaultPlan`), consumed by the cluster health
+  plane (:mod:`repro.cluster.health`).
 
 A serving run under injection is a pure function of
 ``(trace, seed, fault_plan)``; the empty plan is bit-identical to no
@@ -19,6 +23,9 @@ plan at all.  The resilient consumption side lives in
 breaker, degradation).
 """
 
+from .fleet import (DomainFailureSpec, FLEET_NONE, FLEET_PLAN_NAMES,
+                    FleetFaultPlan, ReplicaCrashSpec, ReplicaDegradeSpec,
+                    ReplicaFlapSpec, named_fleet_plan)
 from .injector import FaultInjector
 from .plan import (ANY, CacheCorruptionSpec, FaultPlan, MemoryPressureSpec,
                    NONE, PLAN_NAMES, StragglerSpec, TOP_RANKED,
@@ -27,13 +34,21 @@ from .plan import (ANY, CacheCorruptionSpec, FaultPlan, MemoryPressureSpec,
 __all__ = [
     "ANY",
     "CacheCorruptionSpec",
+    "DomainFailureSpec",
+    "FLEET_NONE",
+    "FLEET_PLAN_NAMES",
     "FaultInjector",
     "FaultPlan",
+    "FleetFaultPlan",
     "MemoryPressureSpec",
     "NONE",
     "PLAN_NAMES",
+    "ReplicaCrashSpec",
+    "ReplicaDegradeSpec",
+    "ReplicaFlapSpec",
     "StragglerSpec",
     "TOP_RANKED",
     "TransientFaultSpec",
+    "named_fleet_plan",
     "named_plan",
 ]

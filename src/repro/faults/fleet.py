@@ -1,0 +1,286 @@
+"""Fleet-level chaos: replica-targeted faults and failure domains.
+
+:class:`~repro.faults.plan.FaultPlan` strikes *inside* one server
+(kernel faults, memory pressure, stragglers, cache corruption).  This
+module adds the failure modes that only exist at fleet scale, as the
+same kind of frozen, seeded-runtime-free value objects:
+
+* :class:`ReplicaCrashSpec` — a replica's process dies silently at a
+  point in time.  Unlike a scheduled *kill* (observable at kill time),
+  a crash is invisible to the fleet until the health plane's probes
+  stop seeing heartbeats: traffic keeps routing into the dead
+  replica's queue until the detector suspects it;
+* :class:`ReplicaDegradeSpec` — a window during which one replica runs
+  ``factor`` times slower (service times *and* heartbeats), the
+  grey-failure case that trips false suspicions;
+* :class:`ReplicaFlapSpec` — a replica that dies and self-recovers on
+  a cycle, the detector-tuning stress test;
+* :class:`DomainFailureSpec` — a correlated outage: every replica in a
+  named failure domain (a rack, a power feed) crashes at once.
+
+Specs target *slots* — the replica's original index, which survives
+supervisor restarts (`Replica.origin`) — so "crash replica 1 at 2 s
+and again at 5 s" keeps meaning the same fleet member across its
+incarnations.  A :class:`FleetFaultPlan` carries no live state;
+everything stochastic stays in the health plane's seeded RNG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .plan import _check_window
+
+
+def _check_slot(replica: int) -> None:
+    if replica < 0:
+        raise ValueError(f"replica slot must be >= 0, got {replica}")
+
+
+@dataclass(frozen=True)
+class ReplicaCrashSpec:
+    """Replica ``replica``'s process dies at ``at_s`` (silently: the
+    fleet learns of it only through missed heartbeats)."""
+
+    replica: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        _check_slot(self.replica)
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be non-negative, got {self.at_s}")
+
+
+@dataclass(frozen=True)
+class ReplicaDegradeSpec:
+    """One window during which replica ``replica`` runs ``factor``
+    times slower — service times are multiplied (compiled into a
+    per-replica straggler window) and heartbeats arrive ``factor``
+    probe intervals apart, so a large enough factor looks exactly like
+    a death until the late heartbeat lands (a *false* suspicion)."""
+
+    replica: int
+    factor: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_slot(self.replica)
+        _check_window(self.start_s, self.end_s)
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+    def active(self, now_s: float) -> bool:
+        return self.start_s <= now_s < self.end_s
+
+
+@dataclass(frozen=True)
+class ReplicaFlapSpec:
+    """Replica ``replica`` dies for ``down_s`` at the start of every
+    ``period_s`` cycle inside ``[start_s, end_s)``, recovering on its
+    own each time (no supervisor involved)."""
+
+    replica: int
+    period_s: float
+    down_s: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_slot(self.replica)
+        _check_window(self.start_s, self.end_s)
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if not 0 < self.down_s < self.period_s:
+            raise ValueError(
+                f"down_s must be in (0, period_s), got {self.down_s}")
+
+    def transitions(self) -> List[Tuple[float, bool]]:
+        """The ``(time, down)`` edge list, down edges paired with
+        their recoveries, clipped to the window."""
+        edges: List[Tuple[float, bool]] = []
+        t = self.start_s
+        while t < self.end_s:
+            edges.append((t, True))
+            edges.append((min(t + self.down_s, self.end_s), False))
+            t += self.period_s
+        return edges
+
+
+@dataclass(frozen=True)
+class DomainFailureSpec:
+    """Every replica in failure domain ``domain`` crashes at ``at_s``
+    (the correlated-outage case: one rack, one power feed)."""
+
+    domain: str
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ValueError("domain must be a non-empty name")
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be non-negative, got {self.at_s}")
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """A named, immutable schedule of fleet-level fault events.
+
+    ``domains`` maps a failure-domain name to the replica slots it
+    contains; every :class:`DomainFailureSpec` must name a known
+    domain.  Crash-bearing plans (crashes, flaps, domain failures)
+    require the cluster health plane — without probes nobody would
+    ever notice the death and the stranded queue would deadlock the
+    event loop; :class:`~repro.cluster.fleet.ClusterConfig` validates
+    this.  Degrade-only plans work with or without health.
+    """
+
+    name: str
+    crashes: Tuple[ReplicaCrashSpec, ...] = ()
+    degrades: Tuple[ReplicaDegradeSpec, ...] = ()
+    flaps: Tuple[ReplicaFlapSpec, ...] = ()
+    domain_failures: Tuple[DomainFailureSpec, ...] = ()
+    domains: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for spec in self.domain_failures:
+            if spec.domain not in self.domains:
+                raise ValueError(
+                    f"domain failure names unknown domain {spec.domain!r}; "
+                    f"known: {sorted(self.domains)}")
+
+    @property
+    def is_noop(self) -> bool:
+        return not (self.crashes or self.degrades or self.flaps
+                    or self.domain_failures)
+
+    @property
+    def needs_health(self) -> bool:
+        """Whether the plan schedules deaths only the health plane can
+        observe and recover from."""
+        return bool(self.crashes or self.flaps or self.domain_failures)
+
+    def crash_events(self) -> List[Tuple[float, int]]:
+        """Every scheduled crash as ``(time, slot)``, domain failures
+        expanded to their members, sorted by ``(time, slot)``."""
+        events = [(s.at_s, s.replica) for s in self.crashes]
+        for spec in self.domain_failures:
+            events.extend((spec.at_s, slot)
+                          for slot in self.domains[spec.domain])
+        return sorted(events)
+
+    def flap_events(self) -> List[Tuple[float, int, bool]]:
+        """Every flap edge as ``(time, slot, down)``, sorted by
+        ``(time, slot)``; recoveries sort after deaths at equal
+        times so a zero-length window nets to up."""
+        events = [(t, s.replica, down)
+                  for s in self.flaps for t, down in s.transitions()]
+        return sorted(events, key=lambda e: (e[0], e[1], not e[2]))
+
+    def degrades_for(self, slot: int) -> Tuple[ReplicaDegradeSpec, ...]:
+        return tuple(s for s in self.degrades if s.replica == slot)
+
+    def first_event_s(self) -> Optional[float]:
+        """When the first fault of any kind lands (``None``: no-op
+        plan) — the boundary the recovery analysis uses to split a run
+        into its pre-fault baseline and everything after."""
+        times = ([t for t, _ in self.crash_events()]
+                 + [t for t, _, _ in self.flap_events()]
+                 + [s.start_s for s in self.degrades])
+        return min(times) if times else None
+
+    def degrade_factor(self, slot: int, now_s: float) -> float:
+        """The worst slowdown in force for ``slot`` at ``now_s``
+        (1.0 = healthy)."""
+        factor = 1.0
+        for spec in self.degrades:
+            if spec.replica == slot and spec.active(now_s):
+                factor = max(factor, spec.factor)
+        return factor
+
+    def describe(self) -> str:
+        if self.is_noop:
+            return f"{self.name}: no fleet faults"
+        parts = []
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} crash(es)")
+        if self.degrades:
+            parts.append(f"{len(self.degrades)} degrade window(s)")
+        if self.flaps:
+            parts.append(f"{len(self.flaps)} flapping replica(s)")
+        if self.domain_failures:
+            parts.append(f"{len(self.domain_failures)} domain failure(s)")
+        return f"{self.name}: " + ", ".join(parts)
+
+
+#: The empty fleet plan.
+FLEET_NONE = FleetFaultPlan(name="none")
+
+#: Names accepted by :func:`named_fleet_plan` (and ``repro chaos
+#: --cluster``).
+FLEET_PLAN_NAMES = ("none", "crash", "degrade", "flapping",
+                    "domain-outage", "fleet-chaos")
+
+
+def named_fleet_plan(name: str, duration_s: float = 10.0,
+                     replicas: int = 4) -> FleetFaultPlan:
+    """Build one of the catalogue fleet plans, scaled to a run length.
+
+    As with :func:`~repro.faults.plan.named_plan`, events sit at fixed
+    *fractions* of ``duration_s`` so the same name exercises the same
+    phases of a smoke run and a soak.  ``replicas`` bounds the slots
+    targeted (plans degrade gracefully on small fleets but need at
+    least two replicas so the fleet survives the fault).
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if replicas < 2:
+        raise ValueError(f"fleet plans need >= 2 replicas, got {replicas}")
+    d = float(duration_s)
+    last = replicas - 1
+    if name == "none":
+        return FLEET_NONE
+    if name == "crash":
+        # One silent death mid-run: detection latency, queue
+        # evacuation, one restart with a cold plan cache.
+        return FleetFaultPlan(
+            name=name, crashes=(ReplicaCrashSpec(replica=1, at_s=0.30 * d),))
+    if name == "degrade":
+        # A grey failure: 4x slowdown delays heartbeats enough to trip
+        # a (false) suspicion, then the late heartbeat clears it.
+        return FleetFaultPlan(
+            name=name,
+            degrades=(ReplicaDegradeSpec(replica=1, factor=4.0,
+                                         start_s=0.25 * d, end_s=0.70 * d),))
+    if name == "flapping":
+        # Repeated die/recover cycles inside one window.
+        return FleetFaultPlan(
+            name=name,
+            flaps=(ReplicaFlapSpec(replica=last, period_s=0.20 * d,
+                                   down_s=0.06 * d,
+                                   start_s=0.20 * d, end_s=0.80 * d),))
+    if name == "domain-outage":
+        # Correlated failure: the first half of the fleet shares a
+        # domain and dies together.
+        members = tuple(range(max(1, replicas // 2)))
+        return FleetFaultPlan(
+            name=name,
+            domains={"rack0": members},
+            domain_failures=(DomainFailureSpec(domain="rack0",
+                                               at_s=0.40 * d),))
+    if name == "fleet-chaos":
+        # Everything at once, on disjoint slots where possible.
+        members = tuple(range(max(1, replicas // 2)))
+        return FleetFaultPlan(
+            name=name,
+            crashes=(ReplicaCrashSpec(replica=last, at_s=0.65 * d),),
+            degrades=(ReplicaDegradeSpec(replica=last, factor=3.0,
+                                         start_s=0.10 * d, end_s=0.30 * d),),
+            domains={"rack0": members},
+            domain_failures=(DomainFailureSpec(domain="rack0",
+                                               at_s=0.40 * d),),
+        )
+    raise KeyError(
+        f"unknown fleet fault plan {name!r}; options: {FLEET_PLAN_NAMES}")

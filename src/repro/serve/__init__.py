@@ -36,7 +36,8 @@ from .queue import AdmissionQueue
 from .request import Completion, Request, batched_config, shape_key
 from .resilience import BreakerState, CircuitBreaker, ResilienceConfig
 from .scheduler import Server, ServerConfig, serve_trace
-from .stats import ServingStats, StatsReport
+from .stats import (SHED_CAUSES, ServingStats, StatsReport,
+                    merge_shed_causes)
 
 __all__ = [
     "AdmissionQueue",
@@ -55,10 +56,12 @@ __all__ = [
     "ServerConfig",
     "serve_trace",
     "ServingStats",
+    "SHED_CAUSES",
     "StatsReport",
     "TrafficSpec",
     "batched_config",
     "generate_trace",
+    "merge_shed_causes",
     "shape_key",
     "trace_summary",
 ]

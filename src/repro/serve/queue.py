@@ -175,6 +175,32 @@ class AdmissionQueue:
         self._depth -= len(out)
         return out
 
+    def remove(self, key: ShapeKey, rid: int) -> Optional[Request]:
+        """Remove one specific queued request by id (``None`` when it
+        is not queued here).
+
+        The hedging path: when one copy of a hedged request completes,
+        the losing copy is cancelled out of its queue instead of being
+        served twice.  O(lane) — lanes are short and cancellations
+        rare.  The deadline bound is left stale-low (safe: at worst
+        one wasted :meth:`shed_expired` scan) and a removed head
+        pushes the lane's new head onto the lazy heap, exactly like
+        :meth:`take`.
+        """
+        lane = self._lanes.get(key)
+        if not lane:
+            return None
+        for i, request in enumerate(lane):
+            if request.rid == rid:
+                del lane[i]
+                self._depth -= 1
+                if i == 0 and lane:
+                    heapq.heappush(self._head_heap,
+                                   (lane[0].arrival_s,
+                                    self._lane_seq[key], key))
+                return request
+        return None
+
     def push_front(self, key: ShapeKey, requests: List[Request]) -> None:
         """Return requests to the head of their lane, preserving order
         (used when an OOM forces a batch split)."""

@@ -49,6 +49,26 @@ _COUNTERS = {
     "closed_shed": "serve_closed_shed_total",
 }
 
+#: The known ``shed_by_cause`` taxonomy.  Terminal causes drop the
+#: request; routing causes (``requeued``, ``hedge_cancelled``) mean it
+#: completes — or is accounted — elsewhere in the fleet, so they are
+#: excluded from :attr:`StatsReport.shed_rate`.  Consumers must treat
+#: this as *open*: reports written by newer code may carry causes not
+#: listed here, and loaders/merging must pass them through rather than
+#: KeyError (see :meth:`StatsReport.from_dict`).
+SHED_CAUSES = (
+    "timeout",                  # deadline passed while queued
+    "queue_full",               # refused at admission
+    "memory",                   # a lone sample's allocation failed
+    "infeasible",               # no implementation feasible
+    "closed",                   # server shut down with it queued
+    "error",                    # unhandled fault
+    "fault",                    # injected fault no recovery absorbed
+    "requeued",                 # evacuated to the router, completes elsewhere
+    "hedge_cancelled",          # losing copy of a hedged request
+    "retry_budget_exhausted",   # retry/requeue denied by the tenant budget
+)
+
 
 @dataclass(frozen=True)
 class StatsReport:
@@ -76,7 +96,13 @@ class StatsReport:
     #: at admission), ``memory`` (a lone sample's allocation failed),
     #: ``infeasible`` (no implementation feasible for the shape),
     #: ``closed`` (server shut down with the request queued),
-    #: ``error`` (unhandled fault).  Causes with zero count are omitted.
+    #: ``error`` (unhandled fault), plus the fleet-routing causes
+    #: ``requeued`` (evacuated to the router, completes elsewhere),
+    #: ``hedge_cancelled`` (the losing copy of a hedged request) and
+    #: ``retry_budget_exhausted`` (a requeue the tenant's retry budget
+    #: refused).  Causes with zero count are omitted; the set is open
+    #: (see :data:`SHED_CAUSES`) and consumers must tolerate unknown
+    #: causes.
     shed_by_cause: Dict[str, int] = field(default_factory=dict)
     # -- resilience counters (all zero on a fault-free run) ---------------
     retries: int = 0               # backoff retries after transient faults
@@ -192,6 +218,68 @@ class StatsReport:
                 "closed_shed": self.closed_shed,
             },
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "StatsReport":
+        """Rebuild a report from its :meth:`to_dict` form.
+
+        Deliberately tolerant: reports archived by older code may lack
+        whole sections (``resilience`` predates PR 3) and reports from
+        newer code may carry shed causes or resilience counters this
+        version has never heard of — missing fields default, unknown
+        shed causes are kept verbatim, and unknown keys are ignored
+        instead of KeyError-ing, so old JSON artifacts keep loading.
+        """
+        latency = doc.get("latency_ms", {})
+        resilience = doc.get("resilience", {})
+        return cls(
+            duration_s=doc.get("duration_s", 0.0),
+            offered=doc.get("offered", 0),
+            completed=doc.get("completed", 0),
+            rejected=doc.get("rejected", 0),
+            shed=doc.get("shed", 0),
+            oom_splits=doc.get("oom_splits", 0),
+            oom_shed=doc.get("oom_shed", 0),
+            throughput_rps=doc.get("throughput_rps", 0.0),
+            latency_p50_ms=latency.get("p50", 0.0),
+            latency_p95_ms=latency.get("p95", 0.0),
+            latency_p99_ms=latency.get("p99", 0.0),
+            mean_batch_fill=doc.get("mean_batch_fill", 0.0),
+            mean_batch_size=doc.get("mean_batch_size", 0.0),
+            batch_histogram={int(k): v for k, v in
+                             doc.get("batch_histogram", {}).items()},
+            plan_cache=dict(doc.get("plan_cache", {})),
+            peak_memory_mb=doc.get("peak_memory_mb", 0.0),
+            implementations=dict(doc.get("implementations", {})),
+            shed_by_cause={str(cause): int(count) for cause, count in
+                           doc.get("shed_by_cause", {}).items()},
+            retries=resilience.get("retries", 0),
+            fallback_batches=resilience.get("fallback_batches", 0),
+            fallback_completions=resilience.get("fallback_completions", 0),
+            breaker_trips=resilience.get("breaker_trips", 0),
+            breaker_skips=resilience.get("breaker_skips", 0),
+            faults_injected=resilience.get("faults_injected", 0),
+            pressure_events=resilience.get("pressure_events", 0),
+            degraded_batches=resilience.get("degraded_batches", 0),
+            cache_corruptions=resilience.get("cache_corruptions", 0),
+            unhandled_errors=resilience.get("unhandled_errors", 0),
+            closed_shed=resilience.get("closed_shed", 0),
+        )
+
+
+def merge_shed_causes(*cause_maps: Dict[str, int]) -> Dict[str, int]:
+    """Sum any number of ``shed_by_cause`` dicts.
+
+    Iterates whatever causes are present instead of indexing a fixed
+    taxonomy, so maps carrying causes newer (or older) than this code
+    merge cleanly — the tolerance :data:`SHED_CAUSES` promises.
+    """
+    merged: Dict[str, int] = {}
+    for causes in cause_maps:
+        for cause, count in causes.items():
+            if count:
+                merged[cause] = merged.get(cause, 0) + int(count)
+    return merged
 
 
 class ServingStats:

@@ -1,0 +1,106 @@
+"""Fleet fault plan semantics: spec validation, event expansion,
+named plans, degrade windows and the first-event boundary."""
+
+import pytest
+
+from repro.faults import (FLEET_NONE, FLEET_PLAN_NAMES, DomainFailureSpec,
+                          FleetFaultPlan, ReplicaCrashSpec,
+                          ReplicaDegradeSpec, ReplicaFlapSpec,
+                          named_fleet_plan)
+
+
+class TestSpecs:
+    def test_crash_spec_validates(self):
+        ReplicaCrashSpec(replica=0, at_s=1.0)
+        with pytest.raises(ValueError):
+            ReplicaCrashSpec(replica=-1, at_s=1.0)
+        with pytest.raises(ValueError):
+            ReplicaCrashSpec(replica=0, at_s=-0.5)
+
+    def test_degrade_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaDegradeSpec(replica=0, factor=0.5, start_s=0, end_s=1)
+
+    def test_degrade_window_active(self):
+        spec = ReplicaDegradeSpec(replica=0, factor=4.0,
+                                  start_s=1.0, end_s=2.0)
+        assert not spec.active(0.5)
+        assert spec.active(1.0)
+        assert spec.active(1.99)
+        assert not spec.active(2.0)
+
+    def test_flap_transitions_alternate(self):
+        spec = ReplicaFlapSpec(replica=1, period_s=1.0, down_s=0.25,
+                               start_s=0.0, end_s=2.5)
+        transitions = spec.transitions()
+        downs = [t for t, down in transitions if down]
+        ups = [t for t, down in transitions if not down]
+        assert downs == [0.0, 1.0, 2.0]
+        assert ups == [0.25, 1.25, 2.25]
+
+    def test_flap_down_must_fit_in_period(self):
+        with pytest.raises(ValueError):
+            ReplicaFlapSpec(replica=0, period_s=0.2, down_s=0.3,
+                            start_s=0.0, end_s=1.0)
+
+
+class TestPlan:
+    def test_domain_failure_expands_to_members(self):
+        plan = FleetFaultPlan(
+            name="rack", domains={"rack0": (0, 1)},
+            domain_failures=(DomainFailureSpec(domain="rack0", at_s=0.5),))
+        assert plan.crash_events() == [(0.5, 0), (0.5, 1)]
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            FleetFaultPlan(
+                name="bad",
+                domain_failures=(DomainFailureSpec(domain="rackX",
+                                                   at_s=0.5),))
+
+    def test_degrade_factor_takes_worst_window(self):
+        plan = FleetFaultPlan(name="slow", degrades=(
+            ReplicaDegradeSpec(replica=0, factor=2.0, start_s=0, end_s=2),
+            ReplicaDegradeSpec(replica=0, factor=8.0, start_s=1, end_s=1.5)))
+        assert plan.degrade_factor(0, 0.5) == 2.0
+        assert plan.degrade_factor(0, 1.2) == 8.0
+        assert plan.degrade_factor(0, 1.8) == 2.0
+        assert plan.degrade_factor(1, 1.2) == 1.0
+
+    def test_needs_health(self):
+        assert not FLEET_NONE.needs_health
+        degrade_only = FleetFaultPlan(name="slow", degrades=(
+            ReplicaDegradeSpec(replica=0, factor=2.0, start_s=0, end_s=1),))
+        assert not degrade_only.needs_health
+        crash = FleetFaultPlan(name="boom", crashes=(
+            ReplicaCrashSpec(replica=0, at_s=0.5),))
+        assert crash.needs_health
+
+    def test_first_event_s(self):
+        assert FLEET_NONE.first_event_s() is None
+        plan = FleetFaultPlan(
+            name="mix",
+            crashes=(ReplicaCrashSpec(replica=0, at_s=2.0),),
+            degrades=(ReplicaDegradeSpec(replica=1, factor=2.0,
+                                         start_s=0.75, end_s=1.5),))
+        assert plan.first_event_s() == 0.75
+
+
+class TestNamedPlans:
+    @pytest.mark.parametrize("name", FLEET_PLAN_NAMES)
+    def test_every_named_plan_builds(self, name):
+        plan = named_fleet_plan(name, duration_s=4.0, replicas=4)
+        assert plan.name == name
+        assert plan.describe()
+
+    def test_none_plan_is_noop(self):
+        assert named_fleet_plan("none", duration_s=4.0).is_noop
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            named_fleet_plan("nope", duration_s=4.0)
+
+    def test_events_scale_with_duration(self):
+        short = named_fleet_plan("crash", duration_s=1.0)
+        long = named_fleet_plan("crash", duration_s=10.0)
+        assert short.crash_events()[0][0] < long.crash_events()[0][0]

@@ -312,6 +312,50 @@ class TestChaosCommand:
         assert json.loads(capsys.readouterr().out)["digest"] == first
 
 
+class TestChaosClusterMode:
+    """``chaos --cluster``: fleet chaos with the self-healing plane."""
+
+    ARGS = ["chaos", "--cluster", "--duration", "1.5", "--rate", "1800",
+            "--seed", "7", "--replicas", "3"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "--cluster"])
+        assert args.fleet_plan == "fleet-chaos"
+        assert args.replicas == 4
+        assert args.hedge_after_ms == 20.0
+
+    def test_human_output_has_recovery_and_scorecard(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fleet plan: fleet-chaos" in out
+        assert "== fault-free fleet ==" in out
+        assert "== under 'fleet-chaos' ==" in out
+        assert "self-healing" in out
+        assert "recovered" in out
+        assert "scorecard reconciled: True" in out
+        assert "deterministic re-run: True" in out
+
+    def test_json_gates_pass_and_scorecard_reconciles(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["deterministic"] is True
+        assert doc["scorecard_reconciled"] is True
+        assert doc["recovery"]["recovered"] is True
+        score = doc["chaos"]["health"]
+        assert score["crashes"] == (score["restarts"]
+                                    + score["restarts_pending"]
+                                    + score["restarts_denied"])
+        assert score["hedges_issued"] == (score["hedge_wins"]
+                                          + score["hedge_cancels"])
+        assert doc["fault_free"]["health"]["crashes"] == 0
+
+    def test_json_runs_are_byte_identical(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestAnalyzeCommand:
     TRACE_ARGS = ["trace", "--duration", "0.2", "--rate", "500",
                   "--seed", "7"]
@@ -530,6 +574,36 @@ class TestClusterCommand:
         first = capsys.readouterr().out
         assert main(self.ARGS + ["--json"]) == 0
         assert capsys.readouterr().out == first
+
+    def test_health_flag_attaches_scorecard(self, capsys):
+        assert main(self.ARGS + ["--health", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        score = doc["cluster"]["health"]
+        assert score["probes"] > 0 and score["crashes"] == 0
+
+    def test_fleet_plan_restarts_crashed_replica(self, capsys):
+        # Longer run (last --duration wins) so the supervisor's restart
+        # delay elapses before the trace ends.
+        assert main(self.ARGS + ["--duration", "1.2",
+                                 "--fleet-plan", "crash", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        score = doc["cluster"]["health"]
+        assert score["crashes"] == 1
+        assert score["restarts"] == 1
+        incarnations = {r["incarnation"]
+                        for r in doc["cluster"]["replicas"]}
+        assert 1 in incarnations
+
+    def test_repeatable_kill_pairs(self, capsys):
+        assert main(self.ARGS + ["--kill-replica", "0", "--kill-at", "0.1",
+                                 "--kill-replica", "1", "--kill-at", "0.2",
+                                 "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cluster"]["kills"] == 2
+
+    def test_mismatched_kill_pair_rejected(self, capsys):
+        assert main(self.ARGS + ["--kill-replica", "0"]) == 1
+        assert "--kill-at" in capsys.readouterr().err
 
     def test_trace_export_has_one_row_per_replica(self, tmp_path, capsys):
         path = tmp_path / "fleet.json"
