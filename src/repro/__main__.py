@@ -238,10 +238,51 @@ def cmd_export(args) -> int:
     return 0
 
 
-def cmd_devices(_args) -> int:
+def cmd_devices(args) -> int:
+    if getattr(args, "validate", False):
+        return _validate_devices()
     from .core.sensitivity import device_comparison, render_device_comparison
 
     print(render_device_comparison(device_comparison()))
+    return 0
+
+
+def _validate_devices() -> int:
+    """``repro devices --validate``: schema-check every shipped profile
+    and byte-diff the legacy-named ones against the hand-built specs
+    (the CI ``devices-smoke`` job gates on this)."""
+    import json
+
+    from .devices import PROFILE_DIR, default_registry, selftest, \
+        validate_profile
+
+    failures = 0
+    for path in sorted(PROFILE_DIR.glob("*.json")):
+        with open(path) as fh:
+            doc = json.load(fh)
+        errors = validate_profile(doc)
+        if errors:
+            failures += len(errors)
+            print(f"[FAIL] {path.name}")
+            for error in errors:
+                print(f"         {error}")
+        else:
+            print(f"[ ok ] {path.name}")
+    problems = selftest()
+    for problem in problems:
+        print(f"[FAIL] selftest: {problem}")
+    failures += len(problems)
+    registry = default_registry()
+    print(f"{len(registry)} profile(s) registered: "
+          + ", ".join(registry.names()))
+    for profile in sorted(registry, key=lambda p: p.name):
+        print(f"  {profile.name:10s} v{profile.version}  "
+              f"{profile.spec.name:24s} digest {profile.digest}  "
+              f"{profile.tdp_w:5.0f} W  {profile.cost_per_hour:5.2f} $/h")
+    if failures:
+        print(f"validation FAILED with {failures} problem(s)")
+        return 1
+    print("validation passed: schemas clean, legacy specs byte-identical")
     return 0
 
 
@@ -548,6 +589,12 @@ def cmd_cluster(args) -> int:
     if args.quick:
         args.duration = 1.0
         args.rate = 4000.0
+    devices = ()
+    if getattr(args, "fleet", None):
+        from .devices.plan import mix_slots, parse_fleet
+
+        devices = mix_slots(parse_fleet(args.fleet))
+        args.replicas = len(devices)
     spec = _traffic_spec(args)
     trace = generate_trace(spec)
 
@@ -595,7 +642,7 @@ def cmd_cluster(args) -> int:
 
     config = ClusterConfig(
         replicas=args.replicas, policy=args.policy,
-        server=_server_config(args), seed=spec.seed,
+        server=_server_config(args), seed=spec.seed, devices=devices,
         slo=slo, autoscale=autoscale, window_s=args.window_ms / 1000.0,
         fault_plans=fault_plans, default_fault_plan=default_plan,
         kills=kills, health=health, fleet_fault_plan=fleet_plan)
@@ -661,6 +708,29 @@ def cmd_cluster(args) -> int:
         print()
         print(render_metrics(cluster.obs.registry))
     return 0 if slo_ok else 1
+
+
+def cmd_plan(args) -> int:
+    import json
+
+    from .devices import plan_capacity
+    from .obs.slo import DEFAULT_RULES, load_rules
+
+    rules = (DEFAULT_RULES if not args.slo or args.slo == "-"
+             else load_rules(args.slo))
+    if args.quick:
+        args.duration = 1.0
+        args.rate = 800.0
+    plan = plan_capacity(args.fleet, rules,
+                         workload=args.workload,
+                         duration_s=args.duration, rate_rps=args.rate,
+                         pattern=args.pattern, policy=args.policy,
+                         seed=args.seed)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.render())
+    return 0 if plan.best is not None else 1
 
 
 def cmd_trace(args) -> int:
@@ -881,9 +951,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="bypass the shared evaluation cache")
     p_export.set_defaults(fn=cmd_export)
 
-    sub.add_parser("devices",
-                   help="headline results across modelled GPUs").set_defaults(
-        fn=cmd_devices)
+    p_devices = sub.add_parser(
+        "devices", help="headline results across modelled GPUs")
+    p_devices.add_argument("--validate", action="store_true",
+                           help="schema-validate the shipped device "
+                                "profiles and byte-diff the legacy-named "
+                                "ones against the hand-built specs "
+                                "(CI gate)")
+    p_devices.set_defaults(fn=cmd_devices)
 
     p_audit = sub.add_parser(
         "audit", help="run the consistency audits on every implementation")
@@ -990,6 +1065,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_traffic_args(p_cluster)
     p_cluster.add_argument("--replicas", type=int, default=4,
                            help="initial fleet size (default 4)")
+    p_cluster.add_argument("--fleet", metavar="SPEC", default=None,
+                           help="heterogeneous fleet as device:count "
+                                "pairs, e.g. 'k40c:4,maxwell:2' (device "
+                                "profile slugs from 'repro devices "
+                                "--validate'); overrides --replicas and "
+                                "--device")
     p_cluster.add_argument("--policy", choices=POLICIES,
                            default="round-robin",
                            help="request routing policy (default "
@@ -1056,6 +1137,44 @@ def build_parser() -> argparse.ArgumentParser:
                            help="1-second smoke run (CI gate)")
     _add_obs_args(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster)
+
+    from .devices.plan import WORKLOADS
+    from .rng import DEFAULT_SEED as _PLAN_SEED
+
+    p_plan = sub.add_parser(
+        "plan", help="capacity-plan a heterogeneous fleet: sweep every "
+                     "device mix within the ceilings against an SLO and "
+                     "rank the passing mixes cheapest first")
+    p_plan.add_argument("--fleet", required=True, metavar="SPEC",
+                        help="device ceilings as slug:count pairs, e.g. "
+                             "'k40c:4,maxwell:2' — every mix up to the "
+                             "ceilings is simulated")
+    p_plan.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="mixed",
+                        help="traffic model mix (default 'mixed')")
+    p_plan.add_argument("--slo", metavar="RULES", nargs="?", const="-",
+                        default=None,
+                        help="SLO rules from a JSON file, or the default "
+                             "rule set when RULES is omitted; exits "
+                             "non-zero when no mix passes")
+    p_plan.add_argument("--duration", type=float, default=5.0,
+                        help="simulated seconds of traffic (default 5)")
+    p_plan.add_argument("--rate", type=float, default=500.0,
+                        help="mean offered load in req/s (default 500)")
+    p_plan.add_argument("--pattern", choices=("poisson", "bursty"),
+                        default="poisson", help="arrival process")
+    p_plan.add_argument("--seed", type=int, default=_PLAN_SEED,
+                        help="trace seed (sweeps are deterministic "
+                             "per seed)")
+    p_plan.add_argument("--policy", choices=POLICIES,
+                        default="device-affinity",
+                        help="routing policy every mix is simulated "
+                             "under (default device-affinity)")
+    p_plan.add_argument("--json", action="store_true",
+                        help="machine-readable ranked output")
+    p_plan.add_argument("--quick", action="store_true",
+                        help="1-second smoke sweep (CI gate)")
+    p_plan.set_defaults(fn=cmd_plan)
 
     p_trace = sub.add_parser(
         "trace", help="run one traced serving run and export the span "

@@ -9,7 +9,8 @@ deterministic fleet of simulated GPUs on one shared virtual timeline:
   plan cache, optional fault injector), driven through the server's
   session API;
 * :class:`~repro.cluster.router.Router` — pluggable request routing
-  (``round-robin``, ``least-loaded``, ``p2c``, ``shape-affinity``);
+  (``round-robin``, ``least-loaded``, ``p2c``, ``shape-affinity``,
+  ``device-affinity`` for heterogeneous fleets);
 * :class:`~repro.cluster.autoscaler.Autoscaler` — a closed loop over
   the SLO engine's edge-triggered violation/recovery events, scaling
   between bounds with graceful drains;
@@ -33,8 +34,9 @@ from .health import (HEALTH_SEED_STRIDE, HealthConfig, HealthPlane,
 from .replica import REPLICA_SID_STRIDE, Replica
 from .report import (ClusterReport, ReplicaSummary, aggregate_plan_cache,
                      aggregate_shed_causes)
-from .router import (POLICIES, LeastLoaded, PowerOfTwo, RoundRobin, Router,
-                     RoutingPolicy, ShapeAffinity, make_policy)
+from .router import (POLICIES, DeviceAffinity, LeastLoaded, PowerOfTwo,
+                     RoundRobin, Router, RoutingPolicy, ShapeAffinity,
+                     make_policy)
 
 __all__ = [
     "AutoscalePolicy",
@@ -42,6 +44,7 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "ClusterReport",
+    "DeviceAffinity",
     "HEALTH_SEED_STRIDE",
     "HealthConfig",
     "HealthPlane",

@@ -77,6 +77,15 @@ class ClusterConfig:
     server: ServerConfig = ServerConfig()
     #: Seeds the ``p2c`` router and derives per-replica fault seeds.
     seed: int = DEFAULT_SEED
+    #: Per-slot device profile names for a heterogeneous fleet
+    #: (resolved through :func:`repro.devices.resolve_device`; slugs
+    #: like ``k40c`` or display names like ``Tesla K40c``).  Empty ()
+    #: keeps every replica on ``server.device`` — byte-identical to the
+    #: pre-devices cluster.  When set, it must name one device per
+    #: initial replica; supervisor restarts inherit their slot's
+    #: device, autoscaler scale-ups beyond the tuple use
+    #: ``server.device``.
+    devices: Tuple[str, ...] = ()
     #: Fleet-level SLO rules, evaluated over the sliding window.
     slo: Optional[SLOPolicy] = None
     #: Enable the autoscaler (requires ``slo``).
@@ -122,6 +131,11 @@ class ClusterConfig:
                              f"options: {', '.join(POLICIES)}")
         if self.window_s <= 0:
             raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.devices and len(self.devices) != self.replicas:
+            raise ValueError(
+                f"devices names {len(self.devices)} device(s) for "
+                f"{self.replicas} replica(s); give one per replica "
+                f"or leave it empty for a homogeneous fleet")
         if self.autoscale is not None:
             if self.slo is None:
                 raise ValueError("autoscaling needs an SLO policy "
@@ -155,11 +169,25 @@ class Cluster:
         self.obs = Observability()
         # One advisor shared by every replica: its ranking is a pure
         # function of (config, device), so sharing only shares the
-        # memoization, never state.
+        # memoization, never state — heterogeneous replicas pass their
+        # own device per call (see Server._plan_for).
         self._advisor = Advisor(device=config.server.device,
                                 implementations=shared_implementations())
-        self.router = Router(make_policy(config.policy, config.seed),
-                             self.obs)
+        # Per-slot server configs for a heterogeneous fleet; empty when
+        # homogeneous (every slot serves config.server untouched).
+        # The registry import is lazy: repro.devices.plan imports this
+        # module, so a top-level import back would cycle.
+        self._slot_configs: Dict[int, ServerConfig] = {}
+        if config.devices:
+            from ..devices.registry import resolve_device
+            for slot, name in enumerate(config.devices):
+                spec = resolve_device(name)
+                self._slot_configs[slot] = (
+                    config.server if spec == config.server.device
+                    else replace(config.server, device=spec))
+        self.router = Router(
+            make_policy(config.policy, config.seed, advisor=self._advisor),
+            self.obs)
         self.replicas: List[Replica] = []
         #: (name, tracer) per replica, for the merged exports.
         self.replica_tracers: List[Tuple[str, SimTracer]] = []
@@ -262,8 +290,9 @@ class Cluster:
         incarnation = self._incarnations.get(slot, 0)
         self._incarnations[slot] = incarnation + 1
         plan = self._slot_plan(slot)
+        server_config = self._slot_configs.get(slot, self.config.server)
         replica = Replica(
-            index, self.config.server, advisor=self._advisor,
+            index, server_config, advisor=self._advisor,
             fault_plan=plan,
             fault_seed=self.config.seed + _FAULT_SEED_STRIDE * (index + 1),
             tracing=self._tracing, trace_sample=self._trace_sample,
@@ -541,13 +570,19 @@ class Cluster:
         duration = max([r.retired_s or 0.0 for r in self.replicas]
                        + [self.clock.now_s])
         completed = len(latencies)
+        # Replica device names appear in the report only when the fleet
+        # is actually heterogeneous: homogeneous runs (including a
+        # one-device --fleet) keep their pre-devices serialization
+        # byte-for-byte.
+        hetero = len({r.device_name for r in self.replicas}) > 1
         summaries = tuple(
             ReplicaSummary(index=r.index, name=r.name,
                            started_s=r.started_s, retired_s=r.retired_s,
                            outcome=r.outcome,
                            routed=self.router.routed.get(r.index, 0),
                            report=r.report,
-                           slot=r.slot, incarnation=r.incarnation)
+                           slot=r.slot, incarnation=r.incarnation,
+                           device=r.device_name if hetero else None)
             for r in self.replicas)
         slo_in_violation: Optional[bool] = None
         violations = recoveries = 0

@@ -118,6 +118,11 @@ class Replica:
     def queue_depth(self) -> int:
         return len(self.server.queue) if self.server.queue is not None else 0
 
+    @property
+    def device_name(self) -> str:
+        """Display name of the device this replica simulates."""
+        return self.server.config.device.name
+
     def busy_until(self, now_s: float) -> Optional[float]:
         """The replica clock when it runs ahead of the fleet clock
         (a batch is executing until then); ``None`` when idle."""

@@ -50,9 +50,13 @@ class ReplicaSummary:
     report: StatsReport
     slot: int = -1                # -1: pre-health report (slot == index)
     incarnation: int = 0
+    #: Device display name — set only on heterogeneous fleets (None on
+    #: homogeneous ones, keeping their serialized reports byte-identical
+    #: to pre-devices builds).
+    device: Optional[str] = None
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "index": self.index,
             "name": self.name,
             "slot": self.slot if self.slot >= 0 else self.index,
@@ -63,6 +67,9 @@ class ReplicaSummary:
             "routed": self.routed,
             "report": self.report.to_dict(),
         }
+        if self.device is not None:
+            doc["device"] = self.device
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ReplicaSummary":
@@ -79,6 +86,7 @@ class ReplicaSummary:
             report=StatsReport.from_dict(doc.get("report", {})),
             slot=int(doc.get("slot", index)),
             incarnation=int(doc.get("incarnation", 0)),
+            device=doc.get("device"),
         )
 
 
@@ -272,6 +280,8 @@ class ClusterReport:
         for r in self.replicas:
             tag = (f" slot{r.slot}#{r.incarnation}"
                    if r.incarnation else "")
+            if r.device is not None:
+                tag += f" {r.device}"
             lines.append(
                 f"  {r.name:10s} [{r.outcome:7s}]{tag} "
                 f"routed {r.routed:6d}  completed {r.report.completed:6d}  "

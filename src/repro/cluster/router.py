@@ -23,6 +23,12 @@ decisions, which is what the cluster determinism tests assert:
   — the test suite asserts this beats round-robin's hit rate on a
   many-shape trace.  Pins move (least-loaded again) when their
   replica drains or dies.
+* ``device-affinity`` — shape-affinity for heterogeneous fleets: the
+  first sight of a shape ranks the fleet's *distinct devices* through
+  the shared advisor and pins the shape to the winning device's
+  least-loaded replica.  On a homogeneous fleet (or without an
+  advisor) every choice degrades to shape-affinity's least-loaded
+  first sight, decision for decision.
 """
 
 from __future__ import annotations
@@ -30,11 +36,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..rng import make_rng
-from ..serve.request import Request, ShapeKey
+from ..serve.request import Request, ShapeKey, batched_config
 from .replica import Replica
 
 #: Router policy names accepted by :func:`make_policy` and the CLI.
-POLICIES = ("round-robin", "least-loaded", "p2c", "shape-affinity")
+POLICIES = ("round-robin", "least-loaded", "p2c", "shape-affinity",
+            "device-affinity")
 
 
 def _least_loaded(replicas: Sequence[Replica], now_s: float) -> Replica:
@@ -112,8 +119,76 @@ class ShapeAffinity(RoutingPolicy):
         return chosen
 
 
-def make_policy(name: str, seed: int) -> RoutingPolicy:
-    """Instantiate a policy by name (``seed`` feeds ``p2c`` only)."""
+class DeviceAffinity(RoutingPolicy):
+    """Shape-affinity that ranks the fleet's *devices* per shape.
+
+    First sight of a shape asks the shared advisor to rank each
+    distinct device present among the eligible replicas (at batch 1 —
+    a shape proxy; the per-replica plan cache still ranks the real
+    padded batch at dispatch) and pins the shape to the winning
+    device's least-loaded replica.  The device ranking is memoized per
+    ``(shape, devices-present)``, so fleet-membership changes (drains,
+    deaths, scale-ups) re-rank deterministically while the common case
+    costs one dict lookup.  Without an advisor, or when every eligible
+    replica runs the same device, this is exactly shape-affinity.
+    """
+
+    name = "device-affinity"
+
+    def __init__(self, advisor=None) -> None:
+        self._advisor = advisor
+        #: shape -> pinned replica index (as in shape-affinity).
+        self.pins: Dict[ShapeKey, int] = {}
+        #: (shape, sorted device names) -> device names, fastest first.
+        self._rankings: Dict[Tuple[ShapeKey, Tuple[str, ...]],
+                             Tuple[str, ...]] = {}
+
+    def _rank_devices(self, key: ShapeKey,
+                      replicas: Sequence[Replica]) -> Tuple[str, ...]:
+        specs = {}
+        for r in replicas:
+            device = r.server.config.device
+            specs.setdefault(device.name, device)
+        present = tuple(sorted(specs))
+        cached = self._rankings.get((key, present))
+        if cached is not None:
+            return cached
+        config = batched_config(key, 1)
+        timed = []
+        for name in present:
+            plan = self._advisor.plan(config, device=specs[name])
+            timed.append((plan.time_s if plan is not None else float("inf"),
+                          name))
+        ranking = tuple(name for _, name in sorted(timed))
+        self._rankings[(key, present)] = ranking
+        return ranking
+
+    def choose(self, replicas: Sequence[Replica], request: Request,
+               now_s: float) -> Replica:
+        pinned = self.pins.get(request.key)
+        if pinned is not None:
+            for r in replicas:
+                if r.index == pinned:
+                    return r
+        chosen = None
+        if self._advisor is not None:
+            for name in self._rank_devices(request.key, replicas):
+                members = [r for r in replicas
+                           if r.server.config.device.name == name]
+                if members:
+                    chosen = _least_loaded(members, now_s)
+                    break
+        if chosen is None:
+            chosen = _least_loaded(replicas, now_s)
+        self.pins[request.key] = chosen.index
+        return chosen
+
+
+def make_policy(name: str, seed: int, advisor=None) -> RoutingPolicy:
+    """Instantiate a policy by name.  ``seed`` feeds ``p2c`` only;
+    ``advisor`` feeds ``device-affinity`` only (the cluster passes its
+    shared advisor so device rankings draw on the fleet-wide
+    evaluation cache)."""
     if name == "round-robin":
         return RoundRobin()
     if name == "least-loaded":
@@ -122,6 +197,8 @@ def make_policy(name: str, seed: int) -> RoutingPolicy:
         return PowerOfTwo(seed)
     if name == "shape-affinity":
         return ShapeAffinity()
+    if name == "device-affinity":
+        return DeviceAffinity(advisor)
     raise KeyError(f"unknown routing policy {name!r}; "
                    f"options: {', '.join(POLICIES)}")
 

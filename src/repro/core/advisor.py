@@ -106,16 +106,24 @@ class Advisor:
         self.cache = cache
 
     def evaluate(self, config: ConvConfig,
-                 memory_budget: Optional[int] = None) -> List[Candidate]:
-        """Evaluate every implementation on one configuration."""
+                 memory_budget: Optional[int] = None,
+                 device: Optional[DeviceSpec] = None) -> List[Candidate]:
+        """Evaluate every implementation on one configuration.
+
+        ``device`` overrides the advisor's own device for this call —
+        one advisor instance can serve a heterogeneous fleet, ranking
+        each replica on its own hardware while sharing the evaluation
+        cache across all of them.
+        """
+        target = device if device is not None else self.device
         budget = memory_budget if memory_budget is not None \
-            else self.device.global_memory_bytes
+            else target.global_memory_bytes
         out: List[Candidate] = []
         with get_obs().tracer.span(
-                "advisor.rank", cat="advisor", device=self.device.name,
+                "advisor.rank", cat="advisor", device=target.name,
                 implementations=len(self.implementations)) as sp:
             for impl in self.implementations:
-                record = evaluate(impl, config, self.device, cache=self.cache)
+                record = evaluate(impl, config, target, cache=self.cache)
                 if not record.supported:
                     out.append(Candidate(impl.paper_name, float("inf"), 0,
                                          supported=False, fits_memory=False))
@@ -134,10 +142,11 @@ class Advisor:
         return out
 
     def recommend(self, config: ConvConfig,
-                  memory_budget: Optional[int] = None) -> Recommendation:
+                  memory_budget: Optional[int] = None,
+                  device: Optional[DeviceSpec] = None) -> Recommendation:
         """Pick the fastest feasible implementation and explain it in
         the paper's terms."""
-        candidates = self.evaluate(config, memory_budget)
+        candidates = self.evaluate(config, memory_budget, device=device)
         feasible = [c for c in candidates if c.feasible]
         if not feasible:
             return Recommendation(config=config, candidates=candidates,
@@ -150,18 +159,20 @@ class Advisor:
                               best=best.implementation, rationale=rationale)
 
     def plan(self, config: ConvConfig,
-             memory_budget: Optional[int] = None) -> Optional[RankedPlan]:
+             memory_budget: Optional[int] = None,
+             device: Optional[DeviceSpec] = None) -> Optional[RankedPlan]:
         """Rank once and return the winner as a cacheable plan.
 
         Unlike :meth:`recommend`, the result is a plain value object
         (no candidate list, no prose rationale) suitable for per-shape
         memoization; ``None`` means no implementation is feasible.
         """
-        ranked = self.plan_ranked(config, memory_budget)
+        ranked = self.plan_ranked(config, memory_budget, device=device)
         return ranked[0] if ranked else None
 
     def plan_ranked(self, config: ConvConfig,
-                    memory_budget: Optional[int] = None
+                    memory_budget: Optional[int] = None,
+                    device: Optional[DeviceSpec] = None
                     ) -> Tuple[RankedPlan, ...]:
         """Every feasible implementation as a cacheable plan, fastest
         first.
@@ -174,7 +185,7 @@ class Advisor:
         runtime gap the ranking already quantifies.  Empty means no
         implementation is feasible.
         """
-        candidates = self.evaluate(config, memory_budget)
+        candidates = self.evaluate(config, memory_budget, device=device)
         return tuple(RankedPlan(implementation=c.implementation,
                                 time_s=c.time_s,
                                 peak_memory_bytes=c.peak_memory_bytes)

@@ -40,14 +40,15 @@ from typing import Dict, Optional, Tuple, Union
 from ..config import ConvConfig
 from ..errors import DeviceOOMError
 from ..frameworks.base import ConvImplementation
-from ..gpusim.device import DEVICES, DeviceSpec, K40C
+from ..gpusim.device import DEVICES, DeviceSpec, K40C, spec_digest
 from ..gpusim.metrics import MetricSummary, weighted_summary
 from ..obs.context import get_obs
 
 #: Bump when the analytic model or the record layout changes in a way
 #: that invalidates stored records; keys embed it, so stale disk
-#: stores miss instead of serving wrong data.
-EVALCACHE_VERSION = 1
+#: stores miss instead of serving wrong data.  v2: keys carry the
+#: device-spec digest, not just the display name.
+EVALCACHE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -189,12 +190,32 @@ def config_key(config: ConvConfig) -> str:
             f".c{config.channels}.p{config.padding}")
 
 
+def device_key(device: Union[DeviceSpec, str]) -> str:
+    """Cache-key component naming a device *identity*, not a label.
+
+    ``name@digest``, with the digest covering every spec field
+    (:func:`~repro.gpusim.device.spec_digest`).  Two profiles that
+    model different hardware under the same display name therefore key
+    differently, so a record computed on one can never serve the other
+    — the cross-device isolation the devices subsystem relies on.  A
+    bare name resolves through the catalogue
+    (:data:`~repro.gpusim.device.DEVICES`) so spec and string spellings
+    of the same device stay interchangeable; an unknown label has no
+    spec to digest and keys on the label alone.
+    """
+    if not isinstance(device, DeviceSpec):
+        spec = DEVICES.get(device)
+        if spec is None:
+            return device
+        device = spec
+    return f"{device.name}@{spec_digest(device)}"
+
+
 def cache_key(implementation: str, config: ConvConfig,
               device: Union[DeviceSpec, str]) -> str:
     """Content-addressed key of one evaluation point."""
-    device_name = device.name if isinstance(device, DeviceSpec) else device
     return (f"v{EVALCACHE_VERSION}|{implementation}|{config_key(config)}"
-            f"|{device_name}")
+            f"|{device_key(device)}")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,162 @@
+"""Named, versioned device profiles.
+
+A :class:`DeviceProfile` wraps one :class:`~repro.gpusim.device
+.DeviceSpec` — the analytic model's view of the silicon — together
+with everything the layers above the model need to treat the device as
+a *unit of capacity*:
+
+* a short registry slug (``k40c``, ``maxwell``, ``pascal``) that CLI
+  flags and fleet strings (``k40c:4,maxwell:2``) refer to;
+* board-power parameters (TDP and idle fraction) consumed by the
+  energy model (:mod:`repro.gpusim.energy`), previously a hard-coded
+  per-name table in that module;
+* a relative hourly cost, the objective the capacity planner
+  (:mod:`repro.devices.plan`) minimises when ranking fleet mixes;
+* a profile ``version`` and a content :attr:`~DeviceProfile.digest`
+  so caches can prove two evaluations used the same device model.
+
+Profiles are declarative: the shipped catalogue lives as JSON under
+``repro/devices/profiles/`` (schema in :mod:`repro.devices.schema`),
+and :meth:`DeviceProfile.to_dict` / :meth:`DeviceProfile.from_dict`
+round-trip exactly — the ``k40c`` profile rebuilds a spec equal,
+field for field, to the hand-built :data:`~repro.gpusim.device.K40C`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Dict
+
+from ..gpusim.device import DeviceSpec, spec_digest
+
+#: Bump when the profile document layout changes incompatibly.
+PROFILE_SCHEMA_VERSION = 1
+
+#: DeviceSpec field names, in declaration order (the canonical
+#: serialization order for profile documents and digests).
+SPEC_FIELDS = tuple(f.name for f in fields(DeviceSpec))
+
+#: DeviceSpec fields that are integral counts/sizes (the rest are
+#: floats: rates, bandwidths, seconds).
+_INT_SPEC_FIELDS = frozenset((
+    "sm_count", "cores_per_sm", "flops_per_core_cycle",
+    "global_memory_bytes", "registers_per_sm", "register_alloc_unit",
+    "max_registers_per_thread", "shared_memory_per_sm",
+    "shared_alloc_unit", "max_shared_per_block", "max_threads_per_sm",
+    "max_threads_per_block", "max_blocks_per_sm", "warp_size",
+    "shared_banks", "bank_width_bytes", "transaction_bytes",
+))
+
+
+def spec_to_dict(spec: DeviceSpec) -> Dict[str, object]:
+    """Every spec field as a JSON-ready mapping, declaration order."""
+    return {name: getattr(spec, name) for name in SPEC_FIELDS}
+
+
+def spec_from_dict(doc: Dict[str, object]) -> DeviceSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output (or a validated
+    profile document's ``spec`` section).  Integral fields tolerate
+    JSON floats with integral values (``1.2884901888e9``-style
+    scientific notation), everything else coerces to float."""
+    kwargs = {}
+    for name in SPEC_FIELDS:
+        value = doc[name]
+        if name == "name":
+            kwargs[name] = str(value)
+        elif name in _INT_SPEC_FIELDS:
+            kwargs[name] = int(value)
+        else:
+            kwargs[name] = float(value)
+    return DeviceSpec(**kwargs)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One named device: the analytic spec plus capacity metadata."""
+
+    #: Registry slug (``k40c``); lower-case, stable across versions.
+    name: str
+    #: Monotonic profile version (calibration refits bump it).
+    version: int
+    description: str
+    spec: DeviceSpec
+    #: Board power limit, watts (drives :mod:`repro.gpusim.energy`).
+    tdp_w: float
+    #: Fraction of TDP burned at idle (static/leakage power).
+    idle_fraction: float
+    #: Relative cost of one device-hour, in arbitrary but
+    #: catalogue-consistent units (the capacity planner's objective).
+    cost_per_hour: float
+    #: Where the numbers came from (paper section, datasheet, ...).
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise ValueError(f"profile name must be a lower-case slug, "
+                             f"got {self.name!r}")
+        if self.version < 1:
+            raise ValueError(f"version must be >= 1, got {self.version}")
+        if self.tdp_w <= 0:
+            raise ValueError(f"tdp_w must be positive, got {self.tdp_w}")
+        if not (0.0 <= self.idle_fraction < 1.0):
+            raise ValueError(f"idle_fraction must be in [0, 1), "
+                             f"got {self.idle_fraction}")
+        if self.cost_per_hour <= 0:
+            raise ValueError(f"cost_per_hour must be positive, "
+                             f"got {self.cost_per_hour}")
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def digest(self) -> str:
+        """Content digest over the whole profile document (short sha256
+        of the canonical JSON serialization).  Evaluation-cache keys
+        embed the *spec* digest (:func:`~repro.gpusim.device
+        .spec_digest`); this one additionally covers the capacity
+        metadata, so archived planner artifacts can prove which
+        catalogue they were computed against."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    @property
+    def spec_digest(self) -> str:
+        """Digest of the analytic spec alone (the cache-key component)."""
+        return spec_digest(self.spec)
+
+    # -- JSON --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "name": self.name,
+            "version": self.version,
+            "description": self.description,
+            "source": self.source,
+            "spec": spec_to_dict(self.spec),
+            "power": {
+                "tdp_w": self.tdp_w,
+                "idle_fraction": self.idle_fraction,
+            },
+            "economics": {
+                "cost_per_hour": self.cost_per_hour,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "DeviceProfile":
+        """Build from a *validated* profile document (see
+        :func:`repro.devices.schema.validate_profile`)."""
+        power = doc["power"]
+        return cls(
+            name=doc["name"],
+            version=int(doc["version"]),
+            description=doc["description"],
+            source=doc.get("source", ""),
+            spec=spec_from_dict(doc["spec"]),
+            tdp_w=float(power["tdp_w"]),
+            idle_fraction=float(power["idle_fraction"]),
+            cost_per_hour=float(doc["economics"]["cost_per_hour"]),
+        )

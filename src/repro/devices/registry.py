@@ -1,0 +1,226 @@
+"""The device-profile registry.
+
+Loads every ``profiles/*.json`` document shipped with the package
+(schema-validated), exposes them by slug (``k40c``) *or* by the spec's
+full display name (``Tesla K40c``), and registers each profile's spec
+into :data:`repro.gpusim.device.DEVICES` so the rest of the stack —
+CLI ``--device`` choices, :func:`~repro.core.evalcache.cacheable`,
+cross-device sensitivity sweeps — sees registry devices and hand-built
+ones through the same map.
+
+Identity guarantee: for the devices that predate this subsystem
+(``k40c``, ``k20x``, ``maxwell``, ``m40``) the JSON profile rebuilds a
+spec *equal field-for-field* to the hand-built module constant, so
+registration replaces nothing and every existing report stays
+byte-identical.  :func:`repro.devices.selftest` (used by the CI
+``devices-smoke`` job) asserts exactly this.
+
+Use the module-level helpers (:func:`get_profile`,
+:func:`resolve_device`, :func:`profile_names`) against the shared
+default registry; construct a :class:`DeviceRegistry` directly only in
+tests that need an isolated catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..gpusim import device as _device_module
+from ..gpusim.device import DeviceSpec
+from .profile import DeviceProfile
+from .schema import ensure_valid
+
+#: Directory holding the shipped profile documents.
+PROFILE_DIR = Path(__file__).resolve().parent / "profiles"
+
+
+class DeviceRegistry:
+    """A catalogue of named device profiles."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, DeviceProfile] = {}
+        # Display-name -> slug, for resolve() on full device names.
+        self._by_display: Dict[str, str] = {}
+
+    # -- loading -----------------------------------------------------------
+
+    def register(self, profile: DeviceProfile, *,
+                 publish: bool = False) -> DeviceProfile:
+        """Add ``profile`` to the catalogue.
+
+        Re-registering a slug is an error unless the profile is
+        identical (idempotent reload).  With ``publish=True`` the
+        profile's spec also enters :data:`repro.gpusim.device.DEVICES`;
+        a conflicting spec under the same display name is rejected
+        rather than silently replacing what existing figures were
+        computed with.
+        """
+        existing = self._profiles.get(profile.name)
+        if existing is not None:
+            if existing == profile:
+                return existing
+            raise ValueError(
+                f"profile {profile.name!r} already registered with "
+                f"different content (digest {existing.digest} vs "
+                f"{profile.digest})")
+        display = profile.spec.name
+        published = _device_module.DEVICES.get(display)
+        if publish and published is not None and published != profile.spec:
+            raise ValueError(
+                f"profile {profile.name!r} would replace device "
+                f"{display!r} with a different spec")
+        self._profiles[profile.name] = profile
+        self._by_display[display] = profile.name
+        if publish and published is None:
+            _device_module.DEVICES[display] = profile.spec
+        return profile
+
+    def load_file(self, path: Union[str, Path], *,
+                  publish: bool = False) -> DeviceProfile:
+        path = Path(path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        ensure_valid(doc, name=path.name)
+        profile = DeviceProfile.from_dict(doc)
+        if profile.name != path.stem:
+            raise ValueError(f"profile file {path.name!r} declares name "
+                             f"{profile.name!r}; file name and profile "
+                             f"name must match")
+        return self.register(profile, publish=publish)
+
+    def load_dir(self, directory: Union[str, Path], *,
+                 publish: bool = False) -> List[DeviceProfile]:
+        """Load every ``*.json`` under ``directory``, sorted by name."""
+        return [self.load_file(path, publish=publish)
+                for path in sorted(Path(directory).glob("*.json"))]
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[DeviceProfile]:
+        return iter(self._profiles.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles or name in self._by_display
+
+    def names(self) -> List[str]:
+        return sorted(self._profiles)
+
+    def get(self, name: str) -> DeviceProfile:
+        """Profile by slug or by the spec's full display name."""
+        slug = self._by_display.get(name, name)
+        try:
+            return self._profiles[slug]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise KeyError(f"unknown device profile {name!r} "
+                           f"(known: {known})") from None
+
+    def find(self, name: str) -> Optional[DeviceProfile]:
+        slug = self._by_display.get(name, name)
+        return self._profiles.get(slug)
+
+    def resolve(self, device: Union[str, DeviceSpec]) -> DeviceSpec:
+        """Map a slug, display name, or spec onto a :class:`DeviceSpec`.
+
+        Accepting specs verbatim lets call sites take one
+        ``device=`` argument for both worlds.
+        """
+        if isinstance(device, DeviceSpec):
+            return device
+        return self.get(device).spec
+
+    def profile_for_spec(self, spec: DeviceSpec) -> Optional[DeviceProfile]:
+        """The registered profile whose spec equals ``spec``, if any."""
+        profile = self.find(spec.name)
+        if profile is not None and profile.spec == spec:
+            return profile
+        return None
+
+
+# ---------------------------------------------------------------------------
+# shared default registry
+# ---------------------------------------------------------------------------
+
+_default: Optional[DeviceRegistry] = None
+
+
+def default_registry() -> DeviceRegistry:
+    """The process-wide registry, loading the shipped catalogue once."""
+    global _default
+    if _default is None:
+        registry = DeviceRegistry()
+        registry.load_dir(PROFILE_DIR, publish=True)
+        _default = registry
+    return _default
+
+
+def profile_names() -> List[str]:
+    return default_registry().names()
+
+
+def get_profile(name: str) -> DeviceProfile:
+    return default_registry().get(name)
+
+
+def resolve_device(device: Union[str, DeviceSpec]) -> DeviceSpec:
+    """Resolve against the default registry, falling back to the
+    hand-built :data:`~repro.gpusim.device.DEVICES` display names."""
+    if isinstance(device, DeviceSpec):
+        return device
+    registry = default_registry()
+    profile = registry.find(device)
+    if profile is not None:
+        return profile.spec
+    spec = _device_module.DEVICES.get(device)
+    if spec is not None:
+        return spec
+    known = ", ".join(registry.names())
+    raise KeyError(f"unknown device {device!r} (profiles: {known})")
+
+
+def selftest() -> List[str]:
+    """Cross-check the shipped catalogue against the hand-built specs.
+
+    Returns a list of problems (empty == healthy); the CI
+    ``devices-smoke`` job and ``repro devices --validate`` fail on any.
+    Covers the ISSUE's byte-identity requirement: the ``k40c`` JSON
+    path must rebuild *exactly* the legacy constructor's spec.
+    """
+    problems: List[str] = []
+    registry = default_registry()
+    legacy = {
+        "k40c": _device_module.K40C,
+        "k20x": _device_module.K20X,
+        "maxwell": _device_module.TITAN_X,
+        "m40": _device_module.M40,
+    }
+    for slug, spec in legacy.items():
+        profile = registry.find(slug)
+        if profile is None:
+            problems.append(f"{slug}: shipped profile missing")
+            continue
+        if profile.spec != spec:
+            diffs = [
+                f"{name}: profile={getattr(profile.spec, name)!r} "
+                f"legacy={getattr(spec, name)!r}"
+                for name in (f.name for f in fields(DeviceSpec))
+                if getattr(profile.spec, name) != getattr(spec, name)
+            ]
+            problems.append(f"{slug}: spec diverges from legacy "
+                            f"constructor ({'; '.join(diffs)})")
+    for profile in registry:
+        rebuilt = DeviceProfile.from_dict(profile.to_dict())
+        if rebuilt != profile:
+            problems.append(f"{profile.name}: to_dict/from_dict round "
+                            f"trip not identical")
+        published = _device_module.DEVICES.get(profile.spec.name)
+        if published != profile.spec:
+            problems.append(f"{profile.name}: spec not published to "
+                            f"gpusim.DEVICES")
+    return problems

@@ -9,7 +9,8 @@ C Programming Guide for compute capability 3.5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 
 from .memo import cached_instance_hash
 
@@ -88,6 +89,27 @@ class DeviceSpec:
 # A handful of device instances are hashed on every memo-cache lookup
 # in the analytic layer; cache the 20-field hash per instance.
 cached_instance_hash(DeviceSpec)
+
+
+def spec_digest(device: "DeviceSpec") -> str:
+    """Short content digest of every field of a device spec.
+
+    Two specs that model different hardware digest differently even
+    when they share a display name, which is what lets the evaluation
+    caches key on *device identity* rather than the label (see
+    :func:`repro.core.evalcache.device_key`).  The digest is stable
+    across processes (sha256 over the canonical ``field=value``
+    serialization, not :func:`hash`) and cached per instance — every
+    field is immutable, so computing it once is sound.
+    """
+    try:
+        return device._cached_digest
+    except AttributeError:
+        blob = ";".join(f"{f.name}={getattr(device, f.name)!r}"
+                        for f in fields(device))
+        digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+        object.__setattr__(device, "_cached_digest", digest)
+        return digest
 
 
 def _variant(base: "DeviceSpec", **changes) -> "DeviceSpec":

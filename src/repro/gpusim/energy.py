@@ -23,15 +23,40 @@ from typing import Sequence
 from .device import DeviceSpec, K40C
 from .timing import KernelTiming
 
-#: Board-power parameters (K40c: 235 W TDP; static/idle ~65 W).
+#: Board-power fallbacks for devices with no registered profile
+#: (K40c: 235 W TDP; static/idle ~65 W).  The source of truth is the
+#: device-profile catalogue (:mod:`repro.devices`) — each profile's
+#: ``power.tdp_w`` / ``power.idle_fraction`` carries these numbers,
+#: and :func:`device_tdp` consults it first.
 TDP_WATTS = {"Tesla K40c": 235.0, "Tesla K20X": 235.0,
              "GTX TITAN X (Maxwell)": 250.0, "Tesla M40": 250.0}
 STATIC_FRACTION = 0.28
 
 
 def device_tdp(device: DeviceSpec) -> float:
-    """Board power limit for a modelled device (235 W default)."""
+    """Board power limit for a modelled device, watts.
+
+    Reads the device-profile registry (the declarative catalogue the
+    legacy per-module constants were consolidated into); devices
+    without a profile fall back to :data:`TDP_WATTS`, then 235 W.  The
+    registry import is deferred: energy is a gpusim leaf module and
+    :mod:`repro.devices` sits above gpusim in the layering.
+    """
+    from ..devices.registry import default_registry
+    profile = default_registry().profile_for_spec(device)
+    if profile is not None:
+        return profile.tdp_w
     return TDP_WATTS.get(device.name, 235.0)
+
+
+def device_static_fraction(device: DeviceSpec) -> float:
+    """Idle/static share of board power (profile ``idle_fraction``,
+    falling back to :data:`STATIC_FRACTION`)."""
+    from ..devices.registry import default_registry
+    profile = default_registry().profile_for_spec(device)
+    if profile is not None:
+        return profile.idle_fraction
+    return STATIC_FRACTION
 
 
 def kernel_power(device: DeviceSpec, timing: KernelTiming) -> float:
@@ -41,7 +66,7 @@ def kernel_power(device: DeviceSpec, timing: KernelTiming) -> float:
     the utilisations taken from the roofline terms of the timing.
     """
     tdp = device_tdp(device)
-    static = STATIC_FRACTION * tdp
+    static = device_static_fraction(device) * tdp
     spec = timing.spec
     # Utilisations of the two limiting resources during the kernel.
     compute_util = 0.0

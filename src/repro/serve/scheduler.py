@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.advisor import Advisor, RankedPlan
 from ..core.evalcache import DispatchMemo
+from ..gpusim.device import spec_digest
 from ..errors import (DeviceOOMError, MemoryPressureError, ReproError,
                       TransientKernelError)
 from ..faults import FaultInjector, FaultPlan
@@ -144,6 +145,10 @@ class Server:
         self.plan_cache = PlanCache(config.plan_cache_capacity)
         self.clock = SimClock()
         self._device_name = config.device.name
+        # Cache keys carry the full spec digest, not just the display
+        # name, so plans never leak between two devices that happen to
+        # share a label (e.g. a tweaked profile under the same name).
+        self._device_key = (config.device.name, spec_digest(config.device))
         self._forward_scale = FORWARD_FRACTION if config.forward_only else 1.0
         #: Memory-plan memo behind the dispatch fast path; None when
         #: disabled (``--no-dispatch-memo``).
@@ -218,7 +223,7 @@ class Server:
     # ------------------------------------------------------------------
 
     def _plan_for(self, key: ShapeKey, batch: int) -> Tuple[RankedPlan, ...]:
-        cache_key = (key, batch, self._device_name)
+        cache_key = (key, batch, self._device_key)
         tracer = self.obs.tracer
         if not tracer.enabled:
             # Span-free hot path: identical cache traffic (the lookup
@@ -229,7 +234,8 @@ class Server:
                 return plans
             plans = self.advisor.plan_ranked(
                 batched_config(key, batch),
-                memory_budget=self.config.memory_budget)
+                memory_budget=self.config.memory_budget,
+                device=self.config.device)
             self.plan_cache.put(cache_key, plans)
             return plans
         with tracer.span("serve.plan", cat="serve", batch=batch) as sp:
@@ -238,7 +244,8 @@ class Server:
                 cache_key,
                 lambda: self.advisor.plan_ranked(
                     batched_config(key, batch),
-                    memory_budget=self.config.memory_budget))
+                    memory_budget=self.config.memory_budget,
+                    device=self.config.device))
             sp.annotate(hit=hit, candidates=len(plans or ()))
         return plans
 
@@ -358,7 +365,7 @@ class Server:
         injector = self._injector
         key = requests[0].key
         sizes, total = self._memo.memory_plan(
-            (key, padded, impl_name, self._device_name,
+            (key, padded, impl_name, self._device_key,
              self.plan_cache.corruptions),
             resolve_implementation(impl_name), config)
         if injector is None:

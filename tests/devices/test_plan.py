@@ -1,0 +1,124 @@
+"""Fleet parsing, mix enumeration and the capacity planner."""
+
+import json
+
+import pytest
+
+from repro.devices import (enumerate_mixes, mix_cost, mix_label, mix_slots,
+                           parse_fleet, plan_capacity)
+from repro.obs.slo import DEFAULT_RULES, SLORule
+
+
+class TestParseFleet:
+    def test_basic(self):
+        assert parse_fleet("k40c:4,maxwell:2") == (("k40c", 4),
+                                                   ("maxwell", 2))
+
+    def test_whitespace_and_display_names(self):
+        assert parse_fleet(" k40c : 4 , Tesla K20X:1 ") == (("k40c", 4),
+                                                            ("k20x", 1))
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device profile"):
+            parse_fleet("h100:4")
+
+    @pytest.mark.parametrize("bad", ["", "   ", "k40c", "k40c:zero",
+                                     "k40c:0", "k40c:-1",
+                                     "k40c:1,k40c:2",
+                                     "k40c:1,Tesla K40c:2"])
+    def test_rejects(self, bad):
+        with pytest.raises((ValueError, KeyError)):
+            parse_fleet(bad)
+
+
+class TestEnumerateMixes:
+    def test_issue_example_expands_to_14(self):
+        mixes = enumerate_mixes(parse_fleet("k40c:4,maxwell:2"))
+        assert len(mixes) == (4 + 1) * (2 + 1) - 1
+
+    def test_no_empty_mix(self):
+        for mix in enumerate_mixes(parse_fleet("k40c:2,maxwell:1")):
+            assert sum(c for _, c in mix) >= 1
+
+    def test_zero_counts_dropped_from_labels(self):
+        labels = {mix_label(m)
+                  for m in enumerate_mixes(parse_fleet("k40c:1,maxwell:1"))}
+        assert labels == {"k40c:1", "maxwell:1", "k40c:1,maxwell:1"}
+
+    def test_explosion_guard(self):
+        with pytest.raises(ValueError, match="mixes"):
+            enumerate_mixes((("k40c", 200), ("maxwell", 200)))
+
+
+class TestMixHelpers:
+    def test_slots_preserve_order(self):
+        assert mix_slots((("k40c", 2), ("maxwell", 1))) == \
+            ("k40c", "k40c", "maxwell")
+
+    def test_cost_sums_profiles(self):
+        from repro.devices import get_profile
+        cost = mix_cost((("k40c", 2), ("maxwell", 1)))
+        assert cost == pytest.approx(
+            2 * get_profile("k40c").cost_per_hour
+            + get_profile("maxwell").cost_per_hour)
+
+
+class TestPlanCapacity:
+    def plan(self, **kw):
+        kw.setdefault("duration_s", 1.0)
+        kw.setdefault("rate_rps", 400.0)
+        kw.setdefault("workload", "vgg16")
+        kw.setdefault("seed", 3)
+        return plan_capacity("k40c:2,maxwell:1", DEFAULT_RULES, **kw)
+
+    def test_sweeps_every_mix(self):
+        plan = self.plan()
+        assert len(plan.options) == 5
+        assert {o.label for o in plan.options} == {
+            "k40c:1", "k40c:2", "maxwell:1", "k40c:1,maxwell:1",
+            "k40c:2,maxwell:1"}
+
+    def test_ranking_passing_cheapest_first(self):
+        plan = self.plan()
+        passing = [o for o in plan.options if o.passed]
+        assert passing == list(plan.options[:len(passing)])
+        costs = [o.cost_per_hour for o in passing]
+        assert costs == sorted(costs)
+
+    def test_best_is_cheapest_passing(self):
+        plan = self.plan()
+        if plan.best is not None:
+            assert plan.best is plan.options[0]
+            assert plan.best.passed
+
+    def test_same_seed_byte_identical(self):
+        """ISSUE acceptance: same seed -> byte-identical JSON."""
+        a = json.dumps(self.plan().to_dict(), sort_keys=True)
+        b = json.dumps(self.plan().to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_seed_changes_traffic(self):
+        assert self.plan(seed=3).offered != self.plan(seed=4).offered
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            plan_capacity("k40c:1", DEFAULT_RULES, workload="resnet50")
+
+    def test_impossible_slo_has_no_best(self):
+        brutal = (SLORule(name="impossible", kind="latency_p99",
+                          threshold=1e-9),)
+        plan = plan_capacity("k40c:1", brutal, workload="vgg16",
+                             duration_s=0.5, rate_rps=200.0, seed=3)
+        assert plan.best is None
+        assert all(not o.passed for o in plan.options)
+        assert "none" in plan.render()
+
+    def test_to_dict_shape(self):
+        doc = self.plan().to_dict()
+        assert doc["workload"] == "vgg16"
+        assert doc["fleet_spec"] == "k40c:2,maxwell:1"
+        assert len(doc["options"]) == 5
+        assert doc["best"] == doc["options"][0]["mix"]
+        for option in doc["options"]:
+            assert set(option["latency_ms"]) == {"p50", "p95", "p99"}
+            assert option["slo"]["source"] == option["mix"]

@@ -1,0 +1,118 @@
+"""Device-profile value objects and schema validation."""
+
+import json
+
+import pytest
+
+from repro.devices import (PROFILE_DIR, PROFILE_SCHEMA_VERSION, DeviceProfile,
+                           ProfileValidationError, ensure_valid, get_profile,
+                           spec_from_dict, spec_to_dict, validate_profile)
+from repro.gpusim.device import K40C, TITAN_X, spec_digest
+
+
+def load_doc(name: str) -> dict:
+    with open(PROFILE_DIR / f"{name}.json") as fh:
+        return json.load(fh)
+
+
+class TestK40cByteIdentity:
+    """The ISSUE's core guarantee: the declarative k40c profile
+    rebuilds *exactly* the hand-built calibrated spec."""
+
+    def test_spec_equal(self):
+        assert get_profile("k40c").spec == K40C
+
+    def test_every_field_identical(self):
+        from dataclasses import fields
+        spec = get_profile("k40c").spec
+        for f in fields(type(K40C)):
+            assert getattr(spec, f.name) == getattr(K40C, f.name), f.name
+            # Same type too: 12884901888 (int) must not become a float.
+            assert type(getattr(spec, f.name)) is type(getattr(K40C, f.name))
+
+    def test_digest_matches_hand_built(self):
+        assert spec_digest(get_profile("k40c").spec) == spec_digest(K40C)
+
+    def test_maxwell_matches_titan_x(self):
+        assert get_profile("maxwell").spec == TITAN_X
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name",
+                             ["k40c", "k20x", "maxwell", "m40", "pascal"])
+    def test_profile_round_trip(self, name):
+        profile = get_profile(name)
+        rebuilt = DeviceProfile.from_dict(profile.to_dict())
+        assert rebuilt == profile
+        assert rebuilt.digest == profile.digest
+
+    def test_spec_round_trip(self):
+        assert spec_from_dict(spec_to_dict(K40C)) == K40C
+
+    def test_to_dict_shape(self):
+        doc = get_profile("k40c").to_dict()
+        assert doc["schema_version"] == PROFILE_SCHEMA_VERSION
+        assert doc["power"]["tdp_w"] == 235.0
+        assert doc["economics"]["cost_per_hour"] > 0
+
+    def test_digest_changes_with_content(self):
+        doc = load_doc("k40c")
+        base = DeviceProfile.from_dict(doc).digest
+        doc["spec"]["sm_count"] = 16
+        assert DeviceProfile.from_dict(doc).digest != base
+
+
+class TestSchemaValidation:
+    def test_shipped_profiles_clean(self):
+        for path in sorted(PROFILE_DIR.glob("*.json")):
+            with open(path) as fh:
+                assert validate_profile(json.load(fh)) == [], path.name
+
+    def test_missing_spec_field(self):
+        doc = load_doc("k40c")
+        del doc["spec"]["sm_count"]
+        errors = validate_profile(doc)
+        assert any("sm_count" in e for e in errors)
+
+    def test_wrong_type(self):
+        doc = load_doc("k40c")
+        doc["spec"]["sm_count"] = "fifteen"
+        assert any("sm_count" in e for e in validate_profile(doc))
+
+    def test_bool_is_not_an_int(self):
+        doc = load_doc("k40c")
+        doc["spec"]["sm_count"] = True
+        assert any("sm_count" in e for e in validate_profile(doc))
+
+    def test_unknown_spec_field(self):
+        doc = load_doc("k40c")
+        doc["spec"]["tensor_cores"] = 8
+        assert any("tensor_cores" in e for e in validate_profile(doc))
+
+    def test_bad_slug(self):
+        doc = load_doc("k40c")
+        doc["name"] = "Tesla K40c"
+        assert validate_profile(doc)
+
+    def test_schema_version_mismatch(self):
+        doc = load_doc("k40c")
+        doc["schema_version"] = 99
+        assert any("schema_version" in e for e in validate_profile(doc))
+
+    def test_errors_accumulate(self):
+        doc = load_doc("k40c")
+        del doc["spec"]["sm_count"]
+        doc["power"]["tdp_w"] = -1
+        doc["name"] = "BAD SLUG"
+        assert len(validate_profile(doc)) >= 3
+
+    def test_ensure_valid_raises_with_all_errors(self):
+        doc = load_doc("k40c")
+        del doc["spec"]["sm_count"]
+        doc["power"]["tdp_w"] = -1
+        with pytest.raises(ProfileValidationError) as exc:
+            ensure_valid(doc, name="k40c.json")
+        assert len(exc.value.errors) >= 2
+
+    def test_ensure_valid_passes_clean(self):
+        ensure_valid(load_doc("pascal"), name="pascal.json")

@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.tensor",
     "repro.obs",
+    "repro.cluster",
+    "repro.devices",
 ]
 
 
