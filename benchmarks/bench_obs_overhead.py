@@ -9,9 +9,13 @@ benchmark keeps both claims honest, and gates CI on the part that
 must never regress: a traced run's serving report is identical to the
 untraced run's, span for span of extra bookkeeping notwithstanding.
 
-It also times the two offline consumers a recorded run feeds: the
-JSONL export (:func:`repro.obs.export.jsonl_lines`) and the full
-analytics pass (:func:`repro.obs.analyze.analyze_run`).
+A third leg runs the same workload span-free with windowed telemetry
+rollups attached (``ServerConfig.telemetry``), gating the live-
+telemetry plane on the same two claims: bounded host overhead, and a
+byte-identical serving report.  It also times the two offline
+consumers a recorded run feeds: the JSONL export
+(:func:`repro.obs.export.jsonl_lines`) and the full analytics pass
+(:func:`repro.obs.analyze.analyze_run`).
 
 Run as a script (``python benchmarks/bench_obs_overhead.py
 [--quick]``) it writes ``benchmarks/results/BENCH_obs.json`` and
@@ -68,12 +72,25 @@ def run_benchmark(repeats: int = 5, duration_s: float = 1.0,
         server.enable_tracing()
         return server.run(trace), server
 
+    def rolled_up():
+        # Windowed telemetry rollups, span-free: what `--telemetry`
+        # costs on a serving loop that is otherwise on the fast path.
+        from repro.obs.timeseries import TelemetryConfig
+        reset_cache()
+        server = Server(ServerConfig(
+            telemetry=TelemetryConfig(window_s=0.05)))
+        return server.run(trace), server
+
     untraced_report = untraced()
     untraced_s = _best_of(untraced, repeats)
 
     traced_report, server = traced()
     traced_s = _best_of(traced, repeats)
     tracer = server.obs.tracer
+
+    rollups_report, rollups_server = rolled_up()
+    rollups_s = _best_of(rolled_up, repeats)
+    rollups = rollups_server.telemetry
 
     t0 = time.perf_counter()
     lines = jsonl_lines(tracer)
@@ -96,8 +113,13 @@ def run_benchmark(repeats: int = 5, duration_s: float = 1.0,
         "export_lines": len(lines),
         "analyze_s": analyze_s,
         "critical_path_steps": len(analysis.critical),
+        "rollups_s": rollups_s,
+        "rollups_overhead_x": rollups_s / untraced_s,
+        "rollups_windows": len(rollups.windows),
         "reports_identical":
             traced_report.to_dict() == untraced_report.to_dict(),
+        "rollups_report_identical":
+            rollups_report.to_dict() == untraced_report.to_dict(),
         "gate_overhead": OVERHEAD_GATE,
     }
 
@@ -108,8 +130,17 @@ def check_gates(payload: dict) -> list:
     if not payload["reports_identical"]:
         failures.append("traced serving report differs from untraced — "
                         "tracing must be observationally free")
+    if not payload["rollups_report_identical"]:
+        failures.append("rollups-enabled serving report differs from "
+                        "plain — telemetry must be observationally free")
     if payload["spans"] <= 0:
         failures.append("traced run recorded no spans")
+    if payload["rollups_windows"] <= 0:
+        failures.append("rollups-enabled run flushed no windows")
+    if payload["rollups_overhead_x"] > payload["gate_overhead"]:
+        failures.append(
+            f"rollups overhead {payload['rollups_overhead_x']:.2f}x above "
+            f"the {payload['gate_overhead']:.0f}x ceiling")
     if payload["overhead_x"] > payload["gate_overhead"]:
         failures.append(
             f"tracing overhead {payload['overhead_x']:.2f}x above the "
@@ -128,11 +159,16 @@ def _render_text(payload: dict) -> str:
         f"x{payload['overhead_x']:.2f} "
         f"({payload['per_span_us']:.1f} us per span, "
         f"{payload['spans']} spans)",
+        f"  rollups (telemetry)       {payload['rollups_s'] * 1000:8.1f} ms   "
+        f"x{payload['rollups_overhead_x']:.2f} "
+        f"({payload['rollups_windows']} windows)",
         f"  JSONL export              {payload['export_jsonl_s'] * 1000:8.1f}"
         f" ms   ({payload['export_lines']} records)",
         f"  offline analytics pass    {payload['analyze_s'] * 1000:8.1f} ms",
         f"  traced report identical to untraced: "
         f"{payload['reports_identical']}",
+        f"  rollups report identical to plain:   "
+        f"{payload['rollups_report_identical']}",
     ]
     return "\n".join(lines)
 

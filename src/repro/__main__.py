@@ -334,6 +334,9 @@ def cmd_serve(args) -> int:
 
         rules = DEFAULT_RULES if args.slo == "-" else load_rules(args.slo)
         config = replace(config, slo=SLOPolicy(rules=rules))
+    tel_config = _telemetry_config(args)
+    if tel_config is not None:
+        config = replace(config, telemetry=tel_config)
     server = Server(config)
     if args.trace:
         server.enable_tracing(sample=getattr(args, "trace_sample", 1))
@@ -342,6 +345,7 @@ def cmd_serve(args) -> int:
     if args.trace:
         _write_trace(args.trace, server.obs.tracer, server.obs.registry,
                      command="serve", seed=spec.seed)
+    _emit_telemetry(args, server.telemetry)
     if args.json:
         doc = {"traffic": {"arrivals": len(trace),
                            "duration_s": spec.duration_s,
@@ -582,7 +586,8 @@ def cmd_cluster(args) -> int:
     import json
 
     from .cluster import AutoscalePolicy, Cluster, ClusterConfig, HealthConfig
-    from .faults import named_fleet_plan, named_plan
+    from .faults import (FLEET_PLAN_NAMES, PLAN_NAMES, named_fleet_plan,
+                         named_plan)
     from .obs.slo import DEFAULT_RULES, SLOPolicy, load_rules
     from .serve import generate_trace, trace_summary
 
@@ -612,12 +617,21 @@ def cmd_cluster(args) -> int:
                                     cooldown_s=args.cooldown_ms / 1000.0)
     fault_plans = {}
     default_plan = None
+    fleet_plan_name = args.fleet_plan
     if args.fault_plan:
-        plan = named_plan(args.fault_plan, duration_s=spec.duration_s)
-        if args.fault_replica is not None:
-            fault_plans = {i: plan for i in args.fault_replica}
+        if (args.fault_plan in FLEET_PLAN_NAMES
+                and args.fault_plan not in PLAN_NAMES):
+            # A fleet-level plan name (crash / flapping / domain-outage
+            # / fleet-chaos) given through --fault-plan: route it to the
+            # fleet fault plane instead of per-replica injectors.
+            if fleet_plan_name is None:
+                fleet_plan_name = args.fault_plan
         else:
-            default_plan = plan
+            plan = named_plan(args.fault_plan, duration_s=spec.duration_s)
+            if args.fault_replica is not None:
+                fault_plans = {i: plan for i in args.fault_replica}
+            else:
+                default_plan = plan
     kills = []
     if args.kill_replica is not None:
         if (args.kill_at is None
@@ -627,8 +641,8 @@ def cmd_cluster(args) -> int:
         kills = list(zip(args.kill_replica, args.kill_at))
 
     fleet_plan = None
-    if args.fleet_plan:
-        fleet_plan = named_fleet_plan(args.fleet_plan,
+    if fleet_plan_name:
+        fleet_plan = named_fleet_plan(fleet_plan_name,
                                       duration_s=spec.duration_s,
                                       replicas=args.replicas)
     health = None
@@ -645,7 +659,8 @@ def cmd_cluster(args) -> int:
         server=_server_config(args), seed=spec.seed, devices=devices,
         slo=slo, autoscale=autoscale, window_s=args.window_ms / 1000.0,
         fault_plans=fault_plans, default_fault_plan=default_plan,
-        kills=kills, health=health, fleet_fault_plan=fleet_plan)
+        kills=kills, health=health, fleet_fault_plan=fleet_plan,
+        telemetry=_telemetry_config(args))
     cluster = Cluster(config)
     if args.trace:
         cluster.enable_tracing(sample=getattr(args, "trace_sample", 1))
@@ -675,6 +690,10 @@ def cmd_cluster(args) -> int:
                               replica_registries)
         print(f"wrote fleet metrics snapshot to {args.metrics}",
               file=sys.stderr)
+    if cluster.telemetry is not None:
+        _emit_telemetry(args, cluster.telemetry.rollups,
+                        manager=cluster.telemetry.alerts,
+                        fleet=cluster.telemetry)
 
     slo_ok = not report.slo_in_violation  # None (no SLO) is ok
     if args.json:
@@ -691,7 +710,7 @@ def cmd_cluster(args) -> int:
         print(json.dumps(doc, indent=2, sort_keys=True))
         return 0 if slo_ok else 1
     print(trace_summary(trace, spec))
-    if args.fault_plan:
+    if default_plan is not None or fault_plans:
         targets = ("all replicas" if default_plan is not None else
                    "replica(s) " + ", ".join(map(str, args.fault_replica)))
         print(f"fault plan: {args.fault_plan} on {targets}")
@@ -904,6 +923,87 @@ def _add_obs_args(p) -> None:
                         "stay exact; default 1 = full tracing)")
 
 
+def _add_telemetry_args(p, fleet: bool = False) -> None:
+    extras = (", burn-rate alerts and flight recorders" if fleet else "")
+    p.add_argument("--telemetry", action="store_true",
+                   help=f"attach the live-telemetry plane (windowed "
+                        f"rollups{extras}); implied by the telemetry "
+                        f"output flags below; the report itself is "
+                        f"byte-identical either way")
+    p.add_argument("--telemetry-window-ms", type=float, default=1000.0,
+                   metavar="MS",
+                   help="rollup window width (default 1000 ms)")
+    p.add_argument("--window-log", metavar="PATH", default=None,
+                   help="write the JSONL window log (implies --telemetry)")
+    p.add_argument("--openmetrics", metavar="PATH", default=None,
+                   help="write an OpenMetrics-style text snapshot "
+                        "(implies --telemetry)")
+    p.add_argument("--dashboard", action="store_true",
+                   help="render the terminal telemetry dashboard after "
+                        "the run (implies --telemetry)")
+    if fleet:
+        p.add_argument("--alert-log", metavar="PATH", default=None,
+                       help="write the JSONL burn-rate alert event "
+                            "stream (implies --telemetry)")
+        p.add_argument("--incident-dir", metavar="DIR", default=None,
+                       help="dump flight-recorder incident bundles into "
+                            "DIR (implies --telemetry)")
+        p.add_argument("--no-alerts", action="store_true",
+                       help="with --telemetry, skip burn-rate alert "
+                            "evaluation")
+
+
+def _telemetry_config(args):
+    """Resolve the telemetry flags into a TelemetryConfig (or None)."""
+    wants = (args.telemetry or args.window_log or args.openmetrics
+             or args.dashboard or getattr(args, "alert_log", None)
+             or getattr(args, "incident_dir", None))
+    if not wants:
+        return None
+    from .obs.timeseries import TelemetryConfig
+
+    return TelemetryConfig(window_s=args.telemetry_window_ms / 1000.0,
+                           alerts=not getattr(args, "no_alerts", False))
+
+
+def _emit_telemetry(args, rollups, manager=None, fleet=None) -> None:
+    """Write the requested telemetry artifacts after a run."""
+    if rollups is None:
+        return
+    from .obs.timeseries import write_openmetrics, write_window_log
+
+    if args.window_log:
+        n = write_window_log(args.window_log, rollups)
+        print(f"wrote {n} window-log line(s) to {args.window_log}",
+              file=sys.stderr)
+    if args.openmetrics:
+        write_openmetrics(args.openmetrics, rollups)
+        print(f"wrote OpenMetrics snapshot to {args.openmetrics}",
+              file=sys.stderr)
+    if manager is not None and getattr(args, "alert_log", None):
+        from .obs.alerts import write_alert_log
+
+        n = write_alert_log(args.alert_log, manager)
+        print(f"wrote {n} alert-log line(s) to {args.alert_log}",
+              file=sys.stderr)
+    if fleet is not None and getattr(args, "incident_dir", None):
+        paths = fleet.write_incidents(args.incident_dir)
+        print(f"wrote {len(paths)} incident bundle(s) to "
+              f"{args.incident_dir}", file=sys.stderr)
+    if args.dashboard:
+        from .obs.dashboard import render_dashboard_live
+
+        print()
+        print(render_dashboard_live(rollups), end="")
+
+
+def cmd_dashboard(args) -> int:
+    from .obs.dashboard import render_dashboard_from_log
+
+    print(render_dashboard_from_log(args.window_log), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1020,6 +1120,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "rule set when RULES is omitted (a failing "
                               "rule makes the command exit non-zero)")
     _add_obs_args(p_serve)
+    _add_telemetry_args(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     from .faults import PLAN_NAMES
@@ -1097,8 +1198,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--cooldown-ms", type=float, default=200.0,
                            help="min time between scaling actions "
                                 "(default 200 ms)")
-    p_cluster.add_argument("--fault-plan", choices=PLAN_NAMES, default=None,
-                           help="inject a named fault plan")
+    p_cluster.add_argument("--fault-plan",
+                           choices=sorted(set(PLAN_NAMES)
+                                          | set(FLEET_PLAN_NAMES)),
+                           default=None,
+                           help="inject a named fault plan; fleet-level "
+                                "names (crash, flapping, domain-outage, "
+                                "fleet-chaos) route to the fleet fault "
+                                "plane and imply --health")
     p_cluster.add_argument("--fault-replica", type=int, action="append",
                            default=None, metavar="IDX",
                            help="restrict --fault-plan to this replica "
@@ -1136,7 +1243,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--quick", action="store_true",
                            help="1-second smoke run (CI gate)")
     _add_obs_args(p_cluster)
+    _add_telemetry_args(p_cluster, fleet=True)
     p_cluster.set_defaults(fn=cmd_cluster)
+
+    p_dash = sub.add_parser(
+        "dashboard", help="render the terminal telemetry dashboard from "
+                          "a recorded window log")
+    p_dash.add_argument("window_log", metavar="WINDOW_LOG",
+                        help="JSONL window log written by serve/cluster "
+                             "--window-log")
+    p_dash.set_defaults(fn=cmd_dashboard)
 
     from .devices.plan import WORKLOADS
     from .rng import DEFAULT_SEED as _PLAN_SEED

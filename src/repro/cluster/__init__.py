@@ -19,6 +19,10 @@ deterministic fleet of simulated GPUs on one shared virtual timeline:
   supervisor restarts of crashed replicas, hedged requests and
   per-tenant retry budgets (attach via
   :attr:`~repro.cluster.fleet.ClusterConfig.health`);
+* :class:`~repro.cluster.telemetry.FleetTelemetry` — the live-
+  telemetry plane: windowed rollups, burn-rate alerting and per-
+  replica flight recorders (attach via
+  :attr:`~repro.cluster.fleet.ClusterConfig.telemetry`);
 * :class:`~repro.cluster.fleet.Cluster` — the discrete-event driver
   tying them together; :func:`~repro.cluster.fleet.serve_cluster` is
   the one-shot convenience.
@@ -37,6 +41,7 @@ from .report import (ClusterReport, ReplicaSummary, aggregate_plan_cache,
 from .router import (POLICIES, DeviceAffinity, LeastLoaded, PowerOfTwo,
                      RoundRobin, Router, RoutingPolicy, ShapeAffinity,
                      make_policy)
+from .telemetry import FLEET_RECORDER, FleetTelemetry
 
 __all__ = [
     "AutoscalePolicy",
@@ -45,6 +50,8 @@ __all__ = [
     "ClusterConfig",
     "ClusterReport",
     "DeviceAffinity",
+    "FLEET_RECORDER",
+    "FleetTelemetry",
     "HEALTH_SEED_STRIDE",
     "HealthConfig",
     "HealthPlane",

@@ -51,6 +51,7 @@ from ..gpusim.timing import SimClock
 from ..obs.context import Observability, obs_session
 from ..obs.hist import percentile, summarize
 from ..obs.slo import SLOMonitor, SLOPolicy
+from ..obs.timeseries import TelemetryConfig
 from ..obs.tracer import SimTracer
 from ..rng import DEFAULT_SEED
 from ..serve.loadgen import Arrival
@@ -61,6 +62,7 @@ from .health import HealthConfig, HealthPlane
 from .replica import Replica
 from .report import ClusterReport, ReplicaSummary, aggregate_plan_cache
 from .router import POLICIES, Router, make_policy
+from .telemetry import FleetTelemetry
 
 #: Per-replica fault seeds are derived from the cluster seed with this
 #: (prime) stride so replicas draw independent fault streams that stay
@@ -112,6 +114,11 @@ class ClusterConfig:
     #: probes nobody would ever observe the death and its stranded
     #: queue would deadlock the fleet.
     fleet_fault_plan: Optional[FleetFaultPlan] = None
+    #: Live-telemetry plane (windowed rollups, burn-rate alerts,
+    #: flight recorders); ``None`` runs without it.  Observational
+    #: only: the :class:`ClusterReport` is byte-identical either way,
+    #: minus its own ``telemetry`` section.
+    telemetry: Optional[TelemetryConfig] = None
 
     def kill_schedule(self) -> List[Tuple[int, float]]:
         """The kill list normalised to ``(slot, time_s)`` pairs in
@@ -212,13 +219,31 @@ class Cluster:
         self._win_offered: Deque[float] = deque()
         self._win_completions: Deque[Tuple[float, float, float]] = deque()
         self._all_latencies: List[float] = []
+        #: Live-telemetry pipeline; replicas register as they spawn.
+        self.telemetry: Optional[FleetTelemetry] = None
+        if config.telemetry is not None:
+            self.telemetry = FleetTelemetry(self, config.telemetry)
         self.autoscaler: Optional[Autoscaler] = None
         self.monitor: Optional[SLOMonitor] = None
         if config.slo is not None:
-            listener = None
+            edges = []
             if config.autoscale is not None:
                 self.autoscaler = Autoscaler(config.autoscale, self)
-                listener = self.autoscaler.on_edge
+                edges.append(self.autoscaler.on_edge)
+            if self.telemetry is not None:
+                # Telemetry listens second: the autoscaler reacts to
+                # the edge first, so the incident bundle records the
+                # fleet as the report will.
+                edges.append(self.telemetry.on_slo_edge)
+            if not edges:
+                listener = None
+            elif len(edges) == 1:
+                listener = edges[0]
+            else:
+                def listener(rule, failed, now_s, verdict,
+                             _edges=tuple(edges)):
+                    for fn in _edges:
+                        fn(rule, failed, now_s, verdict)
             self.monitor = SLOMonitor(config.slo, self.obs,
                                       snapshot_fn=self._window_snapshot,
                                       listener=listener)
@@ -304,6 +329,8 @@ class Cluster:
             self.replica_tracers.append((replica.name, replica.tracer))
         if self.health is not None:
             self.health.register(replica, now_s)
+        if self.telemetry is not None:
+            self.telemetry.register(replica)
         self._peak_routable = max(self._peak_routable, self.routable_count)
         return replica
 
@@ -423,6 +450,7 @@ class Cluster:
 
     def _collect_completions(self) -> None:
         health = self.health
+        telemetry = self.telemetry
         filtering = health is not None and health.hedging
         now = self.clock.now_s
         for replica in self.replicas:
@@ -442,11 +470,15 @@ class Cluster:
                         self._win_completions.append(
                             (c.finish_s, c.latency_s, c.queue_wait_s))
                         self._all_latencies.append(c.latency_s)
+                        if telemetry is not None:
+                            telemetry.observe(c, replica)
             else:
                 for c in comps[start:]:
                     self._win_completions.append(
                         (c.finish_s, c.latency_s, c.queue_wait_s))
                     self._all_latencies.append(c.latency_s)
+                    if telemetry is not None:
+                        telemetry.observe(c, replica)
             self._consumed[replica.index] = len(comps)
 
     def _retire_idle_drainers(self, now_s: float) -> None:
@@ -513,12 +545,18 @@ class Cluster:
         clock = self.clock
         monitor = self.monitor
         health = self.health
+        telemetry = self.telemetry
         kill_queue = self._kill_queue
         route = self._route_arrival
         n = len(pending)
         i = 0
         while True:
             now = clock.now_s
+            if telemetry is not None:
+                # Poll before this stop's processing: counter ticks
+                # made while handling a stop are attributed to the
+                # window that stop's fleet time falls in.
+                telemetry.poll(now)
             if kill_queue:
                 self._apply_kills(now)
             if health is not None:
@@ -570,6 +608,13 @@ class Cluster:
         duration = max([r.retired_s or 0.0 for r in self.replicas]
                        + [self.clock.now_s])
         completed = len(latencies)
+        telemetry_doc = None
+        if self.telemetry is not None:
+            # Replica clocks can run ahead of the fleet clock at the
+            # end; finalize at the report duration so the last window
+            # covers every collected completion.
+            self.telemetry.finalize(duration)
+            telemetry_doc = self.telemetry.report()
         # Replica device names appear in the report only when the fleet
         # is actually heterogeneous: homogeneous runs (including a
         # one-device --fleet) keep their pre-devices serialization
@@ -630,6 +675,7 @@ class Cluster:
             shed_by_cause=fleet_sheds,
             health=(self.health.scorecard()
                     if self.health is not None else None),
+            telemetry=telemetry_doc,
         )
 
 

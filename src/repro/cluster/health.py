@@ -385,6 +385,9 @@ class HealthPlane:
             "health.evict", cat="health", start_s=t, end_s=t,
             replica=replica.index, slot=replica.slot, outcome=outcome,
             evacuated=len(evacuated))
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is not None:
+            telemetry.on_eviction(replica, t)
         self._schedule_restart(replica.slot, t)
         self.cluster._requeue_failed(evacuated, t)
 

@@ -78,8 +78,11 @@ class Replica:
         self.down = False
         self.suspected = False
         # The fleet monitor owns SLO evaluation; a per-replica monitor
-        # would double-count violations on the merged timeline.
-        config = replace(config, slo=None)
+        # would double-count violations on the merged timeline.  Same
+        # for telemetry: FleetTelemetry registers this replica's
+        # registry and caches itself, so a server-side pipeline would
+        # double-ingest.
+        config = replace(config, slo=None, telemetry=None)
         obs = Observability()
         self.server = Server(config, advisor=advisor,
                              fault_plan=fault_plan, fault_seed=fault_seed,
@@ -122,6 +125,21 @@ class Replica:
     def device_name(self) -> str:
         """Display name of the device this replica simulates."""
         return self.server.config.device.name
+
+    @property
+    def state(self) -> str:
+        """One-word lifecycle state for telemetry rollups: the live
+        states (``down`` / ``suspected`` / ``draining`` / ``active``)
+        while serving, the retirement outcome afterwards."""
+        if not self.active:
+            return self.outcome
+        if self.down:
+            return "down"
+        if self.suspected:
+            return "suspected"
+        if self.draining:
+            return "draining"
+        return "active"
 
     def busy_until(self, now_s: float) -> Optional[float]:
         """The replica clock when it runs ahead of the fleet clock

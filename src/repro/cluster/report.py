@@ -130,6 +130,12 @@ class ClusterReport:
     #: hedging and retry-budget counters; see
     #: :meth:`repro.cluster.health.HealthPlane.scorecard`.
     health: Optional[dict] = None
+    #: Live-telemetry summary (None: no telemetry plane attached) —
+    #: rollup window counts, incident bundle index and per-rule alert
+    #: state; see :meth:`repro.cluster.telemetry.FleetTelemetry.report`.
+    #: Emitted conditionally so telemetry-off reports stay
+    #: byte-identical to pre-telemetry builds.
+    telemetry: Optional[dict] = None
 
     @property
     def completion_rate(self) -> float:
@@ -140,8 +146,13 @@ class ClusterReport:
         return {r.index: r.routed for r in self.replicas}
 
     def to_dict(self) -> dict:
-        """JSON-ready form (``--json`` output); stable key order."""
-        return {
+        """JSON-ready form (``--json`` output); stable key order.
+
+        The ``telemetry`` key appears only when the plane was attached:
+        a telemetry-on run's report equals the telemetry-off run's
+        report plus that one key (CI's ``telemetry-smoke`` diffs this).
+        """
+        doc = {
             "policy": self.policy,
             "duration_s": self.duration_s,
             "offered": self.offered,
@@ -174,6 +185,9 @@ class ClusterReport:
             "health": _sorted_doc(self.health),
             "replicas": [r.to_dict() for r in self.replicas],
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = _sorted_doc(self.telemetry)
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ClusterReport":
@@ -215,6 +229,7 @@ class ClusterReport:
             shed_by_cause={str(k): int(v)
                            for k, v in doc.get("shed_by_cause", {}).items()},
             health=doc.get("health"),
+            telemetry=doc.get("telemetry"),
         )
 
     def render(self) -> str:
@@ -277,6 +292,14 @@ class ClusterReport:
                     f"{budget.get('offers', 0)} offered, "
                     f"{budget.get('exhaustions', 0)} exhaustion(s) across "
                     f"{len(tenants)} tenant(s)")
+        if self.telemetry is not None:
+            t = self.telemetry
+            alerts = t.get("alerts") or {}
+            lines.append(
+                f"telemetry             {t.get('windows', 0)} window(s) "
+                f"@ {t.get('window_s', 0)} s, "
+                f"{len(t.get('incidents', ()))} incident(s), "
+                f"{alerts.get('events', 0)} alert edge(s)")
         for r in self.replicas:
             tag = (f" slot{r.slot}#{r.incarnation}"
                    if r.incarnation else "")

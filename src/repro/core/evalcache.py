@@ -549,7 +549,9 @@ def evaluate(impl: ConvImplementation, config: ConvConfig,
 
     Every call reports into the active observability context
     (:mod:`repro.obs`): an ``evalcache.evaluate`` span and one tick of
-    ``evalcache_requests_total{result="hit"|"miss"|"uncached"}``.
+    ``evalcache_requests_total{result="hit"|"miss"|"uncached"}``,
+    labeled with the device *identity* (``device="name@digest"``) so
+    mixed-fleet telemetry rollups split cache traffic per device class.
     """
     resolved = resolve_cache(cache)
     obs = get_obs()
@@ -567,5 +569,6 @@ def evaluate(impl: ConvImplementation, config: ConvConfig,
                 resolved.put(record, key)
         sp.annotate(result=result, config=config_key(config),
                     time_s=record.time_s)
-    obs.registry.counter("evalcache_requests_total", result=result).inc()
+    obs.registry.counter("evalcache_requests_total", result=result,
+                         device=device_key(device)).inc()
     return record

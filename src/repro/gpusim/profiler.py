@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ProfilerError
 from ..obs.context import get_obs
-from .device import DeviceSpec, K40C
+from .device import DeviceSpec, K40C, spec_digest
 from .kernels import KernelSpec
 from .metrics import MetricSummary, kernel_shares, runtime_shares, weighted_summary
 from .timing import KernelTiming, time_kernel
@@ -55,6 +55,10 @@ class Profiler:
         self.transfers = TransferEngine(device)
         self._active = False
         self._observer: Optional[Callable[[KernelExecution], None]] = None
+        # Device identity label for the per-kernel time counters,
+        # computed once (the digest is cached per spec instance, but
+        # the f-string is not worth rebuilding per launch).
+        self._device_label = f"{device.name}@{spec_digest(device)}"
 
     def set_observer(
             self,
@@ -96,8 +100,16 @@ class Profiler:
         timing = time_kernel(self.device, spec)
         execution = KernelExecution(timing)
         self.executions.append(execution)
-        get_obs().registry.counter("gpusim_kernel_launches_total",
-                                   role=spec.role.value).inc()
+        registry = get_obs().registry
+        registry.counter("gpusim_kernel_launches_total",
+                         role=spec.role.value).inc()
+        # Cumulative simulated seconds per kernel — what the telemetry
+        # dashboard's Fig-4-style hotspot panel aggregates.  Launches
+        # happen only on evalcache misses (memoized dispatches replay
+        # timings without re-launching), so this stays off the hot path.
+        registry.counter("gpusim_kernel_time_seconds_total",
+                         kernel=spec.name, role=spec.role.value,
+                         device=self._device_label).inc(timing.time_s)
         if self._observer is not None:
             self._observer(execution)
         return timing

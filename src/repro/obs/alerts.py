@@ -1,0 +1,230 @@
+"""Multi-window burn-rate alerting over telemetry rollups.
+
+The SLO engine (:mod:`repro.obs.slo`) answers "is the objective met
+right now / over the run"; alerting answers the operator's question —
+"is the error budget burning fast enough that someone should look" —
+which the SRE literature handles with *multi-window burn rates*: a
+rule fires only when both a fast window (catches sudden cliffs) and a
+slow window (suppresses blips) exceed the same burn threshold, and
+resolves when the fast window recovers.
+
+:class:`AlertManager` subscribes to a :class:`~repro.obs.timeseries.Rollups`
+pipeline and evaluates each :class:`AlertRule` as every window
+flushes.  Everything is edge-triggered and byte-deterministic:
+
+* a False→True edge emits an ``alert.firing`` span event on the fleet
+  tracer and appends a record to :attr:`AlertManager.events`;
+* a True→False edge emits ``alert.resolved``;
+* the manager stamps each window document with the currently-firing
+  rule names (``doc["alerts"]``) *before* later listeners — the
+  flight recorder and the window log — see it, so recorded windows
+  carry their alert state.
+
+Rules are declarative and serializable; the built-in kinds share one
+evaluator:
+
+* ``bad`` and ``total`` name counter metrics (summed across every
+  label set and source in the window).  With a ``total``, the rule
+  value is the *burn rate* — (bad/total)/budget — the multiple of the
+  allowed error budget being consumed.  Without one, the value is a
+  plain event rate (events per simulated second) — suspicion churn,
+  eviction storms.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .timeseries import Rollups, window_counter_total
+
+#: Header ``format`` field of an alert event log.
+ALERT_LOG_FORMAT = "repro-alerts"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative multi-window alert.
+
+    ``fast_windows`` / ``slow_windows`` are lookbacks in rollup
+    windows; the rule fires when the computed value meets
+    ``threshold`` over *both*, and resolves when the fast window
+    drops back below.
+    """
+
+    name: str
+    #: Counter metrics whose window deltas count as "bad" events.
+    bad: Tuple[str, ...]
+    #: Counter metrics forming the denominator (empty → plain rate).
+    total: Tuple[str, ...] = ()
+    #: Allowed bad fraction (error budget) when ``total`` is set.
+    budget: float = 0.05
+    #: Firing threshold: burn-rate multiple, or events/s without total.
+    threshold: float = 1.0
+    fast_windows: int = 2
+    slow_windows: int = 12
+    #: Denominator floor — below this many total events the rule
+    #: abstains (a 1-request window shouldn't page).
+    min_events: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.bad:
+            raise ValueError(f"rule {self.name!r} names no bad metrics")
+        if self.fast_windows < 1 or self.slow_windows < self.fast_windows:
+            raise ValueError(
+                f"rule {self.name!r}: need 1 <= fast_windows <= "
+                f"slow_windows, got {self.fast_windows}/{self.slow_windows}")
+        if self.threshold <= 0 or (self.total and self.budget <= 0):
+            raise ValueError(f"rule {self.name!r}: threshold and budget "
+                             f"must be positive")
+
+    def value(self, windows: List[dict], lookback: int,
+              window_s: float) -> Optional[float]:
+        """Burn rate (or event rate) over the last ``lookback``
+        windows; None when the rule abstains (denominator floor)."""
+        tail = windows[-lookback:]
+        if not tail:
+            return None
+        bad = sum(window_counter_total(doc, metric)
+                  for doc in tail for metric in self.bad)
+        if not self.total:
+            return bad / (len(tail) * window_s)
+        total = sum(window_counter_total(doc, metric)
+                    for doc in tail for metric in self.total)
+        if total < self.min_events:
+            return None
+        return (bad / total) / self.budget
+
+
+#: The stock rule set, aligned with :data:`repro.obs.slo.DEFAULT_RULES`:
+#: the SLO engine's 5% shed budget becomes the burn denominator, and
+#: the health plane's suspicion/eviction counters get a churn rule.
+DEFAULT_ALERT_RULES: Tuple[AlertRule, ...] = (
+    AlertRule(name="error-budget-burn",
+              bad=("serve_sheds_total", "serve_requests_rejected_total"),
+              total=("serve_requests_offered_total",),
+              budget=0.05, threshold=1.0, fast_windows=2, slow_windows=12),
+    AlertRule(name="shed-rate",
+              bad=("serve_sheds_total",),
+              total=("serve_requests_offered_total",),
+              budget=0.05, threshold=2.0, fast_windows=1, slow_windows=6),
+    AlertRule(name="suspicion-churn",
+              bad=("cluster_suspicions_total", "cluster_evictions_total"),
+              threshold=0.5, fast_windows=2, slow_windows=8),
+)
+
+
+class AlertManager:
+    """Evaluates alert rules as rollup windows flush.
+
+    ``tracer`` (optional) receives the edge-triggered span events; it
+    may be a tracer or a zero-arg callable returning one (the cluster
+    swaps its fleet tracer in after construction, so the wiring passes
+    ``lambda: cluster.obs.tracer``).  ``listener`` (optional) is
+    called as ``listener(rule, firing, window_doc)`` on every edge —
+    the flight recorder hooks incident capture there.
+    """
+
+    def __init__(self, rules: Tuple[AlertRule, ...], rollups: Rollups,
+                 tracer=None,
+                 listener: Optional[Callable[[AlertRule, bool, dict],
+                                             None]] = None):
+        self.rules = tuple(rules)
+        self.rollups = rollups
+        self.tracer = tracer
+        self.listener = listener
+        self.events: List[dict] = []
+        self._firing: Dict[str, bool] = {r.name: False for r in self.rules}
+        self._fired: Dict[str, int] = {r.name: 0 for r in self.rules}
+        self._windows_firing: Dict[str, int] = {r.name: 0
+                                                for r in self.rules}
+        rollups.on_window(self._on_window)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _on_window(self, doc: dict) -> None:
+        windows = self.rollups.windows  # doc is already appended
+        window_s = self.rollups.window_s
+        active: List[str] = []
+        for rule in self.rules:
+            fast = rule.value(windows, rule.fast_windows, window_s)
+            slow = rule.value(windows, rule.slow_windows, window_s)
+            was = self._firing[rule.name]
+            if was:
+                # resolve on fast-window recovery (or abstention)
+                now = fast is not None and fast >= rule.threshold
+            else:
+                now = (fast is not None and slow is not None
+                       and fast >= rule.threshold
+                       and slow >= rule.threshold)
+            if now != was:
+                self._edge(rule, now, doc, fast)
+            self._firing[rule.name] = now
+            if now:
+                active.append(rule.name)
+                self._windows_firing[rule.name] += 1
+        # Stamp the verdict into the document before later listeners
+        # (recorder, exporters) observe it.
+        doc["alerts"] = active
+
+    def _edge(self, rule: AlertRule, firing: bool, doc: dict,
+              value: Optional[float]) -> None:
+        state = "firing" if firing else "resolved"
+        record = {"type": "alert", "rule": rule.name, "state": state,
+                  "window": doc["index"], "t_s": doc["end_s"],
+                  "value": None if value is None else round(value, 9),
+                  "threshold": rule.threshold}
+        self.events.append(record)
+        if firing:
+            self._fired[rule.name] += 1
+        tracer = self.tracer() if callable(self.tracer) else self.tracer
+        if tracer is not None:
+            tracer.event(f"alert.{state}", rule=rule.name,
+                         window=doc["index"],
+                         value=record["value"])
+        if self.listener is not None:
+            self.listener(rule, firing, doc)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def firing(self) -> List[str]:
+        """Names of currently-firing rules, in rule order."""
+        return [r.name for r in self.rules if self._firing[r.name]]
+
+    def report(self) -> dict:
+        """Per-rule summary for the cluster report (stable key order)."""
+        return {
+            "events": len(self.events),
+            "rules": {r.name: {"active": self._firing[r.name],
+                               "fired": self._fired[r.name],
+                               "windows_firing":
+                                   self._windows_firing[r.name]}
+                      for r in sorted(self.rules, key=lambda r: r.name)},
+        }
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+def alert_log_lines(manager: AlertManager) -> List[str]:
+    """JSONL alert event stream: header, then one record per edge."""
+    from .timeseries import TELEMETRY_SCHEMA_VERSION
+
+    header = json.dumps({"type": "header", "format": ALERT_LOG_FORMAT,
+                         "schema_version": TELEMETRY_SCHEMA_VERSION,
+                         "rules": [r.name for r in manager.rules]},
+                        sort_keys=True)
+    return [header] + [json.dumps(e, sort_keys=True)
+                       for e in manager.events]
+
+
+def write_alert_log(path: str, manager: AlertManager) -> int:
+    """Write the JSONL alert event stream; returns the line count."""
+    lines = alert_log_lines(manager)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)

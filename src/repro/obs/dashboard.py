@@ -1,0 +1,219 @@
+"""Terminal dashboard over telemetry window logs.
+
+Renders the rolling fleet view the ISSUE's operators asked for — the
+live counterpart of the paper's Fig. 4 hotspot table — from either a
+live :class:`~repro.obs.timeseries.Rollups` pipeline or a recorded
+JSONL window log:
+
+* top hotspot kernel roles by simulated GPU time
+  (``gpusim_kernel_time_seconds_total``, falling back to launch
+  counts), Fig.-4-style share bars;
+* per-device and per-tenant QPS / p50 / p99 over the run, with a
+  QPS sparkline across windows;
+* shed causes, cache hit rates (plan cache / evalcache / dispatch
+  memo probes), and the alert timeline (which windows fired what).
+
+Output is plain text, fixed-width, and byte-deterministic for a given
+log — CI renders a recorded log and checks the render is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .timeseries import Rollups, _series_base, load_window_log
+
+_SPARKS = " .:-=+*#%@"
+_BAR = "#"
+
+
+def _spark(values: List[float], width: int) -> str:
+    if not values:
+        return ""
+    if len(values) > width:
+        # squeeze by averaging fixed-size chunks
+        chunk = len(values) / width
+        values = [sum(values[int(i * chunk):max(int(i * chunk) + 1,
+                                                int((i + 1) * chunk))])
+                  / max(1, len(values[int(i * chunk):max(
+                      int(i * chunk) + 1, int((i + 1) * chunk))]))
+                  for i in range(width)]
+    top = max(values)
+    if top <= 0:
+        return _SPARKS[0] * len(values)
+    return "".join(_SPARKS[min(len(_SPARKS) - 1,
+                               int(v / top * (len(_SPARKS) - 1)))]
+                   for v in values)
+
+
+def _share_bar(share: float, width: int = 24) -> str:
+    return _BAR * max(0, min(width, round(share * width)))
+
+
+def _counter_sums(windows: List[dict], metric: str) -> Dict[str, float]:
+    """label-suffix → summed delta for one counter across windows."""
+    sums: Dict[str, float] = {}
+    for doc in windows:
+        for deltas in doc.get("counters", {}).values():
+            for series, value in deltas.items():
+                if _series_base(series) == metric:
+                    label = series[len(metric):].strip("{}")
+                    sums[label] = sums.get(label, 0.0) + value
+    return sums
+
+
+def _label_value(label: str, key: str) -> Optional[str]:
+    for part in label.split(","):
+        if part.startswith(f'{key}="'):
+            return part[len(key) + 2:-1]
+    return None
+
+
+def _latency_rollup(windows: List[dict], dim: str
+                    ) -> Dict[str, Tuple[int, float, float]]:
+    """key → (completed, worst p50, worst p99) across windows."""
+    out: Dict[str, Tuple[int, float, float]] = {}
+    for doc in windows:
+        for key, summary in doc.get("latency", {}).get(dim, {}).items():
+            count, p50, p99 = out.get(key, (0, 0.0, 0.0))
+            out[key] = (count + summary["count"],
+                        max(p50, summary["p50"]), max(p99, summary["p99"]))
+    return out
+
+
+def render_dashboard(windows: List[dict], header: Optional[dict] = None,
+                     title: str = "fleet telemetry",
+                     width: int = 72) -> str:
+    """The full dashboard as one plain-text block."""
+    lines: List[str] = []
+    rule = "=" * width
+
+    def section(name: str) -> None:
+        lines.append("")
+        lines.append(f"-- {name} " + "-" * max(0, width - len(name) - 4))
+
+    window_s = (header or {}).get("window_s")
+    lines.append(rule)
+    lines.append(f"  {title}")
+    if windows:
+        span = f"{windows[0]['start_s']:g}s .. {windows[-1]['end_s']:g}s"
+        extra = f", window {window_s:g}s" if window_s else ""
+        lines.append(f"  {len(windows)} windows, {span}{extra}")
+    else:
+        lines.append("  (no windows)")
+    lines.append(rule)
+    if not windows:
+        return "\n".join(lines) + "\n"
+
+    # -- QPS sparkline ----------------------------------------------------
+    section("throughput")
+    qps = [doc.get("qps", 0.0) for doc in windows]
+    completed = sum(doc.get("completed", 0) for doc in windows)
+    lines.append(f"  completed {completed}  peak {max(qps):.1f} rps  "
+                 f"last {qps[-1]:.1f} rps")
+    lines.append("  [" + _spark(qps, width - 6) + "]")
+
+    # -- per-device / per-tenant latency ----------------------------------
+    for dim in ("device", "tenant"):
+        table = _latency_rollup(windows, dim)
+        if not table:
+            continue
+        section(f"latency by {dim}")
+        lines.append(f"  {dim:<28} {'n':>8} {'p50 ms':>9} {'p99 ms':>9}")
+        for key in sorted(table):
+            count, p50, p99 = table[key]
+            lines.append(f"  {key:<28} {count:>8} "
+                         f"{p50 * 1e3:>9.3f} {p99 * 1e3:>9.3f}")
+
+    # -- hotspot kernels (Fig. 4) -----------------------------------------
+    metric = "gpusim_kernel_time_seconds_total"
+    sums = _counter_sums(windows, metric)
+    unit = "time"
+    if not sums:
+        sums = _counter_sums(windows, "gpusim_kernel_launches_total")
+        unit = "launches"
+    if sums:
+        section(f"hotspot kernels (by {unit})")
+        by_role: Dict[str, float] = {}
+        for label, value in sums.items():
+            role = _label_value(label, "role") or label or "?"
+            by_role[role] = by_role.get(role, 0.0) + value
+        total = sum(by_role.values()) or 1.0
+        ranked = sorted(by_role.items(), key=lambda kv: (-kv[1], kv[0]))
+        for role, value in ranked[:8]:
+            share = value / total
+            lines.append(f"  {role:<22} {share * 100:>6.2f}%  "
+                         f"{_share_bar(share)}")
+
+    # -- shed causes ------------------------------------------------------
+    sheds = _counter_sums(windows, "serve_sheds_total")
+    if sheds:
+        section("shed causes")
+        for label in sorted(sheds):
+            cause = _label_value(label, "cause") or label or "?"
+            lines.append(f"  {cause:<22} {sheds[label]:g}")
+
+    # -- cache probes -----------------------------------------------------
+    probe_sums: Dict[str, Dict[str, float]] = {}
+    for doc in windows:
+        for name, deltas in doc.get("probes", {}).items():
+            agg = probe_sums.setdefault(name, {})
+            for key, value in deltas.items():
+                agg[key] = agg.get(key, 0.0) + value
+    if probe_sums:
+        section("cache probes (windowed deltas)")
+        for name in sorted(probe_sums):
+            agg = probe_sums[name]
+            hits, misses = agg.get("hits", 0.0), agg.get("misses", 0.0)
+            total = hits + misses
+            rate = f"{hits / total * 100:.1f}%" if total else "n/a"
+            lines.append(f"  {name:<34} hits {hits:g} misses {misses:g} "
+                         f"({rate})")
+
+    # -- alerts -----------------------------------------------------------
+    firing = [(doc["index"], doc["alerts"]) for doc in windows
+              if doc.get("alerts")]
+    section("alerts")
+    if not firing:
+        lines.append("  none fired")
+    else:
+        seen: Dict[str, List[int]] = {}
+        for index, names in firing:
+            for name in names:
+                seen.setdefault(name, []).append(index)
+        for name in sorted(seen):
+            idxs = seen[name]
+            lines.append(f"  {name:<22} firing in {len(idxs)} window(s) "
+                         f"[{idxs[0]}..{idxs[-1]}]")
+        last = windows[-1].get("alerts") or []
+        lines.append(f"  active at end: {', '.join(last) if last else 'none'}")
+
+    # -- replica states ---------------------------------------------------
+    state = windows[-1].get("state", {})
+    for name in sorted(state):
+        section(f"state: {name}")
+        entries = state[name]
+        if isinstance(entries, dict):
+            for key in sorted(entries):
+                lines.append(f"  {key:<28} {entries[key]}")
+        else:
+            lines.append(f"  {entries}")
+
+    lines.append("")
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+def render_dashboard_from_log(path: str, width: int = 72) -> str:
+    """Render a recorded window log (the CI smoke path)."""
+    header, windows = load_window_log(path)
+    return render_dashboard(windows, header=header,
+                            title=f"fleet telemetry — {path}", width=width)
+
+
+def render_dashboard_live(rollups: Rollups, title: str = "fleet telemetry",
+                          width: int = 72) -> str:
+    """Render a live pipeline's flushed windows."""
+    return render_dashboard(rollups.windows,
+                            header={"window_s": rollups.window_s},
+                            title=title, width=width)

@@ -63,6 +63,7 @@ from ..gpusim.device import DeviceSpec, K40C
 from ..gpusim.timing import SimClock
 from ..obs.context import Observability, obs_session
 from ..obs.slo import SLOMonitor, SLOPolicy, SLOReport
+from ..obs.timeseries import Rollups, TelemetryConfig
 from ..obs.tracer import SimTracer, TraceSampler
 from ..rng import DEFAULT_SEED
 from .batcher import BatchPolicy, DynamicBatcher
@@ -106,6 +107,11 @@ class ServerConfig:
     #: Purely a host-time optimisation — reports, metrics and traces
     #: are byte-identical with it off.
     dispatch_memo: bool = True
+    #: Attach live windowed rollups (:mod:`repro.obs.timeseries`).
+    #: ``None`` (the default) runs without the telemetry plane; the
+    #: plane itself is observational only — the report is
+    #: byte-identical either way.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.timeout_s <= 0:
@@ -149,6 +155,20 @@ class Server:
         # name, so plans never leak between two devices that happen to
         # share a label (e.g. a tweaked profile under the same name).
         self._device_key = (config.device.name, spec_digest(config.device))
+        #: ``name@digest`` — the device *identity* label every
+        #: device-split telemetry series carries (same convention as
+        #: :func:`repro.core.evalcache.device_key`).
+        self._device_label = f"{self._device_key[0]}@{self._device_key[1]}"
+        # Pre-bound plan-cache traffic counters (hot path: one method
+        # call per lookup, no label-key construction).  Device-labeled
+        # so mixed-fleet rollups split cleanly by device class.
+        registry = self.obs.registry
+        self._pc_hits = registry.counter("serve_plan_cache_requests_total",
+                                         device=self._device_label,
+                                         result="hit")
+        self._pc_misses = registry.counter("serve_plan_cache_requests_total",
+                                           device=self._device_label,
+                                           result="miss")
         self._forward_scale = FORWARD_FRACTION if config.forward_only else 1.0
         #: Memory-plan memo behind the dispatch fast path; None when
         #: disabled (``--no-dispatch-memo``).
@@ -189,8 +209,18 @@ class Server:
         self.queue: Optional[AdmissionQueue] = None
         self.batcher: Optional[DynamicBatcher] = None
         self._monitor: Optional[SLOMonitor] = None
+        #: Live windowed rollups, built by :meth:`begin` when the
+        #: config carries a :class:`~repro.obs.timeseries.TelemetryConfig`.
+        self.telemetry: Optional[Rollups] = None
+        self._tel_cursor = 0
         self._breaker_base = (0, 0)
         self._injector_base = (0, 0)
+
+    @property
+    def device_label(self) -> str:
+        """``name@digest`` — the device identity label telemetry
+        rollups split series by."""
+        return self._device_label
 
     def enable_tracing(self, sample: int = 1) -> Union[SimTracer,
                                                        TraceSampler]:
@@ -231,7 +261,9 @@ class Server:
             # closure per call.
             plans = self.plan_cache.get(cache_key)
             if plans is not _MISSING:
+                self._pc_hits.inc()
                 return plans
+            self._pc_misses.inc()
             plans = self.advisor.plan_ranked(
                 batched_config(key, batch),
                 memory_budget=self.config.memory_budget,
@@ -240,6 +272,7 @@ class Server:
             return plans
         with tracer.span("serve.plan", cat="serve", batch=batch) as sp:
             hit = cache_key in self.plan_cache
+            (self._pc_hits if hit else self._pc_misses).inc()
             plans = self.plan_cache.get_or_compute(
                 cache_key,
                 lambda: self.advisor.plan_ranked(
@@ -536,6 +569,18 @@ class Server:
         self._degraded_cap = None
         self._monitor = (SLOMonitor(self.config.slo, self.obs)
                          if self.config.slo is not None else None)
+        self.telemetry = None
+        self._tel_cursor = 0
+        if self.config.telemetry is not None:
+            tel = Rollups(window_s=self.config.telemetry.window_s)
+            tel.add_source("server", self.obs.registry,
+                           device=self._device_label)
+            tel.add_probe("plan_cache", self.plan_cache.stats,
+                          device=self._device_label)
+            if self._memo is not None:
+                tel.add_probe("dispatch_memo", self._memo.stats,
+                              device=self._device_label)
+            self.telemetry = tel
         self._breaker_base = (self._breaker.trips, self._breaker.skips)
         self._injector_base = (0, 0)
         if self._injector is not None:
@@ -598,9 +643,29 @@ class Server:
                 self.stats.record_shed("error", len(batch.requests))
         return True
 
+    def telemetry_poll(self, now_s: float) -> None:
+        """Feed completions recorded since the last poll into the
+        rollups, then fold/flush windows owed as of ``now_s``.  No-op
+        without a telemetry config; never touches simulated state."""
+        tel = self.telemetry
+        if tel is None:
+            return
+        completions = self.stats.completions
+        cursor = self._tel_cursor
+        if cursor < len(completions):
+            observe = tel.observe_completion
+            device = self._device_label
+            for completion in completions[cursor:]:
+                observe(completion, device=device)
+            self._tel_cursor = len(completions)
+        tel.poll(now_s)
+
     def finish(self) -> StatsReport:
         """Freeze the session into its end-of-run report."""
         stats, queue = self.stats, self.queue
+        if self.telemetry is not None:
+            self.telemetry_poll(self.clock.now_s)
+            self.telemetry.finalize(self.clock.now_s)
         stats.rejected = queue.rejected
         stats.shed = queue.shed
         stats.closed_shed = queue.closed_out
@@ -646,6 +711,11 @@ class Server:
                 now = clock._now
                 if monitor is not None:
                     monitor.poll(now)
+                if self.telemetry is not None:
+                    # Poll at the loop top: counter ticks between stops
+                    # are attributed to the window their dispatch began
+                    # in (exact — the loop only mutates state at stops).
+                    self.telemetry_poll(now)
                 if i < n and pending[i].t_s <= now:
                     j = i
                     if traced_admits:

@@ -1,0 +1,208 @@
+"""Multi-window burn-rate alerting (repro.obs.alerts)."""
+
+import json
+
+import pytest
+
+from repro.gpusim.timing import SimClock
+from repro.obs.alerts import (ALERT_LOG_FORMAT, DEFAULT_ALERT_RULES,
+                              AlertManager, AlertRule, alert_log_lines,
+                              write_alert_log)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import Rollups
+from repro.obs.tracer import SimTracer
+
+
+def window(index, counters, window_s=1.0):
+    """Hand-built window document with one source's counter deltas."""
+    return {"type": "window", "index": index, "start_s": index * window_s,
+            "end_s": (index + 1) * window_s, "completed": 0, "qps": 0.0,
+            "counters": {"fleet": counters}, "probes": {}, "latency": {}}
+
+
+class Pipeline:
+    """A rollups pipeline driven by hand: tick counters, cross a
+    window boundary, observe the alert verdicts."""
+
+    def __init__(self, rules, window_s=1.0, tracer=None, listener=None):
+        self.registry = MetricsRegistry()
+        self.rollups = Rollups(window_s=window_s)
+        self.rollups.add_source("fleet", self.registry)
+        self.manager = AlertManager(rules, self.rollups, tracer=tracer,
+                                    listener=listener)
+        self.rollups.poll(0.0)
+        self._windows_done = 0
+
+    def step(self, bad=0, total=0):
+        """One window's traffic, then the boundary poll that flushes it."""
+        if bad:
+            self.registry.counter("serve_sheds_total").inc(bad)
+        if total:
+            self.registry.counter("serve_requests_offered_total").inc(total)
+        self._windows_done += 1
+        self.rollups.poll(self._windows_done * self.rollups.window_s + 1e-9)
+
+
+class TestRuleValidation:
+    def test_needs_bad_metrics(self):
+        with pytest.raises(ValueError, match="no bad metrics"):
+            AlertRule(name="x", bad=())
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError, match="fast_windows"):
+            AlertRule(name="x", bad=("m",), fast_windows=3, slow_windows=2)
+        with pytest.raises(ValueError, match="fast_windows"):
+            AlertRule(name="x", bad=("m",), fast_windows=0)
+
+    def test_positive_threshold_and_budget(self):
+        with pytest.raises(ValueError, match="positive"):
+            AlertRule(name="x", bad=("m",), threshold=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            AlertRule(name="x", bad=("m",), total=("t",), budget=0.0)
+
+    def test_default_rules_are_valid(self):
+        assert [r.name for r in DEFAULT_ALERT_RULES] == \
+            ["error-budget-burn", "shed-rate", "suspicion-churn"]
+
+
+class TestRuleValue:
+    RULE = AlertRule(name="burn", bad=("serve_sheds_total",),
+                     total=("serve_requests_offered_total",),
+                     budget=0.05, threshold=1.0, min_events=10)
+
+    def test_burn_rate_math(self):
+        # 10 bad / 100 total = 10% shed against a 5% budget → burn 2.0.
+        docs = [window(0, {"serve_sheds_total": 10.0,
+                           "serve_requests_offered_total": 100.0})]
+        assert self.RULE.value(docs, 1, 1.0) == pytest.approx(2.0)
+
+    def test_lookback_spans_windows(self):
+        docs = [window(0, {"serve_sheds_total": 10.0,
+                           "serve_requests_offered_total": 100.0}),
+                window(1, {"serve_requests_offered_total": 100.0})]
+        # Over both windows: 10/200 = 5% = exactly one budget.
+        assert self.RULE.value(docs, 2, 1.0) == pytest.approx(1.0)
+
+    def test_abstains_below_min_events(self):
+        docs = [window(0, {"serve_sheds_total": 1.0,
+                           "serve_requests_offered_total": 5.0})]
+        assert self.RULE.value(docs, 1, 1.0) is None
+
+    def test_abstains_on_empty_tail(self):
+        assert self.RULE.value([], 1, 1.0) is None
+
+    def test_plain_event_rate_without_total(self):
+        rule = AlertRule(name="churn", bad=("serve_sheds_total",),
+                         threshold=0.5)
+        docs = [window(0, {"serve_sheds_total": 3.0}),
+                window(1, {})]
+        assert rule.value(docs, 2, 0.5) == pytest.approx(3.0)
+
+    def test_bad_metrics_summed_across_names_and_labels(self):
+        rule = AlertRule(name="churn", bad=("a_total", "b_total"),
+                         threshold=0.5)
+        docs = [window(0, {'a_total{x="1"}': 2.0, 'a_total{x="2"}': 3.0,
+                           "b_total": 1.0})]
+        assert rule.value(docs, 1, 1.0) == pytest.approx(6.0)
+
+
+class TestManagerEdges:
+    RULES = (AlertRule(name="burn", bad=("serve_sheds_total",),
+                       total=("serve_requests_offered_total",),
+                       budget=0.05, threshold=1.0,
+                       fast_windows=1, slow_windows=2),)
+
+    def test_fires_only_when_fast_and_slow_agree(self):
+        pipe = Pipeline(self.RULES)
+        pipe.step(bad=0, total=100)     # clean history
+        pipe.step(bad=50, total=100)    # fast hot, slow = 50/200 = 5x
+        assert pipe.manager.firing == ["burn"]
+        events = pipe.manager.events
+        assert [e["state"] for e in events] == ["firing"]
+        assert events[0]["rule"] == "burn" and events[0]["window"] == 1
+
+    def test_slow_window_suppresses_a_blip(self):
+        # One hot window against a long clean history: slow lookback
+        # stays under threshold, no alert.
+        rules = (AlertRule(name="burn", bad=("serve_sheds_total",),
+                           total=("serve_requests_offered_total",),
+                           budget=0.05, threshold=4.0,
+                           fast_windows=1, slow_windows=4),)
+        pipe = Pipeline(rules)
+        for _ in range(3):
+            pipe.step(bad=0, total=100)
+        pipe.step(bad=25, total=100)    # fast burn 5x, slow 25/400 → 1.25x
+        assert pipe.manager.firing == []
+        assert pipe.manager.events == []
+
+    def test_resolves_on_fast_recovery(self):
+        pipe = Pipeline(self.RULES)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=50, total=100)
+        assert pipe.manager.firing == ["burn"]
+        pipe.step(bad=0, total=100)
+        assert pipe.manager.firing == []
+        assert [e["state"] for e in pipe.manager.events] == \
+            ["firing", "resolved"]
+
+    def test_windows_stamped_with_active_alerts(self):
+        pipe = Pipeline(self.RULES)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=0, total=100)
+        assert [w["alerts"] for w in pipe.rollups.windows] == \
+            [["burn"], ["burn"], []]
+
+    def test_report_counts(self):
+        pipe = Pipeline(self.RULES)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=0, total=100)
+        report = pipe.manager.report()
+        assert report["events"] == 2
+        rule = report["rules"]["burn"]
+        assert rule == {"active": False, "fired": 1, "windows_firing": 2}
+
+    def test_edge_events_reach_tracer_and_listener(self):
+        tracer = SimTracer(SimClock())
+        edges = []
+        pipe = Pipeline(self.RULES, tracer=lambda: tracer,
+                        listener=lambda rule, firing, doc:
+                            edges.append((rule.name, firing, doc["index"])))
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=0, total=100)
+        assert edges == [("burn", True, 0), ("burn", False, 1)]
+        names = [e.name for e in tracer.orphan_events]
+        assert names == ["alert.firing", "alert.resolved"]
+
+    def test_abstaining_rule_never_fires(self):
+        rules = (AlertRule(name="burn", bad=("serve_sheds_total",),
+                           total=("serve_requests_offered_total",),
+                           min_events=1000, threshold=1.0,
+                           fast_windows=1, slow_windows=1),)
+        pipe = Pipeline(rules)
+        pipe.step(bad=50, total=100)
+        assert pipe.manager.firing == []
+
+
+class TestAlertLog:
+    def test_log_round_trip(self, tmp_path):
+        pipe = Pipeline(TestManagerEdges.RULES)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=50, total=100)
+        pipe.step(bad=0, total=100)
+        path = str(tmp_path / "alerts.jsonl")
+        count = write_alert_log(path, pipe.manager)
+        lines = open(path).read().splitlines()
+        assert count == len(lines) == 3
+        header = json.loads(lines[0])
+        assert header["format"] == ALERT_LOG_FORMAT
+        assert header["rules"] == ["burn"]
+        records = [json.loads(line) for line in lines[1:]]
+        assert records == pipe.manager.events
+
+    def test_lines_are_sorted_key_json(self):
+        pipe = Pipeline(TestManagerEdges.RULES)
+        pipe.step(bad=50, total=100)
+        for line in alert_log_lines(pipe.manager):
+            assert line == json.dumps(json.loads(line), sort_keys=True)
